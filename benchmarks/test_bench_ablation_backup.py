@@ -1,0 +1,87 @@
+"""Ablation: backup interval T_bak — the cost vs availability trade-off.
+
+Section 4.2 describes T_bak as "a trade-off between availability, runtime
+overhead, and cost effectiveness".  This benchmark sweeps the backup interval
+(including "disabled") under a bursty reclamation regime and reports both the
+hourly backup cost and the fraction of objects that survive.
+"""
+
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.report import format_table
+from repro.faas.reclamation import ZipfBurstReclamationPolicy
+from repro.utils.rng import SeededRNG
+from repro.utils.units import HOUR, MB, MIB, MINUTE
+
+
+def _run_interval(backup_interval_s: float | None, hours: float = 3.0, objects: int = 30):
+    config = InfiniCacheConfig(
+        lambdas_per_proxy=30,
+        lambda_memory_bytes=1536 * MIB,
+        data_shards=10,
+        parity_shards=2,
+        backup_enabled=backup_interval_s is not None,
+        backup_interval_s=backup_interval_s or 300.0,
+        straggler=StragglerModel(probability=0.0),
+        seed=2024,
+    )
+    policy = ZipfBurstReclamationPolicy(
+        SeededRNG(99), burst_probability=0.2, max_burst=8, sibling_correlation=0.6
+    )
+    deployment = InfiniCacheDeployment(config, reclamation_policy=policy)
+    deployment.start()
+    client = deployment.new_client()
+    for index in range(objects):
+        client.put_sized(f"ablation/{index}", 20 * MB)
+
+    survived = 0
+    probes = 0
+    for checkpoint in range(1, int(hours * 4) + 1):
+        deployment.run_until(checkpoint * 15 * MINUTE)
+        for index in range(objects):
+            probes += 1
+            result = client.get(f"ablation/{index}")
+            if result.hit:
+                survived += 1
+            else:
+                client.put_sized(f"ablation/{index}", 20 * MB)
+    deployment.stop()
+    breakdown = deployment.cost_breakdown()
+    return {
+        "availability": survived / probes,
+        "backup_cost_per_hour": breakdown.get("backup", 0.0) / hours,
+        "total_cost_per_hour": breakdown.get("total", 0.0) / hours,
+    }
+
+
+def test_bench_ablation_backup_interval(benchmark, report_writer):
+    def sweep():
+        return {
+            "disabled": _run_interval(None),
+            "T_bak=10min": _run_interval(10 * MINUTE),
+            "T_bak=5min": _run_interval(5 * MINUTE),
+            "T_bak=2min": _run_interval(2 * MINUTE),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [label, f"{stats['availability']:.2%}", stats["backup_cost_per_hour"],
+         stats["total_cost_per_hour"]]
+        for label, stats in results.items()
+    ]
+    report_writer(
+        "ablation_backup",
+        format_table(
+            ["backup interval", "availability", "backup $/h", "total $/h"],
+            rows,
+            title="Ablation — backup interval: availability vs cost",
+        ),
+    )
+
+    # Backup costs money: any enabled interval costs more than disabled, and
+    # shorter intervals cost more than longer ones.
+    assert results["disabled"]["backup_cost_per_hour"] == 0.0
+    assert results["T_bak=2min"]["backup_cost_per_hour"] > results["T_bak=10min"]["backup_cost_per_hour"]
+    # Backup buys availability: enabling it beats disabling it under churn.
+    assert results["T_bak=5min"]["availability"] > results["disabled"]["availability"]

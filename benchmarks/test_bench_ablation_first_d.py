@@ -1,0 +1,65 @@
+"""Ablation: first-d chunk streaming vs waiting for every chunk.
+
+DESIGN.md calls out the proxy's first-d optimisation (Section 3.2) as a
+design choice worth ablating: with stragglers present, completing a GET as
+soon as the fastest ``d`` chunks arrive should cut tail latency compared to
+waiting for all ``d+p`` chunks, at the cost of sometimes having to run the RS
+decoder.  This benchmark measures both policies on the same deployment.
+"""
+
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.report import format_table
+from repro.utils.stats import summarize
+from repro.utils.units import MB, MIB
+
+
+def _measure(requests: int = 60) -> dict[str, dict[str, float]]:
+    config = InfiniCacheConfig(
+        lambdas_per_proxy=24,
+        lambda_memory_bytes=1024 * MIB,
+        data_shards=10,
+        parity_shards=2,
+        backup_enabled=False,
+        straggler=StragglerModel(probability=0.15, min_factor=2.0, max_factor=8.0),
+        seed=77,
+    )
+    deployment = InfiniCacheDeployment(config)
+    deployment.start()
+    client = deployment.new_client()
+    proxy = deployment.proxies[0]
+    client.put_sized("ablation/object", 100 * MB)
+
+    first_d: list[float] = []
+    wait_all: list[float] = []
+    for _ in range(requests):
+        deployment.run_until(deployment.simulator.now + 1.0)
+        outcome = proxy.get("ablation/object", deployment.simulator.now)
+        assert outcome.found and outcome.recoverable
+        available_times = sorted(f.time_s for f in outcome.fetches if not f.lost)
+        first_d.append(available_times[config.data_shards - 1])
+        wait_all.append(available_times[-1])
+    deployment.stop()
+    return {"first-d": summarize(first_d), "wait-for-all": summarize(wait_all)}
+
+
+def test_bench_ablation_first_d(benchmark, report_writer):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = [
+        [policy, stats["p50"] * 1000, stats["p90"] * 1000, stats["p99"] * 1000]
+        for policy, stats in results.items()
+    ]
+    report_writer(
+        "ablation_first_d",
+        format_table(
+            ["policy", "p50 (ms)", "p90 (ms)", "p99 (ms)"],
+            rows,
+            title="Ablation — first-d streaming vs waiting for all chunks (100 MB, RS(10+2))",
+        ),
+    )
+
+    # First-d must never be slower, and with stragglers it must cut the tail.
+    assert results["first-d"]["p50"] <= results["wait-for-all"]["p50"] + 1e-9
+    assert results["first-d"]["p99"] < results["wait-for-all"]["p99"]
+    assert results["first-d"]["p90"] < results["wait-for-all"]["p90"]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the Section 4.3 availability analysis."""
+
+from repro.experiments import availability
+
+
+def test_bench_availability(benchmark, report_writer):
+    result = benchmark.pedantic(lambda: availability.run(), rounds=1, iterations=1)
+    report_writer("availability", availability.format_report(result))
+
+    # The paper's quoted approximation ratio p_3/p_4 = 18.8 at r = 12.
+    assert abs(result.approximation_ratio_r12 - 18.8) < 0.3
+
+    for label, (loss, avail_minute, avail_hour) in result.per_fit.items():
+        # Per-minute loss in (or near) the paper's 0.0039%-0.11% band.
+        assert loss < 0.003, label
+        assert avail_minute > 0.997, label
+        # Hourly availability comparable to the paper's 93.36%-99.76% band.
+        assert avail_hour > 0.85, label
+
+    # The Eq. 3 simplification is accurate for the Poisson-fit regime.
+    assert result.simplification_error["Poisson fit (Oct/Dec/Jan)"] < 0.05

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 1 — Docker-registry workload characteristics."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, report_writer):
+    results = benchmark.pedantic(
+        lambda: figure1.run(duration_hours=24.0), rounds=1, iterations=1
+    )
+    report_writer("figure1", figure1.format_report(results))
+
+    for name, result in results.items():
+        # Figure 1(a)/(b): >20% of objects are large, and they dominate bytes.
+        assert result.large_object_fraction > 0.15, name
+        assert result.large_byte_fraction > 0.90, name
+        # Figure 1(d): a large share of reuses fall within one hour.
+        assert result.reuse_within_hour_fraction > 0.30, name
+        # Figure 1(c): long-tailed access counts (some objects accessed >= 10x).
+        assert result.access_count_cdf[-1][0] >= 10, name

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 11 — microbenchmark GET latency sweep."""
+
+from repro.experiments import figure11
+from repro.utils.units import MB
+
+
+def test_bench_figure11(benchmark, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure11.run(
+            lambda_memories_mib=(256, 512, 1024, 2048, 3008),
+            rs_codes=((10, 0), (10, 1), (10, 2), (10, 4), (4, 2), (5, 1)),
+            object_sizes=(10 * MB, 40 * MB, 100 * MB),
+            requests_per_cell=12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("figure11", figure11.format_report(result))
+
+    # Latency grows with object size (every memory configuration, RS(10+1)).
+    for memory in (256, 1024, 3008):
+        assert result.median(memory, (10, 1), 100 * MB) > result.median(memory, (10, 1), 10 * MB)
+
+    # Bigger Lambdas are faster for 100 MB objects, with diminishing returns
+    # past ~1 GB (the plateau the paper reports).
+    assert result.median(256, (10, 1), 100 * MB) > result.median(1024, (10, 1), 100 * MB)
+    plateau_ratio = result.median(1024, (10, 1), 100 * MB) / result.median(3008, (10, 1), 100 * MB)
+    assert plateau_ratio < 2.0
+
+    # (10+1) does not lose to the no-parity (10+0) baseline at the tail —
+    # first-d redundancy hides stragglers (compare the larger Lambda sizes
+    # where transfer time no longer dominates).
+    cell_10_0 = result.cell(3008, (10, 0), 100 * MB)
+    cell_10_1 = result.cell(3008, (10, 1), 100 * MB)
+    p90_10_0 = sorted(cell_10_0.latencies_s)[int(0.9 * len(cell_10_0.latencies_s))]
+    p90_10_1 = sorted(cell_10_1.latencies_s)[int(0.9 * len(cell_10_1.latencies_s))]
+    assert p90_10_1 <= p90_10_0 * 1.1
+
+    # Figure 11(f): InfiniCache on 3008 MB Lambdas beats 1-node ElastiCache
+    # for 100 MB objects.
+    assert result.median(3008, (10, 1), 100 * MB) < result.elasticache[
+        ("ElastiCache(1-node)", 100 * MB)
+    ]

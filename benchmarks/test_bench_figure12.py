@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 12 — throughput scalability with clients."""
+
+from repro.experiments import figure12
+
+
+def test_bench_figure12(benchmark, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure12.run(client_counts=(1, 2, 4, 6, 8, 10), requests_per_client=15),
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("figure12", figure12.format_report(result))
+
+    # Throughput grows close to linearly with the client count (the paper's
+    # "scales linearly as long as more Lambda nodes are available").
+    assert result.throughput_bps[10] > 5 * result.throughput_bps[1]
+    # And it is monotone in the client count.
+    ordered = [result.throughput_bps[c] for c in sorted(result.throughput_bps)]
+    assert all(b >= a * 0.9 for a, b in zip(ordered, ordered[1:]))

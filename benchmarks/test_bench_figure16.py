@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 16 — normalised latency by object size."""
+
+import math
+
+from repro.experiments import figure16
+
+
+def test_bench_figure16(benchmark, report_writer, production_results):
+    result = benchmark.pedantic(
+        lambda: figure16.from_production(production_results), rounds=1, iterations=1
+    )
+    report_writer("figure16", figure16.format_report(result))
+
+    infinicache = result.normalized_median["InfiniCache"]
+    s3 = result.normalized_median["AWS S3"]
+
+    # Small objects: InfiniCache pays the Lambda invocation overhead and is
+    # many times slower than ElastiCache (the paper's "significant overhead
+    # for objects smaller than 1 MB").
+    assert infinicache["<1MB"] > 5.0
+
+    # Large objects: InfiniCache is on par with or faster than ElastiCache
+    # thanks to parallel chunk I/O.
+    assert infinicache[">=100MB"] < 1.5
+
+    # Mid-size objects sit in between.
+    assert infinicache["[10,100)MB"] < infinicache["<1MB"]
+
+    # S3 is slower than InfiniCache in every bucket that contains data.
+    for bucket, value in s3.items():
+        if not math.isnan(value) and not math.isnan(infinicache[bucket]):
+            assert value > infinicache[bucket] * 0.9, bucket

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 17 — hourly cost vs access rate crossover."""
+
+from repro.experiments import figure17
+
+
+def test_bench_figure17(benchmark, report_writer):
+    result = benchmark.pedantic(lambda: figure17.run(), rounds=1, iterations=1)
+    report_writer("figure17", figure17.format_report(result))
+
+    # InfiniCache's hourly cost increases monotonically with the access rate.
+    assert result.infinicache_hourly == sorted(result.infinicache_hourly)
+    # It starts far below ElastiCache's flat hourly price...
+    assert result.infinicache_hourly[0] < 0.1 * result.elasticache_hourly
+    # ...and the crossover lands near the paper's ~312 K requests/hour.
+    assert 250_000 < result.crossover_rate < 420_000
+    # The ElastiCache line matches the cache.r5.24xlarge hourly price.
+    assert abs(result.elasticache_hourly - 10.368) < 1e-6

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 4 — latency vs number of VM hosts touched."""
+
+from repro.experiments import figure4
+from repro.utils.stats import summarize
+
+
+def test_bench_figure4(benchmark, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure4.run(pool_sizes=(20, 50, 100, 150, 200), requests_per_pool=25),
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("figure4", figure4.format_report(result))
+
+    medians = {
+        hosts: summarize(latencies)["p50"]
+        for hosts, latencies in result.latency_by_hosts.items()
+        if len(latencies) >= 5
+    }
+    assert len(medians) >= 3, "the sweep must cover several host-spread levels"
+    # The paper's trend: requests spread over more VM hosts are faster.
+    few = min(medians)
+    many = max(medians)
+    assert many > few
+    assert medians[many] < medians[few]

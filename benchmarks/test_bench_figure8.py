@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 8 — functions reclaimed over 24 hours."""
+
+from repro.experiments import figure8
+
+
+def test_bench_figure8(benchmark, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure8.run(fleet_size=300, hours=24), rounds=1, iterations=1
+    )
+    report_writer("figure8", figure8.format_report(result))
+
+    spike_label = "9 min (08/21/19)"
+    spike_hours = result.reclaims_per_hour[spike_label]
+    # The 9-minute warm-up regime shows ~6-hourly spikes that take most of the
+    # fleet; the peak hour dwarfs the median hour.
+    assert max(spike_hours) > 0.4 * result.fleet_size
+    assert max(spike_hours) > 5 * sorted(spike_hours)[len(spike_hours) // 2]
+
+    # The 1-minute regimes reclaim continuously at a much lower peak rate.
+    for label, per_hour in result.reclaims_per_hour.items():
+        if label == spike_label:
+            continue
+        assert max(per_hour) < 0.4 * result.fleet_size, label

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 9 — distribution of reclaims per minute."""
+
+from repro.experiments import figure8, figure9
+
+
+def test_bench_figure9(benchmark, report_writer):
+    def run():
+        base = figure8.run(fleet_size=300, hours=24, seed=909)
+        return figure9.run(figure8_result=base)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_writer("figure9", figure9.format_report(result))
+
+    for label, distribution in result.distributions.items():
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9, label
+        # Most minutes see zero or few reclaims in every regime.
+        assert distribution.get(0, 0.0) > 0.4, label
+
+    # The Zipf-fit days have a heavier tail (>= 10 reclaims in one minute)
+    # than the Poisson-fit days, mirroring the paper's two families.
+    zipf_tail = result.probability_of_at_least("1 min (09/15/19)", 10)
+    poisson_tail = result.probability_of_at_least("1 min (12/26/19)", 10)
+    assert zipf_tail >= poisson_tail

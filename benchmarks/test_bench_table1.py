@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 — working sets, throughput, hit ratios."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, report_writer, production_results):
+    result = benchmark.pedantic(
+        lambda: table1.from_production(production_results), rounds=1, iterations=1
+    )
+    report_writer("table1", table1.format_report(result))
+
+    all_objects = result.rows["All objects"]
+    large_only = result.rows["Large obj. only"]
+
+    # The working sets are non-trivial and the large-only working set is a
+    # large fraction of the total (the paper: 1036 GB of 1169 GB).
+    assert large_only["wss_gb"] > 0.7 * all_objects["wss_gb"]
+    # The large-object request rate is well below the all-object rate.
+    assert large_only["gets_per_hour"] < all_objects["gets_per_hour"]
+
+    # Hit-ratio ordering of the paper: ElastiCache >= InfiniCache >= IC w/o backup.
+    assert all_objects["ec_hit"] >= all_objects["ic_hit"] - 0.02
+    assert large_only["ec_hit"] >= large_only["ic_hit"] - 0.02
+    assert large_only["ic_hit"] >= large_only["ic_no_backup_hit"] - 0.02
+    # All hit ratios are meaningful (the cache is actually doing its job).
+    assert large_only["ic_hit"] > 0.4

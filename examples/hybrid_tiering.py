@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Hybrid tiering: small objects on a conventional IMOC, large ones on InfiniCache.
+
+The paper's introduction describes the tension a registry-style workload puts
+on a single cache: image manifests are a few kilobytes and need
+sub-millisecond latency, image layers are tens to hundreds of megabytes and
+would evict thousands of manifests each.  Section 6 concludes that
+small-object-intensive traffic should stay on a conventional cache while the
+large objects move to the pay-per-use serverless tier.
+
+This example builds exactly that deployment with the library's
+:class:`~repro.cache.admission.HybridCacheRouter` extension:
+
+* manifests (≤ 10 MB) are served by an ElastiCache-style node;
+* layers (> 10 MB) are erasure-coded into an InfiniCache pool;
+* one GET/PUT front-end routes by size and reports per-tier statistics.
+
+Run:  python examples/hybrid_tiering.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.elasticache import ElastiCacheCluster
+from repro.cache import HybridCacheRouter, InfiniCacheConfig, InfiniCacheDeployment
+from repro.utils.rng import SeededRNG
+from repro.utils.units import KB, MB, MIB, format_bytes, format_duration
+
+
+def main() -> None:
+    deployment = InfiniCacheDeployment(
+        InfiniCacheConfig(
+            lambdas_per_proxy=32,
+            lambda_memory_bytes=1536 * MIB,
+            data_shards=10,
+            parity_shards=2,
+        )
+    )
+    deployment.start()
+    router = HybridCacheRouter(
+        infinicache_client=deployment.new_client("hybrid-frontend"),
+        small_object_cache=ElastiCacheCluster("cache.r5.xlarge"),
+    )
+
+    print("== Hybrid small/large-object tiering ==\n")
+
+    # --- a registry-like catalogue -------------------------------------------------
+    rng = SeededRNG(99)
+    manifests = {f"manifests/{i:04d}": rng.integers(2 * KB, 200 * KB) for i in range(200)}
+    layers = {f"layers/{i:03d}": rng.integers(15 * MB, 400 * MB) for i in range(25)}
+
+    for key, size in {**manifests, **layers}.items():
+        router.put_sized(key, size)
+
+    description = router.describe()
+    print(f"catalogue: {len(manifests)} manifests + {len(layers)} layers")
+    print(f"objects routed to the large tier: "
+          f"{description['large_tier_object_share']:.1%} of objects, "
+          f"{description['large_tier_byte_share']:.1%} of bytes\n")
+
+    # --- serve a read mix -----------------------------------------------------------
+    manifest_latencies, layer_latencies = [], []
+    for i in range(600):
+        deployment.run_until(deployment.simulator.now + 1.0)
+        if i % 10 == 0:  # one layer read per ten manifest reads
+            key = f"layers/{rng.integers(0, len(layers)):03d}"
+            result = router.get(key)
+            layer_latencies.append(result.latency_s)
+        else:
+            key = f"manifests/{rng.integers(0, len(manifests)):04d}"
+            result = router.get(key, size_hint=manifests[key])
+            manifest_latencies.append(result.latency_s)
+
+    def median(values):
+        return sorted(values)[len(values) // 2]
+
+    print("read mix results (540 manifest reads, 60 layer reads):")
+    print(f"  manifest (small tier) median latency: "
+          f"{format_duration(median(manifest_latencies))}")
+    print(f"  layer (InfiniCache tier) median latency: "
+          f"{format_duration(median(layer_latencies))}")
+    print(f"  overall hit ratio: {router.stats.overall_hit_ratio:.1%}")
+
+    deployment.run_until(deployment.simulator.now + 600)
+    deployment.stop()
+    breakdown = deployment.cost_breakdown()
+    layer_bytes = sum(layers.values())
+    print(f"\nInfiniCache tier held {format_bytes(layer_bytes)} of layers and cost "
+          f"${breakdown.get('total', 0.0):.4f} for the whole run; the small tier "
+          "keeps its sub-millisecond latency because no layer ever evicts a manifest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy (non-PEP 517) editable installs — ``pip install -e . --no-use-pep517``
+— work on environments whose setuptools predates full pyproject support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""InfiniCache reproduction: a serverless in-memory object cache.
+
+This library reproduces *InfiniCache: Exploiting Ephemeral Serverless
+Functions to Build a Cost-Effective Memory Cache* (Wang et al., FAST 2020)
+as a pure-Python system running on a simulated AWS substrate.
+
+The most common entry points:
+
+* :class:`repro.cache.InfiniCacheConfig` and
+  :class:`repro.cache.InfiniCacheDeployment` — configure and build a cache.
+* :meth:`repro.cache.InfiniCacheDeployment.new_client` — obtain the
+  application-facing GET/PUT client library.
+* :class:`repro.workload.DockerRegistryTraceGenerator` and
+  :class:`repro.workload.TraceReplayer` — synthesise and replay the
+  production-style workload.
+* :mod:`repro.analysis` — the availability and cost models of Section 4.3.
+* :mod:`repro.experiments` — one module per figure/table of the paper.
+"""
+
+from repro.cache import (
+    GetResult,
+    InfiniCacheClient,
+    InfiniCacheConfig,
+    InfiniCacheDeployment,
+    PutResult,
+)
+from repro.analysis import AvailabilityModel, CostModel, CostModelParams
+from repro.erasure import ErasureCodec, ReedSolomon
+from repro.workload import (
+    DockerRegistryTraceGenerator,
+    MicrobenchmarkWorkload,
+    Trace,
+    TraceRecord,
+    TraceReplayer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InfiniCacheConfig",
+    "InfiniCacheDeployment",
+    "InfiniCacheClient",
+    "GetResult",
+    "PutResult",
+    "AvailabilityModel",
+    "CostModel",
+    "CostModelParams",
+    "ErasureCodec",
+    "ReedSolomon",
+    "DockerRegistryTraceGenerator",
+    "MicrobenchmarkWorkload",
+    "Trace",
+    "TraceRecord",
+    "TraceReplayer",
+    "__version__",
+]

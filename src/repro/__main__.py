@@ -1,0 +1,10 @@
+"""``python -m repro`` — regenerate the paper's tables and figures.
+
+A thin alias for :mod:`repro.experiments.runner`; see that module for the
+available flags (``--only``, ``--output-dir``, ``--list``).
+"""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Provisioned-concurrency economics (paper Section 6, "Service Provider's
+Policy Changes").
+
+In December 2019 — while the paper was being written — AWS launched
+*provisioned concurrency*: a tenant can pay $0.015 per GB per hour to keep a
+number of Lambda instances pinned warm.  The paper points out that this is
+essentially a capacity-billed pricing model (like EC2/ElastiCache) layered on
+top of FaaS, and frames it as an alternative the provider might push tenants
+toward in response to systems like InfiniCache.
+
+This module extends the Section 4.3 cost model with that option so the three
+strategies can be compared for any deployment size and access rate:
+
+* **InfiniCache** — pay per invocation + duration, plus warm-up and backup
+  maintenance (the opportunistic approach the paper builds);
+* **Provisioned concurrency** — pay the hourly pinning fee for every function
+  in the pool plus (reduced-rate) invocation costs; no warm-up or backup is
+  needed because the provider guarantees residency;
+* **ElastiCache** — the conventional capacity-billed cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cost_model import CostModel, CostModelParams
+from repro.baselines.pricing import elasticache_instance
+from repro.exceptions import ConfigurationError
+from repro.faas.billing import ceil_to_billing_cycle
+from repro.utils.units import GIB
+
+
+@dataclass(frozen=True)
+class ProvisionedConcurrencyPricing:
+    """AWS provisioned-concurrency list prices at the paper's writing."""
+
+    #: Hourly fee per GB of provisioned (pinned) function memory.
+    price_per_gb_hour: float = 0.015
+    #: Duration price for *execution* on provisioned instances (discounted
+    #: relative to on-demand Lambda).
+    price_per_gb_second: float = 0.0000097222
+    #: Per-invocation request fee (unchanged from on-demand Lambda).
+    price_per_invocation: float = 0.02 / 1_000_000
+
+    def __post_init__(self):
+        if min(self.price_per_gb_hour, self.price_per_gb_second,
+               self.price_per_invocation) < 0:
+            raise ConfigurationError("prices must be non-negative")
+
+
+class ProvisionedConcurrencyModel:
+    """Hourly cost of running the cache pool on provisioned concurrency."""
+
+    def __init__(
+        self,
+        total_nodes: int = 400,
+        memory_bytes: int = int(1.5 * GIB),
+        serving_duration_ms: float = 100.0,
+        pricing: ProvisionedConcurrencyPricing | None = None,
+    ):
+        if total_nodes < 1:
+            raise ConfigurationError("total_nodes must be >= 1")
+        if memory_bytes <= 0:
+            raise ConfigurationError("memory must be positive")
+        if serving_duration_ms < 0:
+            raise ConfigurationError("serving duration must be non-negative")
+        self.total_nodes = total_nodes
+        self.memory_bytes = memory_bytes
+        self.serving_duration_ms = serving_duration_ms
+        self.pricing = pricing or ProvisionedConcurrencyPricing()
+
+    @property
+    def memory_gb(self) -> float:
+        """Pool memory per function in GB."""
+        return self.memory_bytes / GIB
+
+    def pinning_cost_per_hour(self) -> float:
+        """The capacity-style fee for keeping the whole pool provisioned."""
+        return self.total_nodes * self.memory_gb * self.pricing.price_per_gb_hour
+
+    def serving_cost_per_hour(self, invocations_per_hour: float) -> float:
+        """Execution cost on top of the pinning fee."""
+        if invocations_per_hour < 0:
+            raise ConfigurationError("invocation rate must be non-negative")
+        billed = ceil_to_billing_cycle(self.serving_duration_ms / 1000.0)
+        return invocations_per_hour * (
+            self.pricing.price_per_invocation
+            + billed * self.memory_gb * self.pricing.price_per_gb_second
+        )
+
+    def total_cost_per_hour(self, invocations_per_hour: float) -> float:
+        """Pinning plus execution for an hourly invocation rate."""
+        return self.pinning_cost_per_hour() + self.serving_cost_per_hour(invocations_per_hour)
+
+
+@dataclass
+class StrategyComparison:
+    """Hourly cost of the three deployment strategies at one access rate."""
+
+    object_requests_per_hour: float
+    infinicache: float
+    provisioned_concurrency: float
+    elasticache: float
+
+    @property
+    def cheapest(self) -> str:
+        """Name of the cheapest strategy at this rate."""
+        options = {
+            "infinicache": self.infinicache,
+            "provisioned_concurrency": self.provisioned_concurrency,
+            "elasticache": self.elasticache,
+        }
+        return min(options, key=options.get)
+
+
+def compare_strategies(
+    object_requests_per_hour: float,
+    chunks_per_object: int = 12,
+    total_nodes: int = 400,
+    memory_bytes: int = int(1.5 * GIB),
+    elasticache_instance_name: str = "cache.r5.24xlarge",
+) -> StrategyComparison:
+    """Compare InfiniCache, provisioned concurrency, and ElastiCache.
+
+    ``object_requests_per_hour`` is the application-level GET rate; both
+    serverless options fan each GET into ``chunks_per_object`` invocations.
+    """
+    if object_requests_per_hour < 0:
+        raise ConfigurationError("request rate must be non-negative")
+    invocations = object_requests_per_hour * chunks_per_object
+
+    infinicache_model = CostModel(
+        CostModelParams(total_nodes=total_nodes, memory_bytes=memory_bytes)
+    )
+    infinicache_cost = (
+        infinicache_model.warmup_cost_per_hour()
+        + infinicache_model.backup_cost_per_hour()
+        + infinicache_model.serving_cost_per_hour(invocations)
+    )
+    provisioned = ProvisionedConcurrencyModel(
+        total_nodes=total_nodes, memory_bytes=memory_bytes
+    ).total_cost_per_hour(invocations)
+    elasticache = elasticache_instance(elasticache_instance_name).hourly_price
+
+    return StrategyComparison(
+        object_requests_per_hour=object_requests_per_hour,
+        infinicache=infinicache_cost,
+        provisioned_concurrency=provisioned,
+        elasticache=elasticache,
+    )

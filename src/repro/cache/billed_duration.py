@@ -1,0 +1,173 @@
+"""Anticipatory billed-duration control (paper Section 3.3).
+
+AWS bills Lambda execution in 100 ms cycles.  InfiniCache's runtime therefore
+never simply "runs until idle": after serving a request it sets a timer to
+expire a couple of milliseconds *before* the current billing cycle ends, and
+only extends itself by another cycle when the traffic pattern suggests more
+requests are imminent (two or more requests served within the current cycle).
+
+In the simulation the controller tracks, per cache node, the *billed
+sessions* this policy produces: a session opens when a request (or warm-up)
+arrives while the node is not already active, extends while subsequent
+requests keep landing inside the active window, and closes when the window
+expires.  Closed sessions are billed through the platform's
+:class:`~repro.faas.billing.BillingModel`, which reproduces the paper's cost
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.faas.billing import BILLING_CYCLE_SECONDS, ceil_to_billing_cycle
+
+
+@dataclass
+class BilledSession:
+    """One continuous billed execution window of a cache node."""
+
+    started_at: float
+    #: End of the currently granted window (aligned to a billing cycle bound).
+    window_end: float
+    #: Time actually spent serving requests inside the window.
+    busy_seconds: float = 0.0
+    requests_served: int = 0
+    category: str = "serving"
+
+    @property
+    def active_seconds(self) -> float:
+        """Wall-clock duration of the session so far (start to window end)."""
+        return self.window_end - self.started_at
+
+
+@dataclass
+class SessionCharge:
+    """A closed session ready for billing."""
+
+    started_at: float
+    duration_s: float
+    billed_duration_s: float
+    requests_served: int
+    category: str
+
+
+class BilledDurationController:
+    """Tracks anticipatory billed sessions for one cache node.
+
+    Args:
+        buffer_s: how long before the end of a billing cycle the runtime
+            returns (the paper's 2-10 ms safety buffer).
+        extension_threshold: minimum number of requests inside the current
+            cycle before the runtime anticipates more and extends its window
+            by one extra cycle (the paper uses "more than one").
+        on_close: callback invoked with a :class:`SessionCharge` whenever a
+            session closes; the deployment wires this to the billing model.
+    """
+
+    def __init__(
+        self,
+        buffer_s: float = 0.005,
+        extension_threshold: int = 2,
+        on_close: Optional[Callable[[SessionCharge], None]] = None,
+    ):
+        if not 0 <= buffer_s < BILLING_CYCLE_SECONDS:
+            raise ConfigurationError(
+                f"buffer must be within one billing cycle, got {buffer_s}"
+            )
+        if extension_threshold < 1:
+            raise ConfigurationError("extension threshold must be >= 1")
+        self.buffer_s = buffer_s
+        self.extension_threshold = extension_threshold
+        self.on_close = on_close
+        self.current: Optional[BilledSession] = None
+        self.closed_sessions: list[SessionCharge] = []
+
+    # --- internals ---------------------------------------------------------------
+    def _close_current(self) -> None:
+        session = self.current
+        if session is None:
+            return
+        duration = session.window_end - session.started_at - self.buffer_s
+        duration = max(duration, session.busy_seconds)
+        charge = SessionCharge(
+            started_at=session.started_at,
+            duration_s=duration,
+            billed_duration_s=ceil_to_billing_cycle(duration),
+            requests_served=session.requests_served,
+            category=session.category,
+        )
+        self.closed_sessions.append(charge)
+        if self.on_close is not None:
+            self.on_close(charge)
+        self.current = None
+
+    def _open_session(self, now: float, category: str) -> BilledSession:
+        self.current = BilledSession(
+            started_at=now,
+            window_end=now + BILLING_CYCLE_SECONDS,
+            category=category,
+        )
+        return self.current
+
+    # --- public API ----------------------------------------------------------------
+    def is_active(self, now: float) -> bool:
+        """Whether the node is inside a granted execution window at ``now``."""
+        return self.current is not None and now < self.current.window_end
+
+    def record_request(self, now: float, service_time_s: float, category: str = "serving") -> bool:
+        """Account for one request arriving at ``now`` and taking ``service_time_s``.
+
+        Returns:
+            ``True`` if the request found the node already active (no
+            invocation needed), ``False`` if a new session (invocation) was
+            opened for it.
+        """
+        if service_time_s < 0:
+            raise ConfigurationError("service time must be non-negative")
+        was_active = self.is_active(now)
+        if not was_active:
+            self._close_current()
+            session = self._open_session(now, category)
+        else:
+            session = self.current
+            # A mixed window (warm-up then real traffic) is billed under the
+            # busier category; serving dominates warm-up in the paper's model.
+            if category == "serving":
+                session.category = "serving"
+        session.requests_served += 1
+        session.busy_seconds += service_time_s
+        finish = now + service_time_s
+        # Always extend the window far enough to cover the request itself
+        # (the PONG handshake "delays the timeout" in the paper), aligned to
+        # the end of the billing cycle that contains the finish time.
+        cycles = int(finish // BILLING_CYCLE_SECONDS) + 1
+        aligned_end = cycles * BILLING_CYCLE_SECONDS
+        session.window_end = max(session.window_end, aligned_end)
+        # Anticipation: if the window has already served enough requests,
+        # extend it by one more billing cycle beyond the current request,
+        # expecting further traffic (the paper's "extend the timeout by one
+        # more billing cycle").  The extension is relative to the request's
+        # own cycle, so bursts do not stack extensions indefinitely.
+        if session.requests_served >= self.extension_threshold:
+            session.window_end = max(session.window_end, aligned_end + BILLING_CYCLE_SECONDS)
+        return was_active
+
+    def expire_if_due(self, now: float) -> None:
+        """Close the current session if its window has ended by ``now``."""
+        if self.current is not None and now >= self.current.window_end:
+            self._close_current()
+
+    def flush(self) -> None:
+        """Force-close any open session (end of simulation)."""
+        self._close_current()
+
+    # --- reporting ------------------------------------------------------------------
+    def total_billed_seconds(self) -> float:
+        """Sum of billed durations over all closed sessions."""
+        return sum(charge.billed_duration_s for charge in self.closed_sessions)
+
+    def session_count(self) -> int:
+        """Number of closed sessions (== billable invocations) so far."""
+        return len(self.closed_sessions)

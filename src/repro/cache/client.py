@@ -1,0 +1,244 @@
+"""The InfiniCache client library.
+
+The application-facing component (paper Section 3.1, Figure 3).  It exposes
+``GET(key)`` / ``PUT(key, value)``, and internally:
+
+* erasure-codes objects with the configured ``RS(d+p)`` code and decodes the
+  first-d chunks that return;
+* picks the responsible proxy for each key with consistent hashing, so
+  multiple clients sharing the same proxy set agree on placement;
+* invalidates on overwrite and re-inserts on read miss, implementing the
+  read-only, write-through caching model the paper assumes.
+
+Two data paths are supported:
+
+* **real payloads** (:meth:`InfiniCacheClient.put` /
+  :meth:`InfiniCacheClient.get` with bytes) — the full Reed-Solomon encode
+  and decode runs on the actual data, as the examples and functional tests
+  do;
+* **sized objects** (:meth:`InfiniCacheClient.put_sized`) — only sizes move
+  through the system, which is what the terabyte-scale trace replays use;
+  latency and cost are modelled identically, the payload is simply absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.chunk import CacheChunk, ObjectDescriptor, descriptor_for
+from repro.cache.config import InfiniCacheConfig
+from repro.cache.consistent_hash import ConsistentHashRing
+from repro.cache.proxy import Proxy, ProxyGetResult
+from repro.erasure.codec import Chunk as ErasureChunk
+from repro.erasure.codec import ErasureCodec, StripeMetadata
+from repro.exceptions import CacheMissError, ConfigurationError
+from repro.simulation.clock import SimClock
+
+
+@dataclass
+class PutResult:
+    """Outcome of a PUT as seen by the application."""
+
+    key: str
+    size: int
+    latency_s: float
+    proxy_id: str
+    node_ids: list[str] = field(default_factory=list)
+    evicted_keys: list[str] = field(default_factory=list)
+    hosts_touched: int = 0
+
+
+@dataclass
+class GetResult:
+    """Outcome of a GET as seen by the application."""
+
+    key: str
+    hit: bool
+    size: int
+    latency_s: float
+    proxy_id: str
+    value: Optional[bytes] = field(default=None, repr=False)
+    decoded: bool = False
+    chunks_lost: int = 0
+    recovery_performed: bool = False
+    hosts_touched: int = 0
+    #: True when the proxy had a mapping for this key but more than ``p``
+    #: chunks were lost to function reclamation — the condition that triggers
+    #: a RESET (re-fetch from the backing store) in the paper's replay.
+    data_lost: bool = False
+
+
+class InfiniCacheClient:
+    """Application-side client library for an InfiniCache deployment."""
+
+    def __init__(
+        self,
+        proxies: list[Proxy],
+        config: InfiniCacheConfig,
+        clock: SimClock,
+        client_id: str = "client-0",
+    ):
+        if not proxies:
+            raise ConfigurationError("the client needs at least one proxy")
+        self.config = config
+        self.clock = clock
+        self.client_id = client_id
+        self.codec = ErasureCodec(config.data_shards, config.parity_shards)
+        self.ring: ConsistentHashRing[Proxy] = ConsistentHashRing()
+        for proxy in proxies:
+            self.ring.add(proxy.proxy_id, proxy)
+        self.gets = 0
+        self.puts = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _proxy_for(self, key: str) -> Proxy:
+        return self.ring.lookup(key)
+
+    def _encode_time(self, size: int) -> float:
+        return size / self.config.encode_bandwidth_bps
+
+    def _decode_time(self, size: int) -> float:
+        return size / self.config.decode_bandwidth_bps
+
+    def hit_ratio(self) -> float:
+        """Fraction of GETs served from the cache so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------ PUT
+    def put(self, key: str, value: bytes) -> PutResult:
+        """Erasure-code and insert a real object."""
+        if not key:
+            raise ConfigurationError("object key must be non-empty")
+        if not value:
+            raise ConfigurationError(f"cannot cache an empty object {key!r}")
+        now = self.clock.now
+        erasure_chunks = self.codec.encode(key, value)
+        descriptor = descriptor_for(
+            key, len(value), self.config.data_shards, self.config.parity_shards
+        )
+        chunks = [CacheChunk.from_erasure_chunk(chunk) for chunk in erasure_chunks]
+        proxy = self._proxy_for(key)
+        outcome = proxy.put(key, descriptor, chunks, now)
+        self.puts += 1
+        return PutResult(
+            key=key,
+            size=len(value),
+            latency_s=self._encode_time(len(value)) + outcome.latency_s,
+            proxy_id=proxy.proxy_id,
+            node_ids=outcome.node_ids,
+            evicted_keys=outcome.evicted_keys,
+            hosts_touched=outcome.hosts_touched,
+        )
+
+    def put_sized(self, key: str, size: int) -> PutResult:
+        """Insert an object by size only (for large-scale trace replay)."""
+        if not key:
+            raise ConfigurationError("object key must be non-empty")
+        if size <= 0:
+            raise ConfigurationError(f"object size must be positive, got {size}")
+        now = self.clock.now
+        descriptor = descriptor_for(
+            key, size, self.config.data_shards, self.config.parity_shards
+        )
+        chunks = [
+            CacheChunk.sized(key, index, descriptor.chunk_size)
+            for index in range(descriptor.total_chunks)
+        ]
+        proxy = self._proxy_for(key)
+        outcome = proxy.put(key, descriptor, chunks, now)
+        self.puts += 1
+        return PutResult(
+            key=key,
+            size=size,
+            latency_s=self._encode_time(size) + outcome.latency_s,
+            proxy_id=proxy.proxy_id,
+            node_ids=outcome.node_ids,
+            evicted_keys=outcome.evicted_keys,
+            hosts_touched=outcome.hosts_touched,
+        )
+
+    # ------------------------------------------------------------------ GET
+    def get(self, key: str) -> GetResult:
+        """Fetch an object; returns a miss result if it cannot be reconstructed."""
+        if not key:
+            raise ConfigurationError("object key must be non-empty")
+        now = self.clock.now
+        proxy = self._proxy_for(key)
+        outcome = proxy.get(key, now)
+        self.gets += 1
+        if outcome.is_miss:
+            self.misses += 1
+            return GetResult(
+                key=key,
+                hit=False,
+                size=outcome.descriptor.object_size if outcome.descriptor else 0,
+                latency_s=0.0,
+                proxy_id=proxy.proxy_id,
+                chunks_lost=outcome.chunks_lost,
+                data_lost=outcome.found and not outcome.recoverable,
+            )
+        self.hits += 1
+        descriptor = outcome.descriptor
+        value, decoded = self._reconstruct(descriptor, outcome)
+        latency = outcome.latency_s
+        if decoded:
+            latency += self._decode_time(descriptor.object_size)
+        return GetResult(
+            key=key,
+            hit=True,
+            size=descriptor.object_size,
+            latency_s=latency,
+            proxy_id=proxy.proxy_id,
+            value=value,
+            decoded=decoded,
+            chunks_lost=outcome.chunks_lost,
+            recovery_performed=outcome.recovery_performed,
+            hosts_touched=outcome.hosts_touched,
+        )
+
+    def get_or_raise(self, key: str) -> GetResult:
+        """Like :meth:`get`, but raises :class:`CacheMissError` on a miss."""
+        result = self.get(key)
+        if not result.hit:
+            raise CacheMissError(key, reason="object not reconstructible from the pool")
+        return result
+
+    def _reconstruct(
+        self, descriptor: ObjectDescriptor, outcome: ProxyGetResult
+    ) -> tuple[Optional[bytes], bool]:
+        """Rebuild the object bytes (when payloads are present) and report
+        whether RS decoding was required."""
+        used = outcome.used_chunks
+        used_indices = {chunk.index for chunk in used}
+        decoded = not all(i in used_indices for i in range(descriptor.data_shards))
+        if any(chunk.payload is None for chunk in used):
+            # Size-only mode: no bytes to return, but the decode cost is still
+            # charged when parity chunks were needed.
+            return None, decoded
+        metadata = StripeMetadata(
+            key=descriptor.key,
+            object_size=descriptor.object_size,
+            data_shards=descriptor.data_shards,
+            parity_shards=descriptor.parity_shards,
+            chunk_size=descriptor.chunk_size,
+        )
+        erasure_chunks = [
+            ErasureChunk(key=chunk.key, index=chunk.index, payload=chunk.payload,
+                         metadata=metadata)
+            for chunk in used
+        ]
+        return self.codec.decode(erasure_chunks), decoded
+
+    # ------------------------------------------------------------------ invalidation
+    def invalidate(self, key: str) -> bool:
+        """Drop a cached object (called on overwrite, per the write-through model)."""
+        proxy = self._proxy_for(key)
+        return proxy.invalidate(key)
+
+    def exists(self, key: str) -> bool:
+        """Whether the responsible proxy still tracks this key."""
+        return self._proxy_for(key).contains(key)

@@ -1,0 +1,117 @@
+"""Deployment-wide configuration for InfiniCache.
+
+One :class:`InfiniCacheConfig` describes everything the paper's Section 5
+setup varies: pool size and Lambda memory, the erasure code, warm-up and
+backup intervals, straggler behaviour, and whether backup is enabled (the
+"IC w/o backup" configuration of Table 1 and Figure 13(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.faas.limits import validate_memory_bytes
+from repro.utils.units import MILLISECOND, MINUTE, MIB
+
+
+@dataclass(frozen=True)
+class StragglerModel:
+    """Random slowdowns applied to individual chunk transfers.
+
+    The paper attributes higher tail latency of the ``(10+0)`` configuration
+    to Lambda stragglers and uses first-d redundancy to hide them.  Each chunk
+    transfer is independently slowed down with probability ``probability`` by
+    a factor drawn uniformly from ``[min_factor, max_factor]``.
+    """
+
+    probability: float = 0.05
+    min_factor: float = 2.0
+    max_factor: float = 8.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("straggler probability must be in [0, 1]")
+        if self.min_factor < 1.0 or self.max_factor < self.min_factor:
+            raise ConfigurationError("straggler factors must satisfy 1 <= min <= max")
+
+
+@dataclass(frozen=True)
+class InfiniCacheConfig:
+    """Complete configuration of an InfiniCache deployment."""
+
+    # --- topology ---------------------------------------------------------------
+    num_proxies: int = 1
+    lambdas_per_proxy: int = 400
+    lambda_memory_bytes: int = 1536 * MIB
+
+    # --- erasure coding ----------------------------------------------------------
+    data_shards: int = 10
+    parity_shards: int = 2
+
+    # --- liveness maintenance ------------------------------------------------------
+    warmup_interval_s: float = 1 * MINUTE
+    backup_interval_s: float = 5 * MINUTE
+    backup_enabled: bool = True
+
+    # --- runtime behaviour -----------------------------------------------------------
+    billing_buffer_s: float = 5 * MILLISECOND
+    billing_extension_threshold: int = 2
+    runtime_overhead_fraction: float = 0.10
+    #: Client-side erasure coding throughput (bytes/s); the paper's client
+    #: uses AVX-accelerated Reed-Solomon, so coding is fast but not free.
+    encode_bandwidth_bps: float = 2_000_000_000.0
+    decode_bandwidth_bps: float = 1_500_000_000.0
+
+    # --- performance model --------------------------------------------------------------
+    straggler: StragglerModel = field(default_factory=StragglerModel)
+    base_network_latency_s: float = 1 * MILLISECOND
+
+    # --- recovery behaviour ----------------------------------------------------------------
+    #: Re-insert chunks lost to reclamation when the object is still
+    #: recoverable (the "Recovery" activity of Figure 14).
+    repair_degraded_objects: bool = True
+
+    # --- determinism -----------------------------------------------------------------------
+    seed: int = 2020
+
+    def __post_init__(self):
+        if self.num_proxies < 1:
+            raise ConfigurationError("at least one proxy is required")
+        if self.lambdas_per_proxy < 1:
+            raise ConfigurationError("each proxy needs at least one Lambda node")
+        validate_memory_bytes(self.lambda_memory_bytes)
+        if self.data_shards < 1 or self.parity_shards < 0:
+            raise ConfigurationError("invalid erasure code configuration")
+        if self.data_shards + self.parity_shards > self.lambdas_per_proxy:
+            raise ConfigurationError(
+                "the erasure stripe is wider than the Lambda pool: "
+                f"{self.data_shards}+{self.parity_shards} chunks over "
+                f"{self.lambdas_per_proxy} nodes"
+            )
+        if self.warmup_interval_s <= 0 or self.backup_interval_s <= 0:
+            raise ConfigurationError("warm-up and backup intervals must be positive")
+        if self.encode_bandwidth_bps <= 0 or self.decode_bandwidth_bps <= 0:
+            raise ConfigurationError("coding bandwidths must be positive")
+
+    @property
+    def total_chunks(self) -> int:
+        """Chunks per object (d + p)."""
+        return self.data_shards + self.parity_shards
+
+    @property
+    def total_lambda_nodes(self) -> int:
+        """Number of Lambda cache nodes across all proxies."""
+        return self.num_proxies * self.lambdas_per_proxy
+
+    def describe(self) -> dict[str, object]:
+        """Key parameters, for experiment reports."""
+        return {
+            "proxies": self.num_proxies,
+            "lambdas_per_proxy": self.lambdas_per_proxy,
+            "lambda_memory_MiB": self.lambda_memory_bytes // MIB,
+            "rs_code": f"({self.data_shards}+{self.parity_shards})",
+            "warmup_interval_s": self.warmup_interval_s,
+            "backup_interval_s": self.backup_interval_s,
+            "backup_enabled": self.backup_enabled,
+        }

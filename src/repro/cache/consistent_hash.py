@@ -1,0 +1,95 @@
+"""Consistent-hash ring used by the client library to pick a proxy.
+
+The paper's client library load-balances requests across a distributed set of
+proxies with consistent hashing (the "CH ring" in Figure 3) so that every
+client maps a given key to the same proxy and adding or removing a proxy
+moves only a small fraction of keys.
+
+The implementation is the standard virtual-node ring over a stable 64-bit
+hash (blake2b, so results do not depend on ``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Generic, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+
+def stable_hash(value: str) -> int:
+    """A process-independent 64-bit hash of a string."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing(Generic[T]):
+    """Maps string keys onto a set of member objects via consistent hashing."""
+
+    def __init__(self, virtual_nodes: int = 128):
+        if virtual_nodes < 1:
+            raise ConfigurationError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._ring: list[tuple[int, str]] = []
+        self._members: dict[str, T] = {}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._members
+
+    def members(self) -> list[T]:
+        """All members currently on the ring (ring order not implied)."""
+        return [self._members[member_id] for member_id in sorted(self._members)]
+
+    def add(self, member_id: str, member: T) -> None:
+        """Add a member under a unique identifier."""
+        if member_id in self._members:
+            raise ConfigurationError(f"member {member_id!r} is already on the ring")
+        self._members[member_id] = member
+        for replica in range(self.virtual_nodes):
+            point = stable_hash(f"{member_id}::{replica}")
+            bisect.insort(self._ring, (point, member_id))
+
+    def remove(self, member_id: str) -> None:
+        """Remove a member and all of its virtual nodes."""
+        if member_id not in self._members:
+            raise ConfigurationError(f"member {member_id!r} is not on the ring")
+        del self._members[member_id]
+        self._ring = [(point, mid) for point, mid in self._ring if mid != member_id]
+
+    def lookup(self, key: str) -> T:
+        """Return the member responsible for ``key``.
+
+        Raises:
+            ConfigurationError: if the ring is empty.
+        """
+        if not self._ring:
+            raise ConfigurationError("cannot look up a key on an empty ring")
+        point = stable_hash(key)
+        index = bisect.bisect_right(self._ring, (point, chr(0x10FFFF)))
+        if index == len(self._ring):
+            index = 0
+        member_id = self._ring[index][1]
+        return self._members[member_id]
+
+    def lookup_id(self, key: str) -> str:
+        """Return the identifier of the member responsible for ``key``."""
+        if not self._ring:
+            raise ConfigurationError("cannot look up a key on an empty ring")
+        point = stable_hash(key)
+        index = bisect.bisect_right(self._ring, (point, chr(0x10FFFF)))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def distribution(self, keys: list[str]) -> dict[str, int]:
+        """Count how many of the given keys map to each member (for tests)."""
+        counts = {member_id: 0 for member_id in self._members}
+        for key in keys:
+            counts[self.lookup_id(key)] += 1
+        return counts

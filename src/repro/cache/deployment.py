@@ -1,0 +1,175 @@
+"""Deployment builder: wires a complete InfiniCache system together.
+
+An :class:`InfiniCacheDeployment` owns the simulator, the simulated FaaS
+platform, the proxies and their Lambda pools, the warm-up and backup
+schedules, and the cost/metric bookkeeping the experiments read.  It is the
+top-level entry point used by the examples, the benchmark harness, and the
+trace replayer:
+
+    >>> from repro.cache import InfiniCacheConfig, InfiniCacheDeployment
+    >>> deployment = InfiniCacheDeployment(InfiniCacheConfig(lambdas_per_proxy=20))
+    >>> deployment.start()
+    >>> client = deployment.new_client()
+    >>> client.put("photo", b"x" * 1_000_000).latency_s > 0
+    True
+    >>> client.get("photo").hit
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.backup import BackupManager
+from repro.cache.client import InfiniCacheClient
+from repro.cache.config import InfiniCacheConfig
+from repro.cache.proxy import Proxy
+from repro.faas.billing import BillingModel
+from repro.faas.platform import FaaSPlatform
+from repro.faas.reclamation import ReclamationPolicy
+from repro.network.transfer import TransferModel
+from repro.simulation.events import Simulator
+from repro.simulation.metrics import MetricRegistry
+from repro.utils.rng import SeededRNG
+from repro.utils.units import MINUTE
+
+
+class InfiniCacheDeployment:
+    """A fully wired InfiniCache instance running on the simulated substrate."""
+
+    def __init__(
+        self,
+        config: InfiniCacheConfig | None = None,
+        reclamation_policy: ReclamationPolicy | None = None,
+        simulator: Simulator | None = None,
+    ):
+        self.config = config or InfiniCacheConfig()
+        self.simulator = simulator or Simulator()
+        self.metrics = MetricRegistry()
+        self.billing = BillingModel()
+        self.rng = SeededRNG(self.config.seed)
+        self.platform = FaaSPlatform(
+            simulator=self.simulator,
+            reclamation_policy=reclamation_policy,
+            billing=self.billing,
+            metrics=self.metrics,
+        )
+        self.transfer_model = TransferModel(
+            base_latency_s=self.config.base_network_latency_s
+        )
+        self.proxies: list[Proxy] = [
+            Proxy(
+                proxy_id=f"proxy-{i}",
+                config=self.config,
+                platform=self.platform,
+                transfer_model=self.transfer_model,
+                rng=self.rng.child("proxy", i),
+                metrics=self.metrics,
+            )
+            for i in range(self.config.num_proxies)
+        ]
+        self.backup_managers = [
+            BackupManager(proxy, self.platform, self.metrics) for proxy in self.proxies
+        ]
+        self._clients_created = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Begin warm-up, backup, reclamation sweeps, and cost sampling."""
+        if self._started:
+            return
+        self._started = True
+        self.platform.start_reclamation_sweeps()
+        self.simulator.schedule(
+            self.config.warmup_interval_s, self._warmup_tick, label="cache.warmup"
+        )
+        if self.config.backup_enabled:
+            self.simulator.schedule(
+                self.config.backup_interval_s, self._backup_tick, label="cache.backup"
+            )
+        self.simulator.schedule(1 * MINUTE, self._sample_costs, label="cache.cost_sample")
+
+    def _warmup_tick(self) -> None:
+        now = self.simulator.now
+        for proxy in self.proxies:
+            proxy.warm_up_pool(now)
+        self.metrics.series("cache.warmup_rounds").record(now, 1.0)
+        if self._started:
+            self.simulator.schedule(
+                self.config.warmup_interval_s, self._warmup_tick, label="cache.warmup"
+            )
+
+    def _backup_tick(self) -> None:
+        now = self.simulator.now
+        for manager in self.backup_managers:
+            manager.backup_all(now)
+        if self._started:
+            self.simulator.schedule(
+                self.config.backup_interval_s, self._backup_tick, label="cache.backup"
+            )
+
+    def _sample_costs(self) -> None:
+        now = self.simulator.now
+        breakdown = self.billing.breakdown()
+        for category in ("serving", "warmup", "backup", "total"):
+            self.metrics.series(f"cost.cumulative.{category}").record(
+                now, breakdown.get(category, 0.0)
+            )
+        self.metrics.series("cache.bytes_used").record(
+            now, float(sum(proxy.pool_bytes_used() for proxy in self.proxies))
+        )
+        if self._started:
+            self.simulator.schedule(1 * MINUTE, self._sample_costs, label="cache.cost_sample")
+
+    def run_until(self, time_s: float) -> None:
+        """Advance the simulation (warm-ups, backups, reclamations) to ``time_s``."""
+        self.simulator.run_until(time_s)
+
+    def stop(self) -> None:
+        """Stop periodic activities and flush any open billing sessions."""
+        self._started = False
+        self.platform.stop_reclamation_sweeps()
+        for proxy in self.proxies:
+            proxy.finish_sessions()
+
+    # ------------------------------------------------------------------ clients
+    def new_client(self, client_id: Optional[str] = None) -> InfiniCacheClient:
+        """Create a client library instance bound to every proxy of this deployment."""
+        if client_id is None:
+            client_id = f"client-{self._clients_created}"
+        self._clients_created += 1
+        return InfiniCacheClient(
+            proxies=self.proxies,
+            config=self.config,
+            clock=self.simulator.clock,
+            client_id=client_id,
+        )
+
+    # ------------------------------------------------------------------ reporting
+    def cost_breakdown(self) -> dict[str, float]:
+        """Dollars spent so far, split by serving / warm-up / backup."""
+        return self.billing.breakdown()
+
+    def total_cost(self) -> float:
+        """Total tenant-side dollars spent so far."""
+        return self.billing.total_cost
+
+    def pool_bytes_used(self) -> int:
+        """Bytes currently cached across every proxy's pool."""
+        return sum(proxy.pool_bytes_used() for proxy in self.proxies)
+
+    def pool_capacity_bytes(self) -> int:
+        """Aggregate chunk capacity across the deployment."""
+        return sum(proxy.pool_capacity_bytes for proxy in self.proxies)
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot of every counter recorded so far."""
+        return self.metrics.counters()
+
+    def describe(self) -> dict[str, object]:
+        """Configuration and substrate summary, for experiment reports."""
+        description = dict(self.config.describe())
+        description["pool_capacity_bytes"] = self.pool_capacity_bytes()
+        description["reclamation_policy"] = self.platform.reclamation_policy.describe()
+        return description

@@ -1,0 +1,439 @@
+"""The InfiniCache proxy.
+
+Each proxy owns a pool of Lambda cache nodes and performs, per the paper's
+Section 3.2:
+
+* **Pool management** — the chunk-to-node mapping table, per-node and
+  pool-level memory accounting, and CLOCK-based LRU eviction at *object*
+  granularity when the pool runs out of memory.
+* **Parallel chunk I/O** — all chunks of a request are transferred
+  concurrently; the contention model (per-VM-host NIC sharing plus the proxy
+  uplink) determines each chunk's transfer time.
+* **First-d streaming** — a GET completes as soon as the fastest ``d`` chunks
+  have arrived; straggling chunks are abandoned, which is what keeps tail
+  latency down for codes with parity.
+* **Degraded-read recovery** — if some chunks were lost to reclamation but at
+  least ``d`` survive, the proxy records a recovery and (optionally)
+  re-inserts the missing chunks onto fresh nodes; if more than ``p`` chunks
+  are gone the object is lost and the caller must RESET it from the backing
+  store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.chunk import CacheChunk, ObjectDescriptor
+from repro.cache.clock_lru import ClockLRU
+from repro.cache.config import InfiniCacheConfig
+from repro.cache.node import LambdaCacheNode
+from repro.exceptions import CacheError, ObjectTooLargeError
+from repro.faas.platform import FaaSPlatform
+from repro.network.transfer import TransferModel
+from repro.simulation.metrics import MetricRegistry
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class ChunkFetch:
+    """Timing and provenance of one chunk transfer within a GET."""
+
+    chunk_index: int
+    node_id: str
+    chunk: Optional[CacheChunk]
+    time_s: float
+    lost: bool
+
+
+@dataclass
+class ProxyGetResult:
+    """Outcome of a GET handled by one proxy."""
+
+    key: str
+    found: bool
+    recoverable: bool
+    descriptor: Optional[ObjectDescriptor]
+    fetches: list[ChunkFetch] = field(default_factory=list)
+    #: The fastest-d chunks actually used for reconstruction.
+    used_chunks: list[CacheChunk] = field(default_factory=list)
+    latency_s: float = 0.0
+    chunks_lost: int = 0
+    recovery_performed: bool = False
+    hosts_touched: int = 0
+
+    @property
+    def is_miss(self) -> bool:
+        """Whether the caller must fall back to the backing store."""
+        return not self.found or not self.recoverable
+
+
+@dataclass
+class ProxyPutResult:
+    """Outcome of a PUT handled by one proxy."""
+
+    key: str
+    latency_s: float
+    node_ids: list[str]
+    evicted_keys: list[str] = field(default_factory=list)
+    hosts_touched: int = 0
+
+
+@dataclass
+class _ObjectEntry:
+    descriptor: ObjectDescriptor
+    #: chunk index -> node id
+    placement: dict[int, str]
+    inserted_at: float
+
+
+class Proxy:
+    """One InfiniCache proxy and its Lambda node pool."""
+
+    def __init__(
+        self,
+        proxy_id: str,
+        config: InfiniCacheConfig,
+        platform: FaaSPlatform,
+        transfer_model: TransferModel,
+        rng: SeededRNG,
+        metrics: MetricRegistry | None = None,
+    ):
+        self.proxy_id = proxy_id
+        self.config = config
+        self.platform = platform
+        self.transfer_model = transfer_model
+        self.rng = rng
+        self.metrics = metrics or MetricRegistry()
+        self.nodes: list[LambdaCacheNode] = [
+            LambdaCacheNode(
+                node_id=f"{proxy_id}-lambda-{i:04d}",
+                platform=platform,
+                memory_bytes=config.lambda_memory_bytes,
+                billing_buffer_s=config.billing_buffer_s,
+                billing_extension_threshold=config.billing_extension_threshold,
+                runtime_overhead_fraction=config.runtime_overhead_fraction,
+            )
+            for i in range(config.lambdas_per_proxy)
+        ]
+        self._nodes_by_id = {node.node_id: node for node in self.nodes}
+        self._nodes_by_function = dict(self._nodes_by_id)
+        self._objects: dict[str, _ObjectEntry] = {}
+        self._lru: ClockLRU[int] = ClockLRU()
+        platform.on_reclaim(self._handle_reclaim)
+
+    def __repr__(self) -> str:
+        return f"Proxy({self.proxy_id}, nodes={len(self.nodes)}, objects={len(self._objects)})"
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def pool_capacity_bytes(self) -> int:
+        """Total chunk capacity across the pool."""
+        return sum(node.capacity_bytes for node in self.nodes)
+
+    def pool_bytes_used(self) -> int:
+        """Bytes of chunk data currently stored across the pool."""
+        return sum(node.bytes_used() for node in self.nodes)
+
+    def object_count(self) -> int:
+        """Number of objects this proxy currently tracks."""
+        return len(self._objects)
+
+    def contains(self, key: str) -> bool:
+        """Whether the mapping table still has an entry for this key."""
+        return key in self._objects
+
+    def node(self, node_id: str) -> LambdaCacheNode:
+        """Look up a node by identifier."""
+        node = self._nodes_by_id.get(node_id)
+        if node is None:
+            raise CacheError(f"proxy {self.proxy_id} has no node {node_id!r}")
+        return node
+
+    # ------------------------------------------------------------------ reclaim handling
+    def _handle_reclaim(self, instance) -> None:
+        node = self._nodes_by_function.get(instance.function_name)
+        if node is not None:
+            node.on_instance_reclaimed(instance)
+
+    # ------------------------------------------------------------------ placement
+    def choose_placement(self, total_chunks: int) -> list[str]:
+        """Pick ``total_chunks`` distinct nodes uniformly at random.
+
+        Mirrors the client library's random non-repetitive IDλ vector; the
+        proxy performs the draw because it owns the pool membership.
+        """
+        if total_chunks > len(self.nodes):
+            raise ObjectTooLargeError(
+                f"an object needs {total_chunks} distinct nodes but the pool has {len(self.nodes)}"
+            )
+        indices = self.rng.sample_without_replacement(len(self.nodes), total_chunks)
+        return [self.nodes[i].node_id for i in indices]
+
+    # ------------------------------------------------------------------ timing helpers
+    def _chunk_transfer_time(
+        self,
+        chunk_size: int,
+        node: LambdaCacheNode,
+        flows_per_host: dict[str, int],
+        concurrent_streams: int,
+        now: float,
+        category: str,
+    ) -> float:
+        """Invocation overhead + contention-aware transfer time for one chunk."""
+        access = node.ensure_active(now, category)
+        host_id = node.primary.host_id if node.primary is not None else node.node_id
+        timing = self.transfer_model.chunk_transfer_timing(
+            chunk_bytes=chunk_size,
+            function_bandwidth_bps=node.bandwidth_bps,
+            host_capacity_bps=self.platform.limits.host_nic_bandwidth,
+            host_id=host_id,
+            flows_on_host=flows_per_host.get(host_id, 1),
+            concurrent_request_streams=concurrent_streams,
+        )
+        transfer_s = timing.transfer_s
+        straggler = self.config.straggler
+        if straggler.probability > 0 and self.rng.random() < straggler.probability:
+            transfer_s *= self.rng.uniform(straggler.min_factor, straggler.max_factor)
+        node.record_service(now, timing.latency_s + transfer_s, category)
+        return access.overhead_s + timing.latency_s + transfer_s
+
+    def _flows_per_host(self, nodes: list[LambdaCacheNode]) -> dict[str, int]:
+        flows: dict[str, int] = {}
+        for node in nodes:
+            host_id = node.primary.host_id if node.primary is not None else node.node_id
+            flows[host_id] = flows.get(host_id, 0) + 1
+        return flows
+
+    def _hosts_touched(self, nodes: list[LambdaCacheNode]) -> int:
+        hosts = set()
+        for node in nodes:
+            if node.primary is not None:
+                hosts.add(node.primary.host_id)
+        return len(hosts)
+
+    # ------------------------------------------------------------------ eviction
+    def _evict_until_fits(
+        self, needed_by_node: dict[str, int], total_needed: int
+    ) -> list[str]:
+        """Evict whole objects (CLOCK order) until the new object fits.
+
+        Eviction stops when both the pool as a whole and every destination
+        node individually have room for the incoming chunks.
+        """
+        evicted: list[str] = []
+
+        def fits() -> bool:
+            if self.pool_bytes_used() + total_needed > self.pool_capacity_bytes:
+                return False
+            for node_id, needed in needed_by_node.items():
+                if self.node(node_id).free_bytes() < needed:
+                    return False
+            return True
+
+        while not fits():
+            victim = self._lru.evict()
+            if victim is None:
+                raise ObjectTooLargeError(
+                    "cannot make room in the Lambda pool even after evicting every object"
+                )
+            victim_key, _size = victim
+            self._remove_object(victim_key)
+            evicted.append(victim_key)
+            self.metrics.counter("proxy.evictions").increment()
+        return evicted
+
+    def _remove_object(self, key: str) -> None:
+        entry = self._objects.pop(key, None)
+        if entry is None:
+            return
+        self._lru.remove(key)
+        for chunk_index, node_id in entry.placement.items():
+            chunk_id = f"{key}#{chunk_index}"
+            node = self._nodes_by_id.get(node_id)
+            if node is not None:
+                node.delete_chunk(chunk_id)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an object from the cache (client-side invalidation on overwrite)."""
+        existed = key in self._objects
+        self._remove_object(key)
+        return existed
+
+    # ------------------------------------------------------------------ PUT
+    def put(
+        self,
+        key: str,
+        descriptor: ObjectDescriptor,
+        chunks: list[CacheChunk],
+        now: float,
+        placement: Optional[list[str]] = None,
+        category: str = "serving",
+    ) -> ProxyPutResult:
+        """Store an object's chunks on the pool and record the placement."""
+        if len(chunks) != descriptor.total_chunks:
+            raise CacheError(
+                f"object {key!r} descriptor expects {descriptor.total_chunks} chunks, "
+                f"got {len(chunks)}"
+            )
+        if placement is None:
+            placement = self.choose_placement(descriptor.total_chunks)
+        if len(placement) != descriptor.total_chunks:
+            raise CacheError("placement vector length does not match the chunk count")
+        if len(set(placement)) != len(placement):
+            raise CacheError("placement vector must name distinct nodes")
+
+        # Overwrite: drop the previous version first (write-through semantics).
+        self._remove_object(key)
+
+        needed_by_node = {
+            node_id: chunk.size for node_id, chunk in zip(placement, chunks)
+        }
+        evicted = self._evict_until_fits(needed_by_node, sum(needed_by_node.values()))
+
+        target_nodes = [self.node(node_id) for node_id in placement]
+        flows = self._flows_per_host(target_nodes)
+        chunk_times = []
+        for chunk, node in zip(chunks, target_nodes):
+            time_s = self._chunk_transfer_time(
+                chunk.size, node, flows, len(chunks), now, category
+            )
+            node.store_chunk(chunk)
+            chunk_times.append(time_s)
+
+        entry = _ObjectEntry(
+            descriptor=descriptor,
+            placement={chunk.index: node_id for chunk, node_id in zip(chunks, placement)},
+            inserted_at=now,
+        )
+        self._objects[key] = entry
+        self._lru.insert(key, descriptor.stored_bytes)
+        self.metrics.counter("proxy.puts").increment()
+        self.metrics.gauge("proxy.bytes_used").set(self.pool_bytes_used())
+
+        return ProxyPutResult(
+            key=key,
+            latency_s=max(chunk_times) if chunk_times else 0.0,
+            node_ids=list(placement),
+            evicted_keys=evicted,
+            hosts_touched=self._hosts_touched(target_nodes),
+        )
+
+    # ------------------------------------------------------------------ GET
+    def get(self, key: str, now: float) -> ProxyGetResult:
+        """Fetch an object's chunks with first-d parallel streaming."""
+        entry = self._objects.get(key)
+        if entry is None:
+            self.metrics.counter("proxy.misses").increment()
+            return ProxyGetResult(key=key, found=False, recoverable=False, descriptor=None)
+
+        self._lru.touch(key)
+        descriptor = entry.descriptor
+        involved_nodes = [self.node(node_id) for node_id in entry.placement.values()]
+        flows = self._flows_per_host(involved_nodes)
+        fetches: list[ChunkFetch] = []
+        for chunk_index, node_id in sorted(entry.placement.items()):
+            node = self.node(node_id)
+            chunk_id = f"{key}#{chunk_index}"
+            chunk = node.fetch_chunk(chunk_id) if node.is_alive else None
+            if chunk is None:
+                fetches.append(
+                    ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=None,
+                               time_s=float("inf"), lost=True)
+                )
+                continue
+            time_s = self._chunk_transfer_time(
+                chunk.size, node, flows, descriptor.total_chunks, now, "serving"
+            )
+            fetches.append(
+                ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=chunk,
+                           time_s=time_s, lost=False)
+            )
+
+        available = [fetch for fetch in fetches if not fetch.lost]
+        lost_count = descriptor.total_chunks - len(available)
+        hosts_touched = self._hosts_touched(involved_nodes)
+
+        if len(available) < descriptor.data_shards:
+            # Unrecoverable: the caller must RESET from the backing store.
+            self._remove_object(key)
+            self.metrics.counter("proxy.object_losses").increment()
+            self.metrics.counter("proxy.misses").increment()
+            return ProxyGetResult(
+                key=key,
+                found=True,
+                recoverable=False,
+                descriptor=descriptor,
+                fetches=fetches,
+                chunks_lost=lost_count,
+                hosts_touched=hosts_touched,
+            )
+
+        # First-d: the request completes when the fastest d chunks are in.
+        fastest = sorted(available, key=lambda fetch: fetch.time_s)[: descriptor.data_shards]
+        latency = max(fetch.time_s for fetch in fastest)
+        used_chunks = [fetch.chunk for fetch in fastest]
+
+        recovery_performed = False
+        if lost_count > 0:
+            self.metrics.counter("proxy.degraded_reads").increment()
+            if self.config.repair_degraded_objects:
+                recovery_performed = self._repair_object(key, entry, fetches, now)
+
+        self.metrics.counter("proxy.hits").increment()
+        return ProxyGetResult(
+            key=key,
+            found=True,
+            recoverable=True,
+            descriptor=descriptor,
+            fetches=fetches,
+            used_chunks=used_chunks,
+            latency_s=latency,
+            chunks_lost=lost_count,
+            recovery_performed=recovery_performed,
+            hosts_touched=hosts_touched,
+        )
+
+    # ------------------------------------------------------------------ recovery
+    def _repair_object(
+        self, key: str, entry: _ObjectEntry, fetches: list[ChunkFetch], now: float
+    ) -> bool:
+        """Re-insert chunks lost to reclamation onto fresh nodes (EC recovery)."""
+        descriptor = entry.descriptor
+        lost_fetches = [fetch for fetch in fetches if fetch.lost]
+        if not lost_fetches:
+            return False
+        occupied = set(entry.placement.values())
+        replacements: list[LambdaCacheNode] = []
+        candidates = [node for node in self.nodes if node.node_id not in occupied]
+        if len(candidates) < len(lost_fetches):
+            return False
+        indices = self.rng.sample_without_replacement(len(candidates), len(lost_fetches))
+        replacements = [candidates[i] for i in indices]
+
+        for fetch, replacement in zip(lost_fetches, replacements):
+            rebuilt = CacheChunk.sized(key, fetch.chunk_index, descriptor.chunk_size)
+            if replacement.free_bytes() < rebuilt.size:
+                continue
+            replacement.ensure_active(now, "serving")
+            replacement.record_service(
+                now, rebuilt.size / replacement.bandwidth_bps, "serving"
+            )
+            replacement.store_chunk(rebuilt)
+            entry.placement[fetch.chunk_index] = replacement.node_id
+        self.metrics.counter("proxy.recoveries").increment()
+        self.metrics.series("proxy.recovery_events").record(now, 1.0)
+        return True
+
+    # ------------------------------------------------------------------ maintenance hooks
+    def warm_up_pool(self, now: float, warmup_service_s: float = 0.001) -> None:
+        """Invoke every node briefly so the provider keeps it warm."""
+        for node in self.nodes:
+            node.ensure_active(now, "warmup")
+            node.record_service(now, warmup_service_s, "warmup")
+        self.metrics.counter("proxy.warmups").increment()
+
+    def finish_sessions(self) -> None:
+        """Flush every node's open billing session (end of simulation)."""
+        for node in self.nodes:
+            node.finish_sessions()

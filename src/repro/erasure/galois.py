@@ -1,0 +1,132 @@
+"""GF(2^8) finite-field arithmetic.
+
+Reed-Solomon coding works over a finite field; we use GF(2^8) with the
+AES/ISA-L polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the same field
+used by the Go ``reedsolomon`` library the paper builds on.  Multiplication
+and division go through exp/log tables; bulk operations on chunk payloads are
+vectorised with numpy take-style table lookups so encoding 100 MB objects in
+tests stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The primitive polynomial for GF(2^8): x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLYNOMIAL = 0x11D
+
+#: Field size.
+FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build exp/log tables for GF(2^8) using generator element 2."""
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLYNOMIAL
+    # Duplicate the table so exp[a + b] works without a modulo for a, b < 255.
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    return exp, log
+
+
+_EXP_TABLE, _LOG_TABLE = _build_tables()
+
+#: 256x256 multiplication table; row r is "multiply every byte by r".
+_MUL_TABLE = np.zeros((256, 256), dtype=np.uint8)
+for _a in range(1, 256):
+    _log_a = _LOG_TABLE[_a]
+    _MUL_TABLE[_a, 1:] = _EXP_TABLE[_log_a + _LOG_TABLE[1:256]]
+
+
+class GF256:
+    """Arithmetic over GF(2^8).
+
+    All methods are static/class-level; the class exists purely as a
+    namespace with precomputed tables.  Scalars are Python ints in [0, 255];
+    vectors are ``numpy.uint8`` arrays.
+    """
+
+    exp_table = _EXP_TABLE
+    log_table = _LOG_TABLE
+    mul_table = _MUL_TABLE
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return (a ^ b) & 0xFF
+
+    @staticmethod
+    def subtract(a: int, b: int) -> int:
+        """Field subtraction — identical to addition in characteristic 2."""
+        return (a ^ b) & 0xFF
+
+    @staticmethod
+    def multiply(a: int, b: int) -> int:
+        """Field multiplication via log/exp tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(_EXP_TABLE[_LOG_TABLE[a] + _LOG_TABLE[b]])
+
+    @staticmethod
+    def divide(a: int, b: int) -> int:
+        """Field division ``a / b``.
+
+        Raises:
+            ZeroDivisionError: if ``b`` is zero.
+        """
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^8)")
+        if a == 0:
+            return 0
+        return int(_EXP_TABLE[(_LOG_TABLE[a] - _LOG_TABLE[b]) % 255])
+
+    @staticmethod
+    def power(a: int, n: int) -> int:
+        """Field exponentiation ``a ** n`` (n >= 0)."""
+        if n == 0:
+            return 1
+        if a == 0:
+            return 0
+        return int(_EXP_TABLE[(_LOG_TABLE[a] * n) % 255])
+
+    @staticmethod
+    def inverse(a: int) -> int:
+        """Multiplicative inverse of ``a``.
+
+        Raises:
+            ZeroDivisionError: if ``a`` is zero (zero has no inverse).
+        """
+        if a == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse in GF(2^8)")
+        return int(_EXP_TABLE[255 - _LOG_TABLE[a]])
+
+    @staticmethod
+    def multiply_vector(scalar: int, vector: np.ndarray) -> np.ndarray:
+        """Multiply every byte of ``vector`` by ``scalar`` (vectorised)."""
+        if scalar == 0:
+            return np.zeros_like(vector)
+        if scalar == 1:
+            return vector.copy()
+        return _MUL_TABLE[scalar][vector]
+
+    @staticmethod
+    def add_vectors(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Add (XOR) two byte vectors elementwise."""
+        return np.bitwise_xor(a, b)
+
+    @staticmethod
+    def multiply_accumulate(accumulator: np.ndarray, scalar: int, vector: np.ndarray) -> None:
+        """In place: ``accumulator ^= scalar * vector`` (the encoder hot loop)."""
+        if scalar == 0:
+            return
+        if scalar == 1:
+            np.bitwise_xor(accumulator, vector, out=accumulator)
+            return
+        np.bitwise_xor(accumulator, _MUL_TABLE[scalar][vector], out=accumulator)

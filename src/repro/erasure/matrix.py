@@ -1,0 +1,165 @@
+"""Matrix algebra over GF(2^8).
+
+The Reed-Solomon encoder needs a systematic ``(d + p) x d`` encoding matrix
+whose every ``d x d`` submatrix is invertible; decoding needs to invert the
+submatrix corresponding to whichever ``d`` chunks survived.  Both are
+provided here on top of :class:`~repro.erasure.galois.GF256`.
+
+The construction follows the standard approach used by production RS
+libraries: build an extended Vandermonde matrix, then row-reduce it so the
+top ``d`` rows form the identity (making the code systematic — data chunks
+are stored verbatim, which lets the first-d fast path skip decoding when all
+data chunks arrive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.erasure.galois import GF256
+from repro.exceptions import ErasureCodingError
+
+
+class GFMatrix:
+    """A dense matrix over GF(2^8), stored as a ``numpy.uint8`` array."""
+
+    def __init__(self, data: np.ndarray):
+        array = np.asarray(data, dtype=np.uint8)
+        if array.ndim != 2:
+            raise ErasureCodingError(f"GFMatrix requires a 2-D array, got shape {array.shape}")
+        self.data = array
+
+    # --- constructors ---------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "GFMatrix":
+        """The n x n identity matrix."""
+        return cls(np.eye(n, dtype=np.uint8))
+
+    @classmethod
+    def vandermonde(cls, rows: int, cols: int) -> "GFMatrix":
+        """The ``rows x cols`` Vandermonde matrix with element (r, c) = r^c."""
+        data = np.zeros((rows, cols), dtype=np.uint8)
+        for r in range(rows):
+            for c in range(cols):
+                data[r, c] = GF256.power(r, c)
+        return cls(data)
+
+    @classmethod
+    def systematic_encoding_matrix(cls, data_shards: int, parity_shards: int) -> "GFMatrix":
+        """Build the systematic encoding matrix for ``RS(data + parity)``.
+
+        The result has shape ``(data+parity) x data``: the top block is the
+        identity (data chunks pass through unchanged) and the bottom block
+        holds the parity coefficients.  Every square submatrix formed by any
+        ``data`` rows is invertible, which is the property that makes any
+        ``data`` surviving chunks sufficient for reconstruction.
+        """
+        total = data_shards + parity_shards
+        vandermonde = cls.vandermonde(total, data_shards)
+        # Row-reduce so the top d x d block becomes the identity.  Multiplying
+        # by the inverse of the top block preserves the MDS property.
+        top = vandermonde.submatrix_rows(list(range(data_shards)))
+        top_inverse = top.inverse()
+        return vandermonde.multiply(top_inverse)
+
+    # --- shape and access ------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of rows."""
+        return self.data.shape[0]
+
+    @property
+    def cols(self) -> int:
+        """Number of columns."""
+        return self.data.shape[1]
+
+    def submatrix_rows(self, row_indices: list[int]) -> "GFMatrix":
+        """Return a new matrix containing only the selected rows, in order."""
+        return GFMatrix(self.data[row_indices, :])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GFMatrix) and np.array_equal(self.data, other.data)
+
+    def __repr__(self) -> str:
+        return f"GFMatrix(shape={self.data.shape})"
+
+    # --- algebra ----------------------------------------------------------------
+    def multiply(self, other: "GFMatrix") -> "GFMatrix":
+        """Matrix product ``self @ other`` over GF(2^8)."""
+        if self.cols != other.rows:
+            raise ErasureCodingError(
+                f"cannot multiply {self.rows}x{self.cols} by {other.rows}x{other.cols}"
+            )
+        result = np.zeros((self.rows, other.cols), dtype=np.uint8)
+        for i in range(self.rows):
+            for k in range(self.cols):
+                coefficient = int(self.data[i, k])
+                if coefficient == 0:
+                    continue
+                GF256.multiply_accumulate(result[i], coefficient, other.data[k])
+        return GFMatrix(result)
+
+    def multiply_rows_into(self, shards: np.ndarray) -> np.ndarray:
+        """Apply the matrix to a stack of shard payloads.
+
+        Args:
+            shards: array of shape ``(cols, shard_len)`` holding one input
+                shard per matrix column.
+
+        Returns:
+            Array of shape ``(rows, shard_len)``: one output shard per matrix
+            row.  This is the encoder/decoder hot path and is fully
+            vectorised along the shard length.
+        """
+        if shards.shape[0] != self.cols:
+            raise ErasureCodingError(
+                f"matrix has {self.cols} columns but {shards.shape[0]} shards were supplied"
+            )
+        shard_len = shards.shape[1]
+        output = np.zeros((self.rows, shard_len), dtype=np.uint8)
+        for i in range(self.rows):
+            row = self.data[i]
+            for k in range(self.cols):
+                GF256.multiply_accumulate(output[i], int(row[k]), shards[k])
+        return output
+
+    def inverse(self) -> "GFMatrix":
+        """Invert a square matrix by Gauss-Jordan elimination over GF(2^8).
+
+        Raises:
+            ErasureCodingError: if the matrix is not square or is singular
+                (which for a correctly built RS code can only happen if the
+                caller selected duplicate rows).
+        """
+        if self.rows != self.cols:
+            raise ErasureCodingError(
+                f"only square matrices can be inverted, got {self.rows}x{self.cols}"
+            )
+        n = self.rows
+        work = np.concatenate(
+            [self.data.astype(np.uint8), np.eye(n, dtype=np.uint8)], axis=1
+        )
+        for col in range(n):
+            # Find a pivot row with a non-zero entry in this column.
+            pivot = None
+            for row in range(col, n):
+                if work[row, col] != 0:
+                    pivot = row
+                    break
+            if pivot is None:
+                raise ErasureCodingError("matrix is singular and cannot be inverted")
+            if pivot != col:
+                work[[col, pivot]] = work[[pivot, col]]
+            # Normalise the pivot row so the pivot becomes 1.
+            pivot_value = int(work[col, col])
+            if pivot_value != 1:
+                inverse_pivot = GF256.inverse(pivot_value)
+                work[col] = GF256.multiply_vector(inverse_pivot, work[col])
+            # Eliminate the column from every other row.
+            for row in range(n):
+                if row == col:
+                    continue
+                factor = int(work[row, col])
+                if factor:
+                    GF256.multiply_accumulate(work[row], factor, work[col])
+        return GFMatrix(work[:, n:])

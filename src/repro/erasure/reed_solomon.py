@@ -1,0 +1,167 @@
+"""Stripe-level Reed-Solomon encoder/decoder.
+
+A *stripe* is a fixed set of equal-length shards: ``data_shards`` holding the
+original bytes and ``parity_shards`` holding redundancy.  Any ``data_shards``
+of the ``data_shards + parity_shards`` total are sufficient to reconstruct
+everything — the MDS property the paper relies on to tolerate up to ``p``
+reclaimed Lambda nodes per object.
+
+The object-level concerns (padding, chunk identifiers, the ``(10+0)``
+no-parity baseline) live in :mod:`repro.erasure.codec`; this module is pure
+stripe math.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.erasure.matrix import GFMatrix
+from repro.exceptions import ConfigurationError, DecodingError, EncodingError
+
+#: The largest shard counts we allow.  GF(2^8) Vandermonde-based systematic
+#: codes are safe well beyond this, but the paper never exceeds 24 shards
+#: (its "aggressive" example is RS(20+4)).
+MAX_TOTAL_SHARDS = 256
+
+
+class ReedSolomon:
+    """A systematic Reed-Solomon code ``RS(data_shards + parity_shards)``.
+
+    Instances are immutable and reusable across objects; the encoding matrix
+    is computed once in the constructor.  ``parity_shards == 0`` is allowed
+    and degenerates to plain striping (the paper's ``(10+0)`` baseline).
+    """
+
+    def __init__(self, data_shards: int, parity_shards: int):
+        if data_shards < 1:
+            raise ConfigurationError(f"data_shards must be >= 1, got {data_shards}")
+        if parity_shards < 0:
+            raise ConfigurationError(f"parity_shards must be >= 0, got {parity_shards}")
+        total = data_shards + parity_shards
+        if total > MAX_TOTAL_SHARDS:
+            raise ConfigurationError(
+                f"data_shards + parity_shards must be <= {MAX_TOTAL_SHARDS}, got {total}"
+            )
+        self.data_shards = data_shards
+        self.parity_shards = parity_shards
+        self.total_shards = total
+        if parity_shards > 0:
+            self._matrix = GFMatrix.systematic_encoding_matrix(data_shards, parity_shards)
+            self._parity_matrix = self._matrix.submatrix_rows(
+                list(range(data_shards, total))
+            )
+        else:
+            self._matrix = GFMatrix.identity(data_shards)
+            self._parity_matrix = None
+
+    def __repr__(self) -> str:
+        return f"ReedSolomon(d={self.data_shards}, p={self.parity_shards})"
+
+    # --- encoding ----------------------------------------------------------------
+    def encode(self, data_shard_payloads: list[bytes]) -> list[bytes]:
+        """Compute parity shards for the given data shards.
+
+        Args:
+            data_shard_payloads: exactly ``data_shards`` byte strings, all the
+                same length.
+
+        Returns:
+            The full stripe: the original data shards (unchanged, the code is
+            systematic) followed by ``parity_shards`` parity shards.
+        """
+        if len(data_shard_payloads) != self.data_shards:
+            raise EncodingError(
+                f"expected {self.data_shards} data shards, got {len(data_shard_payloads)}"
+            )
+        lengths = {len(shard) for shard in data_shard_payloads}
+        if len(lengths) != 1:
+            raise EncodingError(f"data shards must all have the same length, got {sorted(lengths)}")
+        shard_len = lengths.pop()
+        if shard_len == 0:
+            raise EncodingError("data shards must be non-empty")
+        if self.parity_shards == 0:
+            return list(data_shard_payloads)
+        stacked = np.frombuffer(b"".join(data_shard_payloads), dtype=np.uint8).reshape(
+            self.data_shards, shard_len
+        )
+        parity = self._parity_matrix.multiply_rows_into(stacked)
+        return list(data_shard_payloads) + [parity[i].tobytes() for i in range(self.parity_shards)]
+
+    # --- decoding ----------------------------------------------------------------
+    def decode(self, shards: dict[int, bytes]) -> list[bytes]:
+        """Reconstruct all data shards from any ``data_shards`` available shards.
+
+        Args:
+            shards: mapping from shard index (0-based over the whole stripe)
+                to its payload.  At least ``data_shards`` distinct entries are
+                required; extra entries are ignored (the first ``data_shards``
+                by index are used).
+
+        Returns:
+            The ``data_shards`` reconstructed data payloads, in order.
+
+        Raises:
+            DecodingError: if fewer than ``data_shards`` shards are available,
+                indices are out of range, or payload lengths are inconsistent.
+        """
+        if not shards:
+            raise DecodingError("no shards supplied")
+        for index in shards:
+            if not 0 <= index < self.total_shards:
+                raise DecodingError(
+                    f"shard index {index} out of range for a {self.total_shards}-shard stripe"
+                )
+        if len(shards) < self.data_shards:
+            raise DecodingError(
+                f"need at least {self.data_shards} shards to decode, got {len(shards)}"
+            )
+        lengths = {len(payload) for payload in shards.values()}
+        if len(lengths) != 1:
+            raise DecodingError(f"shards must all have the same length, got {sorted(lengths)}")
+        shard_len = lengths.pop()
+        if shard_len == 0:
+            raise DecodingError("shards must be non-empty")
+
+        # Fast path: every data shard is present (systematic code).
+        if all(i in shards for i in range(self.data_shards)):
+            return [shards[i] for i in range(self.data_shards)]
+
+        if self.parity_shards == 0:
+            missing = [i for i in range(self.data_shards) if i not in shards]
+            raise DecodingError(
+                f"stripe has no parity and data shards {missing} are missing"
+            )
+
+        selected_indices = sorted(shards)[: self.data_shards]
+        sub = self._matrix.submatrix_rows(selected_indices)
+        decode_matrix = sub.inverse()
+        stacked = np.frombuffer(
+            b"".join(shards[i] for i in selected_indices), dtype=np.uint8
+        ).reshape(self.data_shards, shard_len)
+        reconstructed = decode_matrix.multiply_rows_into(stacked)
+        return [reconstructed[i].tobytes() for i in range(self.data_shards)]
+
+    def reconstruct_all(self, shards: dict[int, bytes]) -> list[bytes]:
+        """Reconstruct the *entire* stripe (data + parity) from any d shards.
+
+        Used by the recovery path when a reclaimed Lambda node's chunk must be
+        regenerated and re-inserted.
+        """
+        data = self.decode(shards)
+        return self.encode(data)
+
+    def verify(self, shards: list[bytes]) -> bool:
+        """Check that a full stripe is internally consistent.
+
+        Returns ``True`` when re-encoding the data shards reproduces the given
+        parity shards exactly.
+        """
+        if len(shards) != self.total_shards:
+            raise DecodingError(
+                f"verify requires all {self.total_shards} shards, got {len(shards)}"
+            )
+        recomputed = self.encode(shards[: self.data_shards])
+        return all(
+            recomputed[i] == shards[i]
+            for i in range(self.data_shards, self.total_shards)
+        )

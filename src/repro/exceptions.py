@@ -1,0 +1,78 @@
+"""Exception hierarchy for the InfiniCache reproduction.
+
+All library-specific errors derive from :class:`ReproError` so applications
+can catch a single base class.  Subsystems raise the most specific subclass
+that describes the failure; nothing in the library raises bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine detected an inconsistency."""
+
+
+class ErasureCodingError(ReproError):
+    """Base class for erasure-coding failures."""
+
+
+class EncodingError(ErasureCodingError):
+    """An object could not be encoded into chunks."""
+
+
+class DecodingError(ErasureCodingError):
+    """An object could not be reconstructed from the available chunks.
+
+    Raised when fewer than ``d`` distinct chunks of an ``RS(d+p)`` stripe are
+    available, or when chunk payloads are inconsistent with the stripe
+    metadata.
+    """
+
+
+class CacheError(ReproError):
+    """Base class for cache-level failures."""
+
+
+class CacheMissError(CacheError):
+    """The requested key is not present (or not reconstructible) in the cache."""
+
+    def __init__(self, key: str, reason: str = "not found"):
+        super().__init__(f"cache miss for key {key!r}: {reason}")
+        self.key = key
+        self.reason = reason
+
+
+class ObjectTooLargeError(CacheError):
+    """The object cannot fit into the configured Lambda pool."""
+
+
+class FunctionReclaimedError(ReproError):
+    """A simulated Lambda function instance was reclaimed by the provider."""
+
+    def __init__(self, function_name: str):
+        super().__init__(f"function {function_name!r} was reclaimed by the provider")
+        self.function_name = function_name
+
+
+class InvocationError(ReproError):
+    """A simulated Lambda invocation failed (timeout, limit, platform error)."""
+
+
+class ConnectionClosedError(ReproError):
+    """A simulated TCP connection between proxy and Lambda node was closed."""
+
+
+class BackupError(ReproError):
+    """The delta-sync backup protocol failed to complete."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace could not be generated, parsed, or replayed."""

@@ -1,0 +1,44 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function that returns plain data
+structures (lists of rows / dicts of series) plus a ``format_report(...)``
+helper that renders them as the text tables printed by the benchmark
+harness.  Default parameters are scaled down so the whole suite completes in
+minutes on a laptop; each ``run`` accepts arguments to restore the paper's
+full-scale settings.
+
+| Module | Paper artefact |
+|---|---|
+| :mod:`repro.experiments.figure1`  | Fig. 1(a-d) trace characteristics |
+| :mod:`repro.experiments.figure4`  | Fig. 4 latency vs #VM hosts touched |
+| :mod:`repro.experiments.figure8`  | Fig. 8 reclaims over 24 h |
+| :mod:`repro.experiments.figure9`  | Fig. 9 reclaims-per-minute distribution |
+| :mod:`repro.experiments.figure11` | Fig. 11 microbenchmark latencies |
+| :mod:`repro.experiments.figure12` | Fig. 12 throughput scalability |
+| :mod:`repro.experiments.production` | shared 50-hour trace replay used by Figs. 13-16 & Table 1 |
+| :mod:`repro.experiments.figure13` | Fig. 13 cost and cost breakdown |
+| :mod:`repro.experiments.figure14` | Fig. 14 fault-tolerance activity timeline |
+| :mod:`repro.experiments.figure15` | Fig. 15 latency CDFs vs ElastiCache / S3 |
+| :mod:`repro.experiments.figure16` | Fig. 16 normalised latency by object size |
+| :mod:`repro.experiments.figure17` | Fig. 17 hourly cost vs access rate |
+| :mod:`repro.experiments.table1`   | Table 1 WSS / throughput / hit ratios |
+| :mod:`repro.experiments.availability` | Section 4.3 availability numbers |
+"""
+
+__all__ = [
+    "figure1",
+    "figure4",
+    "figure8",
+    "figure9",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "table1",
+    "availability",
+    "production",
+    "report",
+]

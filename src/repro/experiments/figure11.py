@@ -1,0 +1,181 @@
+"""Figure 11 — microbenchmark GET latency.
+
+Six sub-figures sweep the Lambda memory configuration (128-3008 MB); within
+each, the object size (10-100 MB) and the erasure code ((10+0), (10+1),
+(10+2), (10+4), (4+2), (5+1)) are varied.  Sub-figure (f) additionally
+compares against 1-node and 10-node ElastiCache deployments.
+
+The shapes the reproduction must preserve (Section 5.1):
+
+* (10+1) is the fastest code — maximum first-d parallelism with minimum
+  decode overhead;
+* (10+0) is *not* faster than (10+1) despite skipping decoding, because it
+  has no redundancy to hide stragglers;
+* bigger Lambdas are faster up to a plateau around 1024 MB;
+* InfiniCache beats 1-node ElastiCache for every size and is competitive
+  with the 10-node cluster for large objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.elasticache import ElastiCacheCluster
+from repro.cache.config import InfiniCacheConfig
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.report import format_table
+from repro.utils.stats import summarize
+from repro.utils.units import MB, MIB
+from repro.workload.microbenchmark import FIGURE11_OBJECT_SIZES, FIGURE11_RS_CODES
+
+#: Lambda memory configurations of the six sub-figures (MiB).
+FIGURE11_LAMBDA_MEMORY_MIB = (128, 256, 512, 1024, 2048, 3008)
+
+
+@dataclass
+class LatencySample:
+    """Latency distribution for one (memory, code, object size) cell."""
+
+    lambda_memory_mib: int
+    rs_code: tuple[int, int]
+    object_size: int
+    latencies_s: list[float] = field(default_factory=list)
+
+    def summary(self) -> dict[str, float]:
+        """Percentile summary of this cell's latencies."""
+        return summarize(self.latencies_s)
+
+
+@dataclass
+class Figure11Result:
+    """All measured cells plus the ElastiCache comparison series."""
+
+    cells: list[LatencySample] = field(default_factory=list)
+    #: (deployment label, object size) -> median latency seconds
+    elasticache: dict[tuple[str, int], float] = field(default_factory=dict)
+
+    def cell(self, memory_mib: int, code: tuple[int, int], size: int) -> LatencySample | None:
+        """Find one measured cell."""
+        for sample in self.cells:
+            if (sample.lambda_memory_mib, sample.rs_code, sample.object_size) == (
+                memory_mib, code, size,
+            ):
+                return sample
+        return None
+
+    def median(self, memory_mib: int, code: tuple[int, int], size: int) -> float:
+        """Median latency of one cell (seconds)."""
+        sample = self.cell(memory_mib, code, size)
+        if sample is None or not sample.latencies_s:
+            return float("nan")
+        return sample.summary()["p50"]
+
+
+def _measure_infinicache(
+    memory_mib: int,
+    code: tuple[int, int],
+    object_size: int,
+    requests: int,
+    seed: int,
+) -> LatencySample:
+    data_shards, parity_shards = code
+    config = InfiniCacheConfig(
+        lambdas_per_proxy=max(20, (data_shards + parity_shards) * 2),
+        lambda_memory_bytes=memory_mib * MIB,
+        data_shards=data_shards,
+        parity_shards=parity_shards,
+        backup_enabled=False,
+        seed=seed,
+    )
+    deployment = InfiniCacheDeployment(config)
+    deployment.start()
+    client = deployment.new_client()
+    key = f"fig11/{memory_mib}/{data_shards}+{parity_shards}/{object_size}"
+    client.put_sized(key, object_size)
+    sample = LatencySample(
+        lambda_memory_mib=memory_mib, rs_code=code, object_size=object_size
+    )
+    for _ in range(requests):
+        deployment.run_until(deployment.simulator.now + 1.0)
+        result = client.get(key)
+        if result.hit:
+            sample.latencies_s.append(result.latency_s)
+        else:
+            # A reclaimed chunk shouldn't happen with backup-free short runs,
+            # but re-insert so the sweep continues.
+            client.put_sized(key, object_size)
+    deployment.stop()
+    return sample
+
+
+def _measure_elasticache(node_count: int, object_size: int, requests: int) -> float:
+    instance = "cache.r5.8xlarge" if node_count == 1 else "cache.r5.xlarge"
+    cluster = ElastiCacheCluster(instance_type_name=instance, node_count=node_count)
+    key = f"fig11/ec/{object_size}"
+    cluster.put(key, object_size, now=0.0)
+    latencies = []
+    for index in range(requests):
+        now = 1.0 + index
+        latency = cluster.get(key, now)
+        if latency is not None:
+            latencies.append(latency)
+    return summarize(latencies)["p50"] if latencies else float("nan")
+
+
+def run(
+    lambda_memories_mib: tuple[int, ...] = FIGURE11_LAMBDA_MEMORY_MIB,
+    rs_codes: tuple[tuple[int, int], ...] = FIGURE11_RS_CODES,
+    object_sizes: tuple[int, ...] = FIGURE11_OBJECT_SIZES,
+    requests_per_cell: int = 15,
+    include_elasticache: bool = True,
+    seed: int = 1111,
+) -> Figure11Result:
+    """Measure every (memory, code, size) cell plus the ElastiCache baselines."""
+    result = Figure11Result()
+    for memory_mib in lambda_memories_mib:
+        for code in rs_codes:
+            for object_size in object_sizes:
+                result.cells.append(
+                    _measure_infinicache(
+                        memory_mib, code, object_size, requests_per_cell,
+                        seed + memory_mib + code[0] * 7 + code[1] * 13,
+                    )
+                )
+    if include_elasticache:
+        for object_size in object_sizes:
+            result.elasticache[("ElastiCache(1-node)", object_size)] = _measure_elasticache(
+                1, object_size, requests_per_cell
+            )
+            result.elasticache[("ElastiCache(10-node)", object_size)] = _measure_elasticache(
+                10, object_size, requests_per_cell
+            )
+    return result
+
+
+def format_report(result: Figure11Result) -> str:
+    """Render the Figure 11 reproduction: one table per Lambda memory size."""
+    sections = []
+    memories = sorted({cell.lambda_memory_mib for cell in result.cells})
+    sizes = sorted({cell.object_size for cell in result.cells})
+    codes = sorted({cell.rs_code for cell in result.cells}, key=lambda c: (c[0], c[1]))
+    for memory in memories:
+        rows = []
+        for code in codes:
+            row: list[object] = [f"({code[0]}+{code[1]})"]
+            for size in sizes:
+                row.append(result.median(memory, code, size) * 1000)
+            rows.append(row)
+        headers = ["RS code"] + [f"{size // MB}MB (ms)" for size in sizes]
+        sections.append(
+            format_table(headers, rows, title=f"Figure 11 — {memory} MB Lambda, median GET latency")
+        )
+    if result.elasticache:
+        rows = []
+        for label in ("ElastiCache(1-node)", "ElastiCache(10-node)"):
+            row: list[object] = [label]
+            for size in sizes:
+                row.append(result.elasticache.get((label, size), float("nan")) * 1000)
+            rows.append(row)
+        headers = ["deployment"] + [f"{size // MB}MB (ms)" for size in sizes]
+        sections.append(format_table(headers, rows, title="Figure 11(f) — ElastiCache baselines"))
+    return "\n\n".join(sections)

@@ -1,0 +1,101 @@
+"""Figure 12 — aggregate throughput as the number of clients scales.
+
+The paper deploys 5 proxies, each managing 50 Lambda nodes of 1024 MB, and
+scales the number of concurrent clients from 1 to 10; every client talks to
+all proxies through consistent hashing.  Throughput (GB/s) grows roughly
+linearly with the client count because each added client brings its own
+request stream and the Lambda pool has spare parallel bandwidth.
+
+The reproduction measures, for each client count, the aggregate bytes served
+per second of simulated wall-clock time when every client issues a fixed
+number of large GETs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.report import format_table
+from repro.utils.units import GB, MB, MIB
+
+
+@dataclass
+class Figure12Result:
+    """Throughput per client count."""
+
+    object_size: int
+    requests_per_client: int
+    #: client count -> aggregate throughput (bytes/second)
+    throughput_bps: dict[int, float] = field(default_factory=dict)
+
+    def rows(self) -> list[list[object]]:
+        """Table rows: clients, throughput GB/s, speedup over 1 client."""
+        baseline = self.throughput_bps.get(1)
+        rows = []
+        for clients in sorted(self.throughput_bps):
+            throughput = self.throughput_bps[clients]
+            speedup = throughput / baseline if baseline else float("nan")
+            rows.append([clients, throughput / GB, speedup])
+        return rows
+
+
+def run(
+    client_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 10),
+    num_proxies: int = 5,
+    lambdas_per_proxy: int = 50,
+    object_size: int = 100 * MB,
+    objects_per_client: int = 4,
+    requests_per_client: int = 20,
+    seed: int = 1212,
+) -> Figure12Result:
+    """Measure aggregate throughput for each client count."""
+    result = Figure12Result(object_size=object_size, requests_per_client=requests_per_client)
+    for clients in client_counts:
+        config = InfiniCacheConfig(
+            num_proxies=num_proxies,
+            lambdas_per_proxy=lambdas_per_proxy,
+            lambda_memory_bytes=1024 * MIB,
+            data_shards=10,
+            parity_shards=2,
+            backup_enabled=False,
+            straggler=StragglerModel(probability=0.02),
+            seed=seed + clients,
+        )
+        deployment = InfiniCacheDeployment(config)
+        deployment.start()
+        client_handles = [deployment.new_client(f"fig12-client-{i}") for i in range(clients)]
+        # Each client owns its own objects so requests spread over the proxies.
+        for index, client in enumerate(client_handles):
+            for obj in range(objects_per_client):
+                client.put_sized(f"fig12/{clients}/{index}/obj-{obj}", object_size)
+
+        total_bytes = 0
+        busy_seconds = 0.0
+        for round_index in range(requests_per_client):
+            deployment.run_until(deployment.simulator.now + 1.0)
+            round_latencies = []
+            for index, client in enumerate(client_handles):
+                key = f"fig12/{clients}/{index}/obj-{round_index % objects_per_client}"
+                get = client.get(key)
+                if get.hit:
+                    total_bytes += get.size
+                    round_latencies.append(get.latency_s)
+            if round_latencies:
+                # Clients issue their GETs concurrently, so a round costs the
+                # slowest client's latency, not the sum.
+                busy_seconds += max(round_latencies)
+        deployment.stop()
+        if busy_seconds > 0:
+            result.throughput_bps[clients] = total_bytes / busy_seconds
+    return result
+
+
+def format_report(result: Figure12Result) -> str:
+    """Render the Figure 12 reproduction as a table."""
+    return format_table(
+        ["clients", "throughput (GB/s)", "speedup vs 1 client"],
+        result.rows(),
+        title="Figure 12 — throughput scalability with client count",
+    )

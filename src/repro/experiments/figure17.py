@@ -1,0 +1,82 @@
+"""Figure 17 — hourly cost vs access rate: when does InfiniCache stop winning?
+
+Using the Section 4.3 cost model with the Section 5.2 configuration (400
+Lambdas of 1.5 GB, 1-minute warm-up, 5-minute backup), the paper sweeps the
+access rate from 0 to 320 K requests/hour and finds the InfiniCache cost
+curve crosses the flat ElastiCache (cache.r5.24xlarge) line at roughly 312 K
+requests/hour (~86 requests/second) — the reason small-object-intensive
+workloads should stay on a conventional IMOC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cost_model import CostModel, CostModelParams
+from repro.experiments.report import format_table
+from repro.utils.units import MIB
+
+
+@dataclass
+class Figure17Result:
+    """Hourly costs for both systems over the access-rate sweep."""
+
+    access_rates: list[float] = field(default_factory=list)
+    infinicache_hourly: list[float] = field(default_factory=list)
+    elasticache_hourly: float = 0.0
+    crossover_rate: float = 0.0
+
+
+def run(
+    max_rate: int = 320_000,
+    steps: int = 17,
+    total_nodes: int = 400,
+    lambda_memory_mib: int = 1536,
+    warmup_interval_min: float = 1.0,
+    backup_interval_min: float = 5.0,
+    backup_duration_s: float = 1.0,
+    chunks_per_object: int = 12,
+    elasticache_instance: str = "cache.r5.24xlarge",
+) -> Figure17Result:
+    """Sweep the *object* access rate and locate the cost crossover.
+
+    Every object GET fans out to ``chunks_per_object`` Lambda invocations
+    (12 for the paper's RS(10+2) configuration), which is what makes the
+    serving cost climb steeply enough to cross ElastiCache's flat line
+    around 312 K requests/hour.
+    """
+    params = CostModelParams(
+        total_nodes=total_nodes,
+        memory_bytes=lambda_memory_mib * MIB,
+        warmup_interval_min=warmup_interval_min,
+        backup_interval_min=backup_interval_min,
+        backup_duration_s=backup_duration_s,
+    )
+    model = CostModel(params)
+    result = Figure17Result()
+    result.elasticache_hourly = model.elasticache_hourly_cost(elasticache_instance)
+    fixed = model.warmup_cost_per_hour() + model.backup_cost_per_hour()
+    for step in range(steps):
+        rate = max_rate * step / (steps - 1) if steps > 1 else 0.0
+        result.access_rates.append(rate)
+        result.infinicache_hourly.append(
+            fixed + model.serving_cost_for_object_rate(rate, chunks_per_object)
+        )
+    result.crossover_rate = model.crossover_access_rate(
+        elasticache_instance, chunks_per_object=chunks_per_object
+    )
+    return result
+
+
+def format_report(result: Figure17Result) -> str:
+    """Render the cost sweep and the crossover point."""
+    rows = []
+    for rate, cost in zip(result.access_rates, result.infinicache_hourly):
+        rows.append([f"{rate / 1000:.0f}K", cost, result.elasticache_hourly,
+                     "InfiniCache" if cost < result.elasticache_hourly else "ElastiCache"])
+    table = format_table(
+        ["access rate (req/h)", "InfiniCache ($/h)", "ElastiCache ($/h)", "cheaper"],
+        rows,
+        title="Figure 17 — hourly cost vs access rate",
+    )
+    return table + f"\n\ncrossover at ~{result.crossover_rate / 1000:.0f}K requests/hour"

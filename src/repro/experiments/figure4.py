@@ -1,0 +1,93 @@
+"""Figure 4 — GET latency as a function of the number of VM hosts touched.
+
+The paper's study: 100 MB objects coded RS(10+1) onto 256 MB Lambdas drawn
+from pools of 20-200 nodes.  Small pools pack many functions per ~3 GB host,
+so one request's 11 chunks share few host NICs and contend; large pools
+spread the chunks over more hosts and latency drops.
+
+The reproduction sweeps the pool size, records for every GET how many
+distinct hosts its chunks touched, and reports the latency distribution per
+host count — the same box-plot data as the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.report import format_table
+from repro.utils.stats import summarize
+from repro.utils.units import MB, MIB
+
+
+@dataclass
+class Figure4Result:
+    """Latency samples grouped by the number of VM hosts a request touched."""
+
+    pool_sizes: list[int]
+    #: host count -> list of client-perceived latencies (seconds)
+    latency_by_hosts: dict[int, list[float]] = field(default_factory=dict)
+
+    def rows(self) -> list[list[object]]:
+        """Summary rows (hosts touched, samples, median, p90, max)."""
+        rows = []
+        for hosts in sorted(self.latency_by_hosts):
+            summary = summarize(self.latency_by_hosts[hosts])
+            rows.append(
+                [hosts, summary["count"], summary["p50"] * 1000,
+                 summary["p90"] * 1000, summary["max"] * 1000]
+            )
+        return rows
+
+
+def run(
+    pool_sizes: tuple[int, ...] = (20, 50, 100, 150, 200),
+    object_size: int = 100 * MB,
+    requests_per_pool: int = 30,
+    lambda_memory_bytes: int = 256 * MIB,
+) -> Figure4Result:
+    """Sweep the pool size and collect latency grouped by hosts touched."""
+    result = Figure4Result(pool_sizes=list(pool_sizes))
+    for pool_size in pool_sizes:
+        config = InfiniCacheConfig(
+            lambdas_per_proxy=pool_size,
+            lambda_memory_bytes=lambda_memory_bytes,
+            data_shards=10,
+            parity_shards=1,
+            backup_enabled=False,
+            straggler=StragglerModel(probability=0.0),
+            seed=400 + pool_size,
+        )
+        deployment = InfiniCacheDeployment(config)
+        deployment.start()
+        client = deployment.new_client()
+        # Warm the whole pool first so every Lambda node has a live instance
+        # and the pool is spread over its full set of VM hosts — the paper's
+        # setup deploys the pool before issuing requests, and the host spread
+        # is exactly the variable Figure 4 studies.
+        for proxy in deployment.proxies:
+            proxy.warm_up_pool(deployment.simulator.now)
+        key = f"fig4/{pool_size}"
+        client.put_sized(key, object_size)
+        for request in range(requests_per_pool):
+            deployment.run_until(deployment.simulator.now + 1.0)
+            # Re-place the object each round so the chunk-to-host spread is
+            # re-sampled, as the paper does by re-selecting random nodes.
+            client.invalidate(key)
+            client.put_sized(key, object_size)
+            get = client.get(key)
+            if not get.hit:
+                continue
+            result.latency_by_hosts.setdefault(get.hosts_touched, []).append(get.latency_s)
+        deployment.stop()
+    return result
+
+
+def format_report(result: Figure4Result) -> str:
+    """Render the Figure 4 reproduction as a table."""
+    return format_table(
+        ["hosts touched", "samples", "p50 (ms)", "p90 (ms)", "max (ms)"],
+        result.rows(),
+        title="Figure 4 — latency vs number of VM hosts touched per request",
+    )

@@ -1,0 +1,166 @@
+"""Shared production-trace replay used by Figures 13-16 and Table 1.
+
+The paper replays the first 50 hours of the Dallas Docker-registry trace
+against three systems (InfiniCache, ElastiCache, raw S3) and three
+InfiniCache settings (all objects, large objects only, large objects without
+backup).  All of those figures and tables read different projections of the
+same runs, so this module performs the replays once (memoised per parameter
+set within a process) and hands the reports out.
+
+Scale: the defaults are reduced — a shorter trace and a smaller Lambda pool —
+so the whole benchmark suite runs in minutes.  ``ProductionScale.paper()``
+restores the full-scale parameters (50 hours, 400 x 1.5 GB Lambdas, ~1 TB
+working set); the relative shapes (cost ratios, hit ratios, who wins where)
+hold at either scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from repro.baselines.elasticache import ElastiCacheCluster
+from repro.baselines.s3 import ObjectStore
+from repro.cache.config import InfiniCacheConfig
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.faas.reclamation import ZipfBurstReclamationPolicy
+from repro.utils.rng import SeededRNG
+from repro.utils.units import MB, MIB
+from repro.workload.docker_registry import DockerRegistryTraceGenerator, RegistryTraceConfig
+from repro.workload.replay import ReplayReport, TraceReplayer
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class ProductionScale:
+    """Scale parameters for the production replay."""
+
+    duration_hours: float = 6.0
+    catalogue_size: int = 1_200
+    base_requests_per_hour: float = 1_200.0
+    lambdas_per_proxy: int = 60
+    lambda_memory_mib: int = 1536
+    data_shards: int = 10
+    parity_shards: int = 2
+    #: Probability per minute that the provider reclaims a burst of instances
+    #: (the bursty regime of Figure 9 is what produces the paper's RESETs).
+    reclaim_burst_probability: float = 0.15
+    reclaim_burst_exponent: float = 1.7
+    elasticache_instance: str = "cache.r5.24xlarge"
+    seed: int = 5050
+
+    @property
+    def reclaim_max_burst(self) -> int:
+        """Largest burst the reclamation policy may take, scaled to the pool."""
+        return max(6, self.lambdas_per_proxy // 6)
+
+    @classmethod
+    def paper(cls) -> "ProductionScale":
+        """The paper's full-scale configuration (slow: hours of CPU time)."""
+        return cls(
+            duration_hours=50.0,
+            catalogue_size=12_000,
+            base_requests_per_hour=3_654.0,
+            lambdas_per_proxy=400,
+            lambda_memory_mib=1536,
+        )
+
+    @classmethod
+    def quick(cls) -> "ProductionScale":
+        """A minimal configuration for unit tests (minutes of trace time)."""
+        return cls(
+            duration_hours=1.0,
+            catalogue_size=200,
+            base_requests_per_hour=600.0,
+            lambdas_per_proxy=24,
+            reclaim_burst_probability=0.10,
+        )
+
+
+@dataclass
+class ProductionResults:
+    """Replay reports for every system / setting combination."""
+
+    scale: ProductionScale
+    trace_all: Trace
+    trace_large: Trace
+    infinicache_all: ReplayReport
+    infinicache_large: ReplayReport
+    infinicache_large_no_backup: ReplayReport
+    elasticache_all: ReplayReport
+    s3_all: ReplayReport
+
+
+def build_trace(scale: ProductionScale) -> Trace:
+    """Generate the Dallas-style trace at the requested scale."""
+    config = RegistryTraceConfig(
+        name="dallas",
+        duration_hours=scale.duration_hours,
+        catalogue_size=scale.catalogue_size,
+        base_requests_per_hour=scale.base_requests_per_hour,
+        seed=scale.seed,
+    )
+    return DockerRegistryTraceGenerator(config).generate()
+
+
+def build_deployment(scale: ProductionScale, backup_enabled: bool, seed_offset: int = 0,
+                     ) -> InfiniCacheDeployment:
+    """Build an InfiniCache deployment matching the paper's Section 5.2 setup."""
+    config = InfiniCacheConfig(
+        num_proxies=1,
+        lambdas_per_proxy=scale.lambdas_per_proxy,
+        lambda_memory_bytes=scale.lambda_memory_mib * MIB,
+        data_shards=scale.data_shards,
+        parity_shards=scale.parity_shards,
+        backup_enabled=backup_enabled,
+        seed=scale.seed + seed_offset,
+    )
+    policy = ZipfBurstReclamationPolicy(
+        SeededRNG(scale.seed + 7 + seed_offset),
+        exponent=scale.reclaim_burst_exponent,
+        max_burst=scale.reclaim_max_burst,
+        burst_probability=scale.reclaim_burst_probability,
+    )
+    return InfiniCacheDeployment(config, reclamation_policy=policy)
+
+
+def run(scale: ProductionScale | None = None) -> ProductionResults:
+    """Run every replay needed by Figures 13-16 and Table 1."""
+    scale = scale or ProductionScale()
+    return _run_cached(scale)
+
+
+@lru_cache(maxsize=4)
+def _run_cached(scale: ProductionScale) -> ProductionResults:
+    trace_all = build_trace(scale)
+    trace_large = trace_all.large_objects_only(10 * MB)
+
+    infinicache_all = TraceReplayer(ObjectStore()).replay_infinicache(
+        trace_all, build_deployment(scale, backup_enabled=True, seed_offset=1)
+    )
+    infinicache_large = TraceReplayer(ObjectStore()).replay_infinicache(
+        trace_large, build_deployment(scale, backup_enabled=True, seed_offset=2)
+    )
+    infinicache_large_no_backup = TraceReplayer(ObjectStore()).replay_infinicache(
+        trace_large, build_deployment(scale, backup_enabled=False, seed_offset=3)
+    )
+    elasticache_all = TraceReplayer(ObjectStore()).replay_elasticache(
+        trace_all, ElastiCacheCluster(instance_type_name=scale.elasticache_instance)
+    )
+    s3_all = TraceReplayer(ObjectStore()).replay_object_store(trace_all)
+
+    return ProductionResults(
+        scale=scale,
+        trace_all=trace_all,
+        trace_large=trace_large,
+        infinicache_all=infinicache_all,
+        infinicache_large=infinicache_large,
+        infinicache_large_no_backup=infinicache_large_no_backup,
+        elasticache_all=elasticache_all,
+        s3_all=s3_all,
+    )
+
+
+def quick_results() -> ProductionResults:
+    """The smallest production run (used by unit tests)."""
+    return run(ProductionScale.quick())

@@ -1,0 +1,130 @@
+"""Run every experiment from one entry point.
+
+``python -m repro.experiments.runner`` (or ``python -m repro``) regenerates
+all the paper's tables and figures and writes the text reports to a results
+directory.  It exists so a user can reproduce the whole evaluation without
+going through pytest, and so CI can diff the regenerated reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+from typing import Callable
+
+from repro.experiments import (
+    availability,
+    figure1,
+    figure4,
+    figure8,
+    figure9,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    production,
+    table1,
+)
+from repro.utils.units import MB
+
+
+def _quick_specs() -> dict[str, Callable[[], str]]:
+    """Experiment name -> callable producing the formatted report (quick scale)."""
+    shared_scale = production.ProductionScale()
+
+    def shared_results():
+        return production.run(shared_scale)
+
+    return {
+        "figure1": lambda: figure1.format_report(figure1.run(duration_hours=12.0)),
+        "figure4": lambda: figure4.format_report(
+            figure4.run(pool_sizes=(20, 60, 120, 200), requests_per_pool=20)
+        ),
+        "figure8": lambda: figure8.format_report(figure8.run(fleet_size=150, hours=24)),
+        "figure9": lambda: figure9.format_report(
+            figure9.run(figure8_result=figure8.run(fleet_size=150, hours=24))
+        ),
+        "figure11": lambda: figure11.format_report(
+            figure11.run(
+                lambda_memories_mib=(256, 1024, 3008),
+                object_sizes=(10 * MB, 100 * MB),
+                requests_per_cell=10,
+            )
+        ),
+        "figure12": lambda: figure12.format_report(
+            figure12.run(client_counts=(1, 2, 4, 8, 10), requests_per_client=12)
+        ),
+        "figure13": lambda: figure13.format_report(figure13.from_production(shared_results())),
+        "figure14": lambda: figure14.format_report(figure14.from_production(shared_results())),
+        "figure15": lambda: figure15.format_report(figure15.from_production(shared_results())),
+        "figure16": lambda: figure16.format_report(figure16.from_production(shared_results())),
+        "table1": lambda: table1.format_report(table1.from_production(shared_results())),
+        "figure17": lambda: figure17.format_report(figure17.run()),
+        "availability": lambda: availability.format_report(availability.run()),
+    }
+
+
+def run_all(
+    output_dir: str | pathlib.Path = "experiment_results",
+    only: list[str] | None = None,
+) -> dict[str, str]:
+    """Run the selected experiments and write one report file per experiment.
+
+    Args:
+        output_dir: directory to write ``<name>.txt`` reports into.
+        only: optional list of experiment names (default: all of them).
+
+    Returns:
+        Mapping from experiment name to its formatted report.
+    """
+    specs = _quick_specs()
+    if only:
+        unknown = sorted(set(only) - set(specs))
+        if unknown:
+            raise ValueError(f"unknown experiments {unknown}; available: {sorted(specs)}")
+        specs = {name: spec for name, spec in specs.items() if name in only}
+
+    out_path = pathlib.Path(output_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    reports: dict[str, str] = {}
+    for name, build_report in specs.items():
+        started = time.time()
+        report = build_report()
+        reports[name] = report
+        (out_path / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+        print(f"[{name}] done in {time.time() - started:.1f}s -> {out_path / (name + '.txt')}")
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the InfiniCache paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--output-dir", default="experiment_results",
+        help="directory for the generated report files (default: experiment_results/)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None, metavar="NAME",
+        help="run only the named experiments (e.g. --only figure13 table1)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiment names and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(_quick_specs()):
+            print(name)
+        return 0
+    run_all(output_dir=args.output_dir, only=args.only)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Lambda billing model: per-invocation fee plus 100 ms-rounded GB-seconds.
+
+The paper's cost analysis (Section 4.3) and Figure 13/17 reproductions all
+rest on this arithmetic, so it lives in one audited module.  Prices are the
+ones quoted in the paper:
+
+* $0.02 per 1 million invocations — i.e. $0.00000002 per request (the paper's
+  rounding; the 2020 list price was $0.20/M, but we reproduce the paper's
+  stated figure so its cost results are comparable);
+* $0.0000166667 per GB-second of configured memory, with the duration of each
+  invocation rounded *up* to the nearest 100 ms billing cycle;
+* function start-up (cold start) time is not billed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.utils.units import GIB
+
+#: Billing cycle granularity in seconds (100 ms).
+BILLING_CYCLE_SECONDS = 0.1
+
+
+@dataclass(frozen=True)
+class LambdaPricing:
+    """Unit prices for the serverless platform."""
+
+    price_per_invocation: float = 0.02 / 1_000_000
+    price_per_gb_second: float = 0.0000166667
+
+    def __post_init__(self):
+        if self.price_per_invocation < 0 or self.price_per_gb_second < 0:
+            raise ConfigurationError("prices must be non-negative")
+
+
+def ceil_to_billing_cycle(duration_s: float) -> float:
+    """Round a duration up to the nearest 100 ms billing cycle.
+
+    Zero-duration invocations are still billed for one cycle, matching AWS
+    behaviour and the paper's ``ceil100`` operator.
+    """
+    if duration_s < 0:
+        raise ConfigurationError(f"duration must be non-negative, got {duration_s}")
+    cycles = max(1, math.ceil(round(duration_s / BILLING_CYCLE_SECONDS, 9)))
+    return cycles * BILLING_CYCLE_SECONDS
+
+
+@dataclass(frozen=True)
+class InvocationCharge:
+    """The cost breakdown of a single billed invocation."""
+
+    invocation_fee: float
+    duration_fee: float
+    billed_duration_s: float
+
+    @property
+    def total(self) -> float:
+        """Total dollars charged for this invocation."""
+        return self.invocation_fee + self.duration_fee
+
+
+@dataclass
+class BillingModel:
+    """Accumulates charges for a tenant across many invocations.
+
+    Charges can be tagged with a free-form category (``"serving"``,
+    ``"warmup"``, ``"backup"``) so experiments can reproduce the cost
+    breakdowns of Figure 13 without re-deriving them.
+    """
+
+    pricing: LambdaPricing = field(default_factory=LambdaPricing)
+    total_invocations: int = 0
+    total_billed_seconds: float = 0.0
+    total_cost: float = 0.0
+    cost_by_category: dict[str, float] = field(default_factory=dict)
+
+    def charge_invocation(
+        self, memory_bytes: int, duration_s: float, category: str = "serving"
+    ) -> InvocationCharge:
+        """Charge one invocation of a function with the given memory size.
+
+        Args:
+            memory_bytes: the function's *configured* memory (AWS bills the
+                configured amount, not the used amount).
+            duration_s: the execution duration to bill (cold-start time must
+                be excluded by the caller; the platform does this).
+            category: accounting bucket for cost breakdowns.
+        """
+        billed = ceil_to_billing_cycle(duration_s)
+        memory_gb = memory_bytes / GIB
+        invocation_fee = self.pricing.price_per_invocation
+        duration_fee = billed * memory_gb * self.pricing.price_per_gb_second
+        charge = InvocationCharge(
+            invocation_fee=invocation_fee,
+            duration_fee=duration_fee,
+            billed_duration_s=billed,
+        )
+        self.total_invocations += 1
+        self.total_billed_seconds += billed
+        self.total_cost += charge.total
+        self.cost_by_category[category] = self.cost_by_category.get(category, 0.0) + charge.total
+        return charge
+
+    def breakdown(self) -> dict[str, float]:
+        """Cost per category plus the total."""
+        result = dict(sorted(self.cost_by_category.items()))
+        result["total"] = self.total_cost
+        return result
+
+    def reset(self) -> None:
+        """Clear all accumulated charges (used between experiment phases)."""
+        self.total_invocations = 0
+        self.total_billed_seconds = 0.0
+        self.total_cost = 0.0
+        self.cost_by_category.clear()

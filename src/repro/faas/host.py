@@ -1,0 +1,133 @@
+"""VM hosts and the greedy bin-packing placement of functions onto them.
+
+The paper observed (citing the "Peeking behind the curtains" study) that AWS
+packs Lambda functions onto the smallest possible number of ~3 GB VM hosts
+using a greedy heuristic.  That placement policy is what creates the network
+contention measured in Figure 4 and motivates the recommendation to use
+>= 1.5 GB functions so each one gets a host to itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.faas.limits import LambdaLimits
+
+
+@dataclass
+class VMHost:
+    """One Lambda-hosting virtual machine."""
+
+    host_id: str
+    memory_bytes: int
+    nic_bandwidth_bps: float
+    resident_functions: set[str] = field(default_factory=set)
+    memory_in_use: int = 0
+
+    def can_fit(self, memory_bytes: int) -> bool:
+        """Whether a function of this size fits in the remaining memory."""
+        return self.memory_in_use + memory_bytes <= self.memory_bytes
+
+    def place(self, function_name: str, memory_bytes: int) -> None:
+        """Place a function instance on this host."""
+        if not self.can_fit(memory_bytes):
+            raise ConfigurationError(
+                f"host {self.host_id} cannot fit {memory_bytes} more bytes "
+                f"({self.memory_in_use}/{self.memory_bytes} in use)"
+            )
+        if function_name in self.resident_functions:
+            raise ConfigurationError(
+                f"function {function_name!r} is already resident on host {self.host_id}"
+            )
+        self.resident_functions.add(function_name)
+        self.memory_in_use += memory_bytes
+
+    def evict(self, function_name: str, memory_bytes: int) -> None:
+        """Remove a function instance from this host (reclaim or shutdown)."""
+        if function_name not in self.resident_functions:
+            raise ConfigurationError(
+                f"function {function_name!r} is not resident on host {self.host_id}"
+            )
+        self.resident_functions.remove(function_name)
+        self.memory_in_use -= memory_bytes
+        if self.memory_in_use < 0:
+            raise ConfigurationError(f"host {self.host_id} memory accounting went negative")
+
+    @property
+    def occupancy(self) -> int:
+        """Number of functions currently resident on this host."""
+        return len(self.resident_functions)
+
+
+class HostManager:
+    """Creates hosts on demand and places functions with a greedy heuristic.
+
+    The greedy rule mirrors what the paper infers about AWS: a new function
+    instance goes onto the existing host with the *most* functions already on
+    it that still has room (tightest packing), and a new host is provisioned
+    only when nothing fits.
+    """
+
+    def __init__(self, limits: LambdaLimits | None = None):
+        self.limits = limits or LambdaLimits()
+        self.hosts: dict[str, VMHost] = {}
+        self._next_host_index = 0
+        self._placement: dict[str, tuple[str, int]] = {}
+
+    def _new_host(self) -> VMHost:
+        host = VMHost(
+            host_id=f"vm-{self._next_host_index:05d}",
+            memory_bytes=self.limits.host_memory_bytes,
+            nic_bandwidth_bps=self.limits.host_nic_bandwidth,
+        )
+        self._next_host_index += 1
+        self.hosts[host.host_id] = host
+        return host
+
+    def place_function(self, function_name: str, memory_bytes: int) -> VMHost:
+        """Place a new function instance and return its host."""
+        if function_name in self._placement:
+            raise ConfigurationError(f"function {function_name!r} is already placed")
+        candidates = [host for host in self.hosts.values() if host.can_fit(memory_bytes)]
+        if candidates:
+            # Greedy bin-packing: prefer the fullest host that still fits.
+            host = max(candidates, key=lambda h: (h.memory_in_use, h.host_id))
+        else:
+            host = self._new_host()
+        host.place(function_name, memory_bytes)
+        self._placement[function_name] = (host.host_id, memory_bytes)
+        return host
+
+    def remove_function(self, function_name: str) -> None:
+        """Remove a function instance from its host (after reclamation)."""
+        placement = self._placement.pop(function_name, None)
+        if placement is None:
+            return
+        host_id, memory_bytes = placement
+        self.hosts[host_id].evict(function_name, memory_bytes)
+
+    def host_of(self, function_name: str) -> Optional[VMHost]:
+        """The host a function instance currently lives on, if any."""
+        placement = self._placement.get(function_name)
+        if placement is None:
+            return None
+        return self.hosts[placement[0]]
+
+    def distinct_hosts(self, function_names: list[str]) -> int:
+        """How many distinct VM hosts the given function instances span.
+
+        This is the x-axis of Figure 4.
+        """
+        seen = set()
+        for name in function_names:
+            placement = self._placement.get(name)
+            if placement is not None:
+                seen.add(placement[0])
+        return len(seen)
+
+    @property
+    def host_count(self) -> int:
+        """Number of hosts provisioned so far."""
+        return len(self.hosts)

@@ -1,0 +1,286 @@
+"""The simulated FaaS platform: function registry, invocation, auto-scaling,
+reclamation sweeps, and billing.
+
+This is the stand-in for AWS Lambda.  The cache layer above it only uses the
+behaviours the real platform exposes:
+
+* ``register_function`` / ``invoke`` — deploy a named function and invoke it;
+  a warm instance is reused when one is idle, a cold start creates a new one.
+* Concurrent invocations of the same function auto-scale into *peer
+  replicas*, each with its own private state (the backup protocol's λ_d).
+* Warm instances are cached between invocations and may be reclaimed at any
+  time by the configured :class:`~repro.faas.reclamation.ReclamationPolicy`;
+  reclamation destroys the instance's state.
+* Every invocation is billed per the paper's pricing (invocation fee plus
+  100 ms-rounded GB-seconds); the *caller* reports the execution duration,
+  because in InfiniCache the Lambda runtime deliberately keeps itself alive
+  to the end of a billing cycle (anticipatory billed-duration control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import ConfigurationError, FunctionReclaimedError, InvocationError
+from repro.faas.billing import BillingModel
+from repro.faas.function import FunctionInstance, FunctionState
+from repro.faas.host import HostManager
+from repro.faas.limits import LambdaLimits, validate_memory_bytes
+from repro.faas.reclamation import NoReclamationPolicy, ReclamationPolicy
+from repro.simulation.events import Simulator
+from repro.simulation.metrics import MetricRegistry
+from repro.utils.units import MINUTE
+
+
+@dataclass(frozen=True)
+class FunctionConfig:
+    """Deployment-time configuration of one named function."""
+
+    name: str
+    memory_bytes: int
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("function name must be non-empty")
+        validate_memory_bytes(self.memory_bytes)
+
+
+@dataclass
+class InvocationResult:
+    """What the platform returns to the invoker."""
+
+    instance: FunctionInstance
+    cold_start: bool
+    invoke_overhead_s: float
+    started_at: float
+
+
+@dataclass
+class _RegisteredFunction:
+    config: FunctionConfig
+    instances: list[FunctionInstance] = field(default_factory=list)
+    next_instance_index: int = 0
+
+    def alive_instances(self) -> list[FunctionInstance]:
+        return [inst for inst in self.instances if inst.is_alive]
+
+
+class FaaSPlatform:
+    """A deterministic, simulation-time AWS Lambda stand-in."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        reclamation_policy: ReclamationPolicy | None = None,
+        limits: LambdaLimits | None = None,
+        billing: BillingModel | None = None,
+        metrics: MetricRegistry | None = None,
+        sweep_interval_s: float = 1 * MINUTE,
+    ):
+        self.simulator = simulator
+        self.limits = limits or LambdaLimits()
+        self.billing = billing or BillingModel()
+        self.metrics = metrics or MetricRegistry()
+        self.reclamation_policy = reclamation_policy or NoReclamationPolicy()
+        self.host_manager = HostManager(self.limits)
+        self.sweep_interval_s = sweep_interval_s
+        self._functions: dict[str, _RegisteredFunction] = {}
+        self._reclaim_listeners: list[Callable[[FunctionInstance], None]] = []
+        self._sweeping = False
+
+    # --- deployment -------------------------------------------------------------
+    def register_function(self, name: str, memory_bytes: int) -> FunctionConfig:
+        """Deploy a named function with the given memory configuration."""
+        if name in self._functions:
+            raise ConfigurationError(f"function {name!r} is already registered")
+        config = FunctionConfig(name=name, memory_bytes=memory_bytes)
+        self._functions[name] = _RegisteredFunction(config=config)
+        return config
+
+    def is_registered(self, name: str) -> bool:
+        """Whether a function with this name has been deployed."""
+        return name in self._functions
+
+    def function_config(self, name: str) -> FunctionConfig:
+        """The deployment configuration of a registered function."""
+        return self._require(name).config
+
+    def registered_functions(self) -> list[str]:
+        """Names of all deployed functions."""
+        return sorted(self._functions)
+
+    def _require(self, name: str) -> _RegisteredFunction:
+        registered = self._functions.get(name)
+        if registered is None:
+            raise InvocationError(f"function {name!r} is not registered")
+        return registered
+
+    # --- invocation --------------------------------------------------------------
+    def invoke(self, name: str, *, force_new_instance: bool = False) -> InvocationResult:
+        """Invoke a function and return the instance that serves the call.
+
+        An idle warm instance is reused unless ``force_new_instance`` is set
+        (or every warm instance is busy), in which case the platform cold
+        starts a fresh peer replica — this is how concurrent invocations
+        auto-scale and how the backup protocol obtains λ_d.
+
+        The caller is responsible for (a) advancing simulation time to model
+        the function's execution and (b) calling :meth:`complete_invocation`
+        with the duration to bill.
+        """
+        registered = self._require(name)
+        instance: Optional[FunctionInstance] = None
+        if not force_new_instance:
+            for candidate in registered.alive_instances():
+                if candidate.state is FunctionState.IDLE:
+                    instance = candidate
+                    break
+        cold_start = instance is None
+        if cold_start:
+            instance = self._create_instance(registered)
+            overhead = self.limits.cold_start_overhead + self.limits.warm_invocation_overhead
+            self.metrics.counter("faas.cold_starts").increment()
+        else:
+            overhead = self.limits.warm_invocation_overhead
+        instance.state = FunctionState.RUNNING
+        instance.mark_invoked(self.simulator.now)
+        self.metrics.counter("faas.invocations").increment()
+        return InvocationResult(
+            instance=instance,
+            cold_start=cold_start,
+            invoke_overhead_s=overhead,
+            started_at=self.simulator.now,
+        )
+
+    def invoke_instance(self, instance: FunctionInstance) -> InvocationResult:
+        """Invoke a *specific* warm instance.
+
+        The cache layer tracks which replica of a function holds which data
+        (primary vs backup peer), so it needs to direct invocations at a
+        chosen instance rather than whichever idle instance the platform
+        would pick.  Raises :class:`FunctionReclaimedError` if the instance
+        no longer exists.
+        """
+        if not instance.is_alive:
+            raise FunctionReclaimedError(instance.instance_id)
+        if instance.state is FunctionState.RUNNING:
+            raise InvocationError(
+                f"instance {instance.instance_id} is already running an invocation"
+            )
+        instance.state = FunctionState.RUNNING
+        instance.mark_invoked(self.simulator.now)
+        self.metrics.counter("faas.invocations").increment()
+        return InvocationResult(
+            instance=instance,
+            cold_start=False,
+            invoke_overhead_s=self.limits.warm_invocation_overhead,
+            started_at=self.simulator.now,
+        )
+
+    def complete_invocation(
+        self, instance: FunctionInstance, duration_s: float, category: str = "serving"
+    ) -> None:
+        """Finish an invocation: bill it and return the instance to the warm pool."""
+        if instance.state is FunctionState.RECLAIMED:
+            # The provider reclaimed the container mid-flight; the tenant is
+            # still billed for the duration it ran.
+            self.billing.charge_invocation(instance.memory_bytes, duration_s, category)
+            return
+        if instance.state is not FunctionState.RUNNING:
+            raise InvocationError(
+                f"instance {instance.instance_id} is not running (state={instance.state})"
+            )
+        self.billing.charge_invocation(instance.memory_bytes, duration_s, category)
+        instance.state = FunctionState.IDLE
+        instance.last_invoked_at = self.simulator.now
+
+    def _create_instance(self, registered: _RegisteredFunction) -> FunctionInstance:
+        config = registered.config
+        instance_id = f"{config.name}@{registered.next_instance_index}"
+        registered.next_instance_index += 1
+        instance = FunctionInstance(
+            function_name=config.name,
+            instance_id=instance_id,
+            memory_bytes=config.memory_bytes,
+            created_at=self.simulator.now,
+        )
+        host = self.host_manager.place_function(instance_id, config.memory_bytes)
+        instance.host_id = host.host_id
+        registered.instances.append(instance)
+        self.metrics.counter("faas.instances_created").increment()
+        return instance
+
+    # --- instance inspection -------------------------------------------------------
+    def warm_instance(self, name: str) -> Optional[FunctionInstance]:
+        """The most recently used alive instance of a function, if any."""
+        alive = self._require(name).alive_instances()
+        if not alive:
+            return None
+        return max(alive, key=lambda inst: inst.last_invoked_at)
+
+    def alive_instances(self, name: str | None = None) -> list[FunctionInstance]:
+        """All alive instances, optionally restricted to one function name."""
+        if name is not None:
+            return self._require(name).alive_instances()
+        result: list[FunctionInstance] = []
+        for registered in self._functions.values():
+            result.extend(registered.alive_instances())
+        return result
+
+    def instance_count(self) -> int:
+        """Total number of alive instances across all functions."""
+        return len(self.alive_instances())
+
+    # --- reclamation ------------------------------------------------------------------
+    def on_reclaim(self, listener: Callable[[FunctionInstance], None]) -> None:
+        """Register a callback invoked whenever an instance is reclaimed."""
+        self._reclaim_listeners.append(listener)
+
+    def start_reclamation_sweeps(self) -> None:
+        """Begin periodic reclamation sweeps on the simulator.
+
+        Each sweep asks the policy which alive instances to reclaim.  Sweeps
+        reschedule themselves, so this should be called once per simulation.
+        """
+        if self._sweeping:
+            return
+        self._sweeping = True
+        self.simulator.schedule(self.sweep_interval_s, self._sweep, label="faas.reclaim_sweep")
+
+    def _sweep(self) -> None:
+        now = self.simulator.now
+        alive = self.alive_instances()
+        to_reclaim = self.reclamation_policy.select_reclaims(now, alive)
+        for instance in to_reclaim:
+            self.reclaim_instance(instance)
+        self.metrics.series("faas.reclaims_per_sweep").record(now, float(len(to_reclaim)))
+        if self._sweeping:
+            self.simulator.schedule(self.sweep_interval_s, self._sweep, label="faas.reclaim_sweep")
+
+    def stop_reclamation_sweeps(self) -> None:
+        """Stop scheduling further sweeps (pending ones become no-ops)."""
+        self._sweeping = False
+
+    def reclaim_instance(self, instance: FunctionInstance) -> None:
+        """Forcibly reclaim a specific instance (also used by tests)."""
+        if not instance.is_alive:
+            return
+        instance.reclaim(self.simulator.now)
+        self.host_manager.remove_function(instance.instance_id)
+        self.metrics.counter("faas.reclaims").increment()
+        self.metrics.series("faas.reclaim_events").record(self.simulator.now, 1.0)
+        for listener in self._reclaim_listeners:
+            listener(instance)
+
+    # --- state access used by the cache runtime ------------------------------------
+    def instance_state(self, instance: FunctionInstance) -> dict:
+        """The mutable runtime state of an alive instance.
+
+        Raises:
+            FunctionReclaimedError: if the instance has been reclaimed (its
+                state no longer exists anywhere).
+        """
+        if not instance.is_alive:
+            raise FunctionReclaimedError(instance.instance_id)
+        return instance.runtime_state

@@ -1,0 +1,240 @@
+"""Provider-initiated function reclamation policies.
+
+Section 4.1 of the paper measures how AWS reclaims warm functions over a
+24-hour window under different warm-up frequencies and finds two regimes:
+
+* **Spiky** (the 9-minute warm-up trace from Aug 2019): nearly the whole
+  fleet is reclaimed in bursts roughly every 6 hours.
+* **Continuous** (1-minute warm-up traces): a modest number of functions is
+  reclaimed every hour, with the per-minute reclaim count following roughly a
+  Zipf distribution on some days and a Poisson distribution on others.
+
+Each policy here reproduces one of those regimes.  Policies are queried by
+the platform once per simulated minute and return the set of instances to
+reclaim, so the same machinery drives both the Figure 8/9 reproductions and
+the availability seen by the production-trace replay.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.faas.function import FunctionInstance
+from repro.utils.rng import SeededRNG
+from repro.utils.units import HOUR, MINUTE
+
+
+class ReclamationPolicy(abc.ABC):
+    """Interface for provider reclamation behaviour.
+
+    ``select_reclaims`` is called once per sweep interval (one simulated
+    minute by default) with every *alive* instance and returns the instances
+    to reclaim during this sweep.
+    """
+
+    @abc.abstractmethod
+    def select_reclaims(
+        self, now: float, instances: Sequence[FunctionInstance]
+    ) -> list[FunctionInstance]:
+        """Choose which instances the provider reclaims at time ``now``."""
+
+    def describe(self) -> dict[str, float | str]:
+        """Human-readable parameters, for experiment reports."""
+        return {"policy": type(self).__name__}
+
+
+class NoReclamationPolicy(ReclamationPolicy):
+    """The provider never reclaims anything (useful for unit tests)."""
+
+    def select_reclaims(self, now, instances):
+        return []
+
+
+class IdleTimeoutPolicy(ReclamationPolicy):
+    """Reclaim instances idle longer than a threshold (default 27 minutes).
+
+    This models the baseline "keep-alive" behaviour reported by the
+    measurement study the paper cites: an un-invoked function is kept for at
+    most ~27 minutes.  Warm-up invocations reset the idle clock, which is why
+    InfiniCache's 1-minute warm-up keeps functions alive.
+    """
+
+    def __init__(self, idle_timeout_s: float = 27 * MINUTE):
+        if idle_timeout_s <= 0:
+            raise ConfigurationError("idle timeout must be positive")
+        self.idle_timeout_s = idle_timeout_s
+
+    def select_reclaims(self, now, instances):
+        return [
+            instance
+            for instance in instances
+            if instance.idle_seconds(now) >= self.idle_timeout_s
+        ]
+
+    def describe(self):
+        return {"policy": "IdleTimeout", "idle_timeout_s": self.idle_timeout_s}
+
+
+class PeriodicSpikePolicy(ReclamationPolicy):
+    """Mass reclamation bursts roughly every ``spike_interval`` (Fig. 8, 9-min trace).
+
+    Between spikes only a trickle of instances is reclaimed; at each spike a
+    large fraction of the fleet goes at once, spread over a window of a few
+    sweeps so the figure shows a cluster rather than a single vertical line.
+    """
+
+    def __init__(
+        self,
+        rng: SeededRNG,
+        spike_interval_s: float = 6 * HOUR,
+        spike_fraction: float = 0.95,
+        spike_window_s: float = 30 * MINUTE,
+        background_rate_per_sweep: float = 0.2,
+    ):
+        if spike_interval_s <= 0 or spike_window_s <= 0:
+            raise ConfigurationError("spike interval and window must be positive")
+        if not 0 < spike_fraction <= 1:
+            raise ConfigurationError("spike fraction must be in (0, 1]")
+        self.rng = rng
+        self.spike_interval_s = spike_interval_s
+        self.spike_fraction = spike_fraction
+        self.spike_window_s = spike_window_s
+        self.background_rate_per_sweep = background_rate_per_sweep
+
+    def _in_spike(self, now: float) -> bool:
+        phase = now % self.spike_interval_s
+        # The spike window is centred on each multiple of the interval
+        # (excluding time zero, when nothing has been cached yet).
+        return now >= self.spike_interval_s - self.spike_window_s / 2 and (
+            phase <= self.spike_window_s / 2
+            or phase >= self.spike_interval_s - self.spike_window_s / 2
+        )
+
+    def select_reclaims(self, now, instances):
+        alive = list(instances)
+        if not alive:
+            return []
+        if self._in_spike(now):
+            # Spread the spike over the window: each sweep inside the window
+            # reclaims a share of the fleet so that by the end of the window
+            # roughly spike_fraction of it has been reclaimed.
+            sweeps_in_window = max(1, int(self.spike_window_s / MINUTE))
+            per_sweep_probability = min(1.0, self.spike_fraction / sweeps_in_window * 2.5)
+            return [inst for inst in alive if self.rng.random() < per_sweep_probability]
+        expected = self.background_rate_per_sweep
+        count = min(len(alive), self.rng.poisson(expected))
+        if count == 0:
+            return []
+        indices = self.rng.sample_without_replacement(len(alive), count)
+        return [alive[i] for i in indices]
+
+    def describe(self):
+        return {
+            "policy": "PeriodicSpike",
+            "spike_interval_s": self.spike_interval_s,
+            "spike_fraction": self.spike_fraction,
+        }
+
+
+class PoissonReclamationPolicy(ReclamationPolicy):
+    """Continuous reclamation with a Poisson number of reclaims per sweep.
+
+    Matches the Oct/Dec/Jan traces of Figure 9: the number of functions
+    reclaimed per minute is Poisson-distributed with a small mean, giving the
+    steady hourly reclaim rate (e.g. ~36/hour in the 12/26/19 trace) used by
+    the availability analysis.
+    """
+
+    def __init__(self, rng: SeededRNG, mean_reclaims_per_sweep: float = 0.6):
+        if mean_reclaims_per_sweep < 0:
+            raise ConfigurationError("mean reclaims per sweep must be non-negative")
+        self.rng = rng
+        self.mean_reclaims_per_sweep = mean_reclaims_per_sweep
+
+    def select_reclaims(self, now, instances):
+        alive = list(instances)
+        if not alive:
+            return []
+        count = min(len(alive), self.rng.poisson(self.mean_reclaims_per_sweep))
+        if count == 0:
+            return []
+        indices = self.rng.sample_without_replacement(len(alive), count)
+        return [alive[i] for i in indices]
+
+    def describe(self):
+        return {
+            "policy": "Poisson",
+            "mean_reclaims_per_sweep": self.mean_reclaims_per_sweep,
+        }
+
+
+class ZipfBurstReclamationPolicy(ReclamationPolicy):
+    """Continuous reclamation whose per-sweep count follows a bounded Zipf law.
+
+    Matches the Aug/Sep/Nov traces of Figure 9: most sweeps reclaim zero or
+    one function, but occasionally a burst reclaims tens at once, giving the
+    heavy-tailed per-minute distribution the paper reports.
+    """
+
+    def __init__(
+        self,
+        rng: SeededRNG,
+        exponent: float = 2.0,
+        max_burst: int = 40,
+        burst_probability: float = 0.15,
+        sibling_correlation: float = 0.5,
+    ):
+        if exponent <= 0:
+            raise ConfigurationError("Zipf exponent must be positive")
+        if max_burst < 1:
+            raise ConfigurationError("max burst must be at least 1")
+        if not 0 <= burst_probability <= 1:
+            raise ConfigurationError("burst probability must be in [0, 1]")
+        if not 0 <= sibling_correlation <= 1:
+            raise ConfigurationError("sibling correlation must be in [0, 1]")
+        self.rng = rng
+        self.exponent = exponent
+        self.max_burst = max_burst
+        self.burst_probability = burst_probability
+        self.sibling_correlation = sibling_correlation
+
+    def select_reclaims(self, now, instances):
+        alive = list(instances)
+        if not alive:
+            return []
+        if self.rng.random() >= self.burst_probability:
+            return []
+        # Rank 0 of the bounded Zipf corresponds to a burst of size 1.
+        burst = self.rng.bounded_zipf(self.max_burst, self.exponent) + 1
+        count = min(len(alive), burst)
+        indices = self.rng.sample_without_replacement(len(alive), count)
+        selected = [alive[i] for i in indices]
+        # Reclamations are partly correlated at the *function* level: when the
+        # provider decides to drop a function's cached containers, it often
+        # drops all of them, taking a backup peer down together with its
+        # primary.  This correlation is what keeps the paper's RESET count
+        # non-zero even with delta-sync backup enabled.
+        if self.sibling_correlation > 0:
+            chosen_ids = {id(instance) for instance in selected}
+            for instance in list(selected):
+                if self.rng.random() >= self.sibling_correlation:
+                    continue
+                for sibling in alive:
+                    if (
+                        sibling.function_name == instance.function_name
+                        and id(sibling) not in chosen_ids
+                    ):
+                        selected.append(sibling)
+                        chosen_ids.add(id(sibling))
+        return selected
+
+    def describe(self):
+        return {
+            "policy": "ZipfBurst",
+            "exponent": self.exponent,
+            "max_burst": self.max_burst,
+            "burst_probability": self.burst_probability,
+            "sibling_correlation": self.sibling_correlation,
+        }

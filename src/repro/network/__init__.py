@@ -1,0 +1,23 @@
+"""Network model for the simulated AWS substrate.
+
+The paper's performance results hinge on a few network facts:
+
+* Lambda functions only make *outbound* TCP connections; the proxy accepts
+  them (this constraint shapes the whole architecture but not the timing
+  model).
+* A Lambda function's bandwidth grows with its configured memory — the
+  authors measured roughly 50-160 MB/s from 128 MB to 3008 MB functions.
+* Multiple functions packed on one VM host *share* that host's NIC, which is
+  the contention effect behind Figure 4.
+
+:class:`~repro.network.link.Link` models a single bandwidth/latency pipe;
+:class:`~repro.network.topology.HostNic` models the shared per-host uplink;
+:func:`~repro.network.transfer.transfer_time` combines them into per-request
+timings used by the cache simulation.
+"""
+
+from repro.network.link import Link
+from repro.network.topology import HostNic, NetworkFabric
+from repro.network.transfer import TransferModel
+
+__all__ = ["Link", "HostNic", "NetworkFabric", "TransferModel"]

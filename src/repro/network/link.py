@@ -1,0 +1,48 @@
+"""A point-to-point network link with latency and bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A simple latency + bandwidth pipe.
+
+    Attributes:
+        latency_s: one-way propagation/processing latency in seconds (the
+            per-message fixed cost: TCP round trip inside a VPC is a fraction
+            of a millisecond; invoking a Lambda adds ~13 ms, but that cost is
+            modelled by the platform, not the link).
+        bandwidth_bps: sustained bandwidth in bytes per second.
+    """
+
+    latency_s: float
+    bandwidth_bps: float
+
+    def __post_init__(self):
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {self.latency_s}")
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {self.bandwidth_bps}")
+
+    def transfer_time(self, num_bytes: int, effective_bandwidth_bps: float | None = None) -> float:
+        """Time to push ``num_bytes`` through the link.
+
+        Args:
+            num_bytes: payload size.
+            effective_bandwidth_bps: optional override, used when a shared
+                NIC divides the nominal bandwidth among concurrent flows.
+        """
+        if num_bytes < 0:
+            raise ConfigurationError(f"cannot transfer a negative byte count {num_bytes}")
+        bandwidth = effective_bandwidth_bps or self.bandwidth_bps
+        return self.latency_s + num_bytes / bandwidth
+
+    def scaled(self, factor: float) -> "Link":
+        """Return a copy of this link with bandwidth multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return Link(latency_s=self.latency_s, bandwidth_bps=self.bandwidth_bps * factor)

@@ -1,0 +1,75 @@
+"""Host-level network topology: shared NICs and the proxy-side fabric.
+
+The key effect reproduced here is Figure 4 of the paper: when several
+network-hungry Lambda functions land on the same VM host, they contend for
+that host's uplink, so a GET that touches fewer distinct hosts is slower than
+one whose chunks are spread across many hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.utils.units import GB
+
+
+@dataclass
+class HostNic:
+    """The shared network interface of one Lambda-hosting VM.
+
+    ``concurrent_flows`` counts how many chunk transfers are in flight through
+    this NIC at the same instant; the effective per-flow bandwidth is the NIC
+    capacity divided by that count (a standard processor-sharing approximation
+    that captures the contention trend without packet-level simulation).
+    """
+
+    host_id: str
+    capacity_bps: float
+    concurrent_flows: int = 0
+
+    def __post_init__(self):
+        if self.capacity_bps <= 0:
+            raise ConfigurationError(f"NIC capacity must be positive, got {self.capacity_bps}")
+
+    def effective_bandwidth(self, flows: int | None = None) -> float:
+        """Per-flow bandwidth when ``flows`` transfers share the NIC."""
+        active = flows if flows is not None else max(self.concurrent_flows, 1)
+        active = max(active, 1)
+        return self.capacity_bps / active
+
+    def acquire(self) -> None:
+        """Register one in-flight transfer."""
+        self.concurrent_flows += 1
+
+    def release(self) -> None:
+        """Unregister one in-flight transfer."""
+        if self.concurrent_flows <= 0:
+            raise ConfigurationError(f"NIC {self.host_id} released with no active flows")
+        self.concurrent_flows -= 1
+
+
+@dataclass
+class NetworkFabric:
+    """Registry of host NICs plus the client/proxy side uplink capacity.
+
+    The proxy runs on a ``c5n.4xlarge``-class instance in the paper, so the
+    proxy-side uplink is far larger than any single Lambda's bandwidth and is
+    rarely the bottleneck; it still matters when dozens of chunks stream
+    concurrently (Figure 12's scalability experiment).
+    """
+
+    proxy_uplink_bps: float = 25 * GB / 8 * 1.0  # 25 Gbps in bytes/s
+    hosts: dict[str, HostNic] = field(default_factory=dict)
+
+    def host(self, host_id: str, capacity_bps: float) -> HostNic:
+        """Get or create the NIC for ``host_id`` with the given capacity."""
+        nic = self.hosts.get(host_id)
+        if nic is None:
+            nic = HostNic(host_id=host_id, capacity_bps=capacity_bps)
+            self.hosts[host_id] = nic
+        return nic
+
+    def proxy_share(self, concurrent_streams: int) -> float:
+        """Per-stream proxy-side bandwidth when ``concurrent_streams`` share it."""
+        return self.proxy_uplink_bps / max(concurrent_streams, 1)

@@ -1,0 +1,33 @@
+"""Discrete-event simulation engine.
+
+The InfiniCache reproduction runs on a simulated AWS substrate rather than a
+real cloud, so everything time-dependent (invocation latency, chunk
+transfers, warm-up timers, function reclamation) is driven by a shared
+virtual clock and event queue defined here.
+
+Design notes
+------------
+* The engine is a classic event-list simulator: callbacks are scheduled at
+  absolute virtual times and executed in time order.  Components never sleep;
+  they schedule.
+* For request/response paths that are easier to express sequentially (e.g.
+  "invoke the Lambda, wait for the chunk, then decode"), the cache layer uses
+  :class:`~repro.simulation.clock.SimClock.advance` style accounting instead
+  of full coroutine processes.  Both styles share the same clock so costs,
+  timelines, and reclamation events line up.
+"""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue, Simulator
+from repro.simulation.metrics import Counter, Gauge, MetricRegistry, TimeSeries
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "TimeSeries",
+]

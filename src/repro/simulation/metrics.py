@@ -1,0 +1,188 @@
+"""Metric recording primitives shared by the cache, platform, and experiments.
+
+Three small primitives cover everything the paper's figures need:
+
+* :class:`Counter` — monotonically increasing event counts (invocations,
+  cache hits, RESETs).
+* :class:`Gauge` — a value that moves up and down (bytes cached, pool
+  memory in use).
+* :class:`TimeSeries` — timestamped samples, used to draw timelines such as
+  Figure 13's hourly cost breakdown and Figure 14's fault-tolerance activity.
+
+A :class:`MetricRegistry` groups them under string names so experiments can
+introspect whatever the components recorded without threading dozens of
+return values around.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.utils.stats import summarize
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot be incremented by {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero (used between experiment phases)."""
+        self.value = 0.0
+
+
+@dataclass
+class Gauge:
+    """A value that can move in both directions (e.g. bytes currently cached)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        self.value += delta
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped samples, kept in insertion order.
+
+    The simulation appends samples with non-decreasing timestamps, which lets
+    ``window`` and ``bucket`` use binary search.
+    """
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample at virtual ``time``."""
+        if self.times and time < self.times[-1] - 1e-9:
+            raise ValueError(
+                f"time series {self.name!r} received out-of-order sample at {time} "
+                f"(last was {self.times[-1]})"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Return samples with ``start <= time < end``."""
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)
+        return list(zip(self.times[lo:hi], self.values[lo:hi]))
+
+    def sum_in_window(self, start: float, end: float) -> float:
+        """Sum the sample values with ``start <= time < end``."""
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)
+        return float(sum(self.values[lo:hi]))
+
+    def count_in_window(self, start: float, end: float) -> int:
+        """Count samples with ``start <= time < end``."""
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)
+        return hi - lo
+
+    def bucket(self, bucket_seconds: float, end_time: float | None = None,
+               aggregate: str = "sum") -> list[float]:
+        """Aggregate samples into fixed-width time buckets.
+
+        Args:
+            bucket_seconds: width of each bucket in virtual seconds.
+            end_time: horizon; defaults to the last sample's timestamp.
+            aggregate: ``"sum"`` or ``"count"``.
+
+        Returns:
+            One aggregated value per bucket, covering ``[0, end_time)``.
+        """
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if aggregate not in ("sum", "count"):
+            raise ValueError(f"unknown aggregate {aggregate!r}")
+        if end_time is None:
+            end_time = self.times[-1] if self.times else 0.0
+        n_buckets = int(end_time // bucket_seconds) + (1 if end_time % bucket_seconds else 0)
+        n_buckets = max(n_buckets, 0)
+        results = []
+        for i in range(n_buckets):
+            start = i * bucket_seconds
+            stop = start + bucket_seconds
+            if aggregate == "sum":
+                results.append(self.sum_in_window(start, stop))
+            elif aggregate == "count":
+                results.append(float(self.count_in_window(start, stop)))
+            else:
+                raise ValueError(f"unknown aggregate {aggregate!r}")
+        return results
+
+    def summary(self) -> dict[str, float]:
+        """Summarise the sample values (count/mean/percentiles)."""
+        return summarize(self.values)
+
+
+class MetricRegistry:
+    """A named collection of counters, gauges, and time series."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter with this name."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge with this name."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def series(self, name: str) -> TimeSeries:
+        """Get or create the time series with this name."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot of all counter values."""
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+    def gauges(self) -> dict[str, float]:
+        """Snapshot of all gauge values."""
+        return {name: gauge.value for name, gauge in sorted(self._gauges.items())}
+
+    def series_names(self) -> list[str]:
+        """Names of all registered time series."""
+        return sorted(self._series)
+
+    def has_series(self, name: str) -> bool:
+        """Whether a time series with this name has been created."""
+        return name in self._series
+
+    def snapshot(self) -> dict[str, dict]:
+        """A JSON-friendly snapshot of everything recorded so far."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "series": {name: len(series) for name, series in sorted(self._series.items())},
+        }

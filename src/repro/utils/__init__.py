@@ -1,0 +1,50 @@
+"""Shared utilities: byte/time unit helpers, statistics, deterministic RNG."""
+
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    KIB,
+    MIB,
+    GIB,
+    MILLISECOND,
+    SECOND,
+    MINUTE,
+    HOUR,
+    DAY,
+    format_bytes,
+    format_duration,
+    parse_size,
+)
+from repro.utils.stats import (
+    OnlineStats,
+    cdf_points,
+    percentile,
+    percentiles,
+    summarize,
+)
+from repro.utils.rng import SeededRNG, derive_seed
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "MILLISECOND",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "format_bytes",
+    "format_duration",
+    "parse_size",
+    "OnlineStats",
+    "cdf_points",
+    "percentile",
+    "percentiles",
+    "summarize",
+    "SeededRNG",
+    "derive_seed",
+]

@@ -1,0 +1,110 @@
+"""Byte and time unit constants and formatting helpers.
+
+Conventions used throughout the library:
+
+* **Sizes** are plain ``int`` bytes.  Decimal constants (``MB``) are used for
+  workload object sizes to match the paper's "10 MB", "100 MB" phrasing;
+  binary constants (``MiB``) are used for Lambda memory configuration because
+  AWS sizes function memory in binary megabytes.
+* **Times** are ``float`` seconds of simulated time.  Constants such as
+  :data:`MILLISECOND` make call sites read naturally
+  (``timeout = 100 * MILLISECOND``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ConfigurationError
+
+# --- byte units (decimal, as in the paper's object sizes) -------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# --- byte units (binary, as in AWS memory configuration) --------------------
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+# --- time units (seconds) ----------------------------------------------------
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": 1_000_000_000_000,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)?\s*$")
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a human-friendly decimal suffix.
+
+    >>> format_bytes(1_500_000)
+    '1.50 MB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    value = float(num_bytes)
+    for suffix, factor in (("TB", 1e12), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f} {suffix}"
+    return f"{int(value)} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most natural unit.
+
+    >>> format_duration(0.0421)
+    '42.1 ms'
+    >>> format_duration(7260)
+    '2.02 h'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.2f} min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.2f} h"
+    return f"{seconds / DAY:.2f} d"
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size string into bytes.
+
+    Accepts plain numbers (already bytes) or strings such as ``"10MB"``,
+    ``"1.5 GiB"``, ``"512 kb"``.  Suffix matching is case-insensitive.
+
+    Raises:
+        ConfigurationError: if the string cannot be parsed or the suffix is
+            unknown.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigurationError(f"size must be non-negative, got {text}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ConfigurationError(f"cannot parse size string {text!r}")
+    value = float(match.group(1))
+    suffix = (match.group(2) or "b").lower()
+    if suffix not in _SIZE_SUFFIXES:
+        raise ConfigurationError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(value * _SIZE_SUFFIXES[suffix])

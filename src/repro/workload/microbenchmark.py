@@ -1,0 +1,79 @@
+"""Microbenchmark workload generator (paper Section 5.1).
+
+The microbenchmarks are GET-only runs over fixed-size objects: the object is
+PUT once, then fetched repeatedly while the experiment sweeps the erasure
+code, the object size (10-100 MB) and the Lambda memory configuration
+(128-3008 MB).  This module produces those request sequences so the
+Figure 11 and Figure 12 reproductions and the pytest benchmarks share one
+definition of the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeededRNG
+from repro.utils.units import MB
+from repro.workload.trace import Trace, TraceRecord
+
+#: Object sizes swept by Figure 11 (bytes).
+FIGURE11_OBJECT_SIZES = (10 * MB, 20 * MB, 40 * MB, 60 * MB, 80 * MB, 100 * MB)
+
+#: Erasure codes swept by Figure 11, as (data, parity) pairs.
+FIGURE11_RS_CODES = ((10, 0), (10, 1), (10, 2), (10, 4), (4, 2), (5, 1))
+
+
+@dataclass(frozen=True)
+class MicrobenchmarkWorkload:
+    """A GET-only workload over a small set of fixed-size objects."""
+
+    object_size_bytes: int = 100 * MB
+    object_count: int = 5
+    requests: int = 50
+    inter_arrival_s: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.object_size_bytes <= 0:
+            raise ConfigurationError("object size must be positive")
+        if self.object_count < 1:
+            raise ConfigurationError("object count must be >= 1")
+        if self.requests < 1:
+            raise ConfigurationError("request count must be >= 1")
+        if self.inter_arrival_s < 0:
+            raise ConfigurationError("inter-arrival time must be non-negative")
+
+    def object_keys(self) -> list[str]:
+        """Keys of the benchmark objects."""
+        return [
+            f"bench/{self.object_size_bytes}/obj-{index:03d}"
+            for index in range(self.object_count)
+        ]
+
+    def populate_records(self) -> list[TraceRecord]:
+        """The PUT records that load the objects before the GET phase."""
+        return [
+            TraceRecord(timestamp=0.0, operation="PUT", key=key, size=self.object_size_bytes)
+            for key in self.object_keys()
+        ]
+
+    def get_records(self, start_time: float = 1.0) -> list[TraceRecord]:
+        """The GET request sequence (uniform over the benchmark objects)."""
+        rng = SeededRNG(self.seed)
+        keys = self.object_keys()
+        records = []
+        timestamp = start_time
+        for _ in range(self.requests):
+            key = keys[rng.integers(0, len(keys))]
+            records.append(
+                TraceRecord(timestamp=timestamp, operation="GET", key=key,
+                            size=self.object_size_bytes)
+            )
+            timestamp += self.inter_arrival_s
+        return records
+
+    def as_trace(self) -> Trace:
+        """The full workload (PUT phase then GET phase) as a trace."""
+        records = self.populate_records() + self.get_records()
+        return Trace.from_records(records, name=f"microbench-{self.object_size_bytes}")

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.utils.rng import SeededRNG
+from repro.utils.units import MIB
+
+
+@pytest.fixture
+def rng() -> SeededRNG:
+    """A deterministic RNG for tests."""
+    return SeededRNG(1234)
+
+
+@pytest.fixture
+def small_config() -> InfiniCacheConfig:
+    """A small deployment configuration that keeps tests fast."""
+    return InfiniCacheConfig(
+        num_proxies=1,
+        lambdas_per_proxy=16,
+        lambda_memory_bytes=1536 * MIB,
+        data_shards=4,
+        parity_shards=2,
+        backup_enabled=True,
+        straggler=StragglerModel(probability=0.0),
+        seed=99,
+    )
+
+
+@pytest.fixture
+def deployment(small_config) -> InfiniCacheDeployment:
+    """A started small deployment (no reclamation)."""
+    built = InfiniCacheDeployment(small_config)
+    built.start()
+    yield built
+    built.stop()
+
+
+@pytest.fixture
+def client(deployment):
+    """A client bound to the small deployment."""
+    return deployment.new_client("test-client")

@@ -1,0 +1,149 @@
+"""Tests for the ElastiCache (Redis) baseline."""
+
+import pytest
+
+from repro.baselines.elasticache import ElastiCacheCluster, ElastiCacheNode
+from repro.baselines.pricing import elasticache_instance
+from repro.exceptions import ConfigurationError
+from repro.utils.units import GB, MB
+
+
+class TestElastiCacheNode:
+    def make_node(self, instance: str = "cache.r5.8xlarge") -> ElastiCacheNode:
+        return ElastiCacheNode(elasticache_instance(instance))
+
+    def test_put_then_get(self):
+        node = self.make_node()
+        put_latency = node.put("k", 10 * MB, now=0.0)
+        get_latency = node.get("k", now=1.0)
+        assert put_latency > 0
+        assert get_latency is not None and get_latency > 0
+        assert node.object_count() == 1
+        assert node.bytes_used == 10 * MB
+
+    def test_miss_returns_none(self):
+        assert self.make_node().get("missing", now=0.0) is None
+
+    def test_latency_grows_with_size(self):
+        node = self.make_node()
+        node.put("small", 1 * MB, now=0.0)
+        node.put("large", 100 * MB, now=0.0)
+        # Query at well-separated times so queueing does not blur the comparison.
+        small_latency = node.get("small", now=100.0)
+        large_latency = node.get("large", now=1000.0)
+        assert large_latency > small_latency
+
+    def test_single_threaded_queueing(self):
+        """Concurrent large GETs on one node serialise — the reason the
+        1-node deployment loses in Figure 11(f)."""
+        node = self.make_node()
+        node.put("k", 100 * MB, now=0.0)
+        first = node.get("k", now=10.0)
+        second = node.get("k", now=10.0)
+        assert second > first
+
+    def test_queue_drains_over_time(self):
+        node = self.make_node()
+        node.put("k", 100 * MB, now=0.0)
+        node.get("k", now=10.0)
+        later = node.get("k", now=1000.0)
+        assert later == pytest.approx(node._service_time(100 * MB))
+
+    def test_lru_eviction_at_capacity(self):
+        node = self.make_node("cache.r5.xlarge")
+        object_size = int(node.capacity_bytes // 3)
+        for index in range(4):
+            node.put(f"obj-{index}", object_size, now=float(index))
+        assert node.bytes_used <= node.capacity_bytes
+        assert node.evictions >= 1
+        assert not node.contains("obj-0")
+        assert node.contains("obj-3")
+
+    def test_get_refreshes_lru_position(self):
+        node = self.make_node("cache.r5.xlarge")
+        object_size = int(node.capacity_bytes // 3)
+        node.put("a", object_size, now=0.0)
+        node.put("b", object_size, now=1.0)
+        node.put("c", object_size, now=2.0)
+        node.get("a", now=3.0)
+        node.put("d", object_size, now=4.0)
+        assert node.contains("a")
+        assert not node.contains("b")
+
+    def test_overwrite_updates_bytes(self):
+        node = self.make_node()
+        node.put("k", 10 * MB, now=0.0)
+        node.put("k", 5 * MB, now=1.0)
+        assert node.bytes_used == 5 * MB
+
+    def test_delete(self):
+        node = self.make_node()
+        node.put("k", MB, now=0.0)
+        assert node.delete("k") is True
+        assert node.delete("k") is False
+        assert node.bytes_used == 0
+
+    def test_oversized_object_rejected(self):
+        node = self.make_node("cache.r5.xlarge")
+        with pytest.raises(ConfigurationError):
+            node.put("huge", node.capacity_bytes + 1, now=0.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_node().put("k", 0, now=0.0)
+
+
+class TestElastiCacheCluster:
+    def test_sharding_across_nodes(self):
+        cluster = ElastiCacheCluster("cache.r5.xlarge", node_count=10)
+        for i in range(200):
+            cluster.put(f"obj-{i}", MB, now=0.0)
+        used_nodes = sum(1 for node in cluster.nodes if node.object_count() > 0)
+        assert used_nodes >= 7
+
+    def test_hit_and_miss_accounting(self):
+        cluster = ElastiCacheCluster()
+        cluster.put("a", MB, now=0.0)
+        assert cluster.get("a", now=1.0) is not None
+        assert cluster.get("b", now=1.0) is None
+        assert cluster.hits == 1 and cluster.misses == 1
+        assert cluster.hit_ratio() == pytest.approx(0.5)
+
+    def test_capacity_sums_nodes(self):
+        cluster = ElastiCacheCluster("cache.r5.xlarge", node_count=10)
+        assert cluster.capacity_bytes == 10 * elasticache_instance("cache.r5.xlarge").memory_bytes
+
+    def test_hourly_cost_matches_paper(self):
+        """One cache.r5.24xlarge over 50 hours is the paper's $518.40."""
+        cluster = ElastiCacheCluster("cache.r5.24xlarge", node_count=1)
+        assert cluster.cost_for_duration(50 * 3600) == pytest.approx(518.40)
+
+    def test_cost_rounds_partial_hours_up(self):
+        cluster = ElastiCacheCluster("cache.r5.24xlarge")
+        assert cluster.cost_for_duration(90 * 60) == pytest.approx(2 * 10.368)
+        assert cluster.cost_for_duration(0) == 0.0
+
+    def test_cost_charged_even_when_unused(self):
+        """The capacity-billed model: cost accrues with zero requests."""
+        cluster = ElastiCacheCluster("cache.r5.24xlarge")
+        assert cluster.cost_for_duration(3600) > 0
+        assert cluster.hits + cluster.misses == 0
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigurationError):
+            ElastiCacheCluster(node_count=0)
+
+    def test_unknown_instance_type(self):
+        with pytest.raises(ConfigurationError):
+            ElastiCacheCluster("cache.r9.mega")
+
+    def test_contains(self):
+        cluster = ElastiCacheCluster()
+        cluster.put("x", MB, now=0.0)
+        assert cluster.contains("x")
+        assert not cluster.contains("y")
+
+    def test_bytes_used(self):
+        cluster = ElastiCacheCluster()
+        cluster.put("x", 3 * MB, now=0.0)
+        assert cluster.bytes_used() == 3 * MB

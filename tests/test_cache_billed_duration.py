@@ -1,0 +1,147 @@
+"""Tests for anticipatory billed-duration control."""
+
+import pytest
+
+from repro.cache.billed_duration import BilledDurationController
+from repro.exceptions import ConfigurationError
+from repro.faas.billing import BILLING_CYCLE_SECONDS
+
+
+class TestSessionLifecycle:
+    def test_first_request_opens_session(self):
+        controller = BilledDurationController()
+        was_active = controller.record_request(10.0, 0.01)
+        assert was_active is False
+        assert controller.is_active(10.05)
+
+    def test_request_within_window_reuses_session(self):
+        controller = BilledDurationController()
+        controller.record_request(10.0, 0.01)
+        was_active = controller.record_request(10.05, 0.01)
+        assert was_active is True
+        assert controller.session_count() == 0  # still open
+
+    def test_window_expires_and_bills_one_cycle(self):
+        closed = []
+        controller = BilledDurationController(on_close=closed.append)
+        controller.record_request(0.0, 0.01)
+        controller.expire_if_due(1.0)
+        assert len(closed) == 1
+        charge = closed[0]
+        assert charge.billed_duration_s == pytest.approx(BILLING_CYCLE_SECONDS)
+        assert charge.requests_served == 1
+
+    def test_timer_expires_just_before_cycle_end(self):
+        """The runtime returns a few ms before the 100 ms boundary so it is
+        never billed for an accidental extra cycle (paper Section 3.3)."""
+        controller = BilledDurationController(buffer_s=0.005, extension_threshold=99)
+        controller.record_request(0.0, 0.01)
+        controller.flush()
+        charge = controller.closed_sessions[0]
+        assert charge.duration_s <= BILLING_CYCLE_SECONDS
+        assert charge.billed_duration_s == pytest.approx(BILLING_CYCLE_SECONDS)
+
+    def test_anticipation_extends_by_one_cycle(self):
+        """Two requests inside one cycle extend the window by a full cycle."""
+        controller = BilledDurationController(extension_threshold=2)
+        controller.record_request(0.0, 0.01)
+        controller.record_request(0.05, 0.01)
+        # Window should now extend past the first cycle.
+        assert controller.is_active(0.15)
+
+    def test_no_anticipation_with_single_request(self):
+        controller = BilledDurationController(extension_threshold=2, buffer_s=0.002)
+        controller.record_request(0.0, 0.01)
+        assert not controller.is_active(0.11)
+
+    def test_long_request_covers_multiple_cycles(self):
+        closed = []
+        controller = BilledDurationController(on_close=closed.append, extension_threshold=99)
+        controller.record_request(0.0, 0.35)
+        controller.expire_if_due(1.0)
+        assert closed[0].billed_duration_s >= 0.35
+        assert closed[0].billed_duration_s == pytest.approx(
+            round(closed[0].billed_duration_s / BILLING_CYCLE_SECONDS) * BILLING_CYCLE_SECONDS
+        )
+
+    def test_new_session_after_expiry(self):
+        controller = BilledDurationController()
+        controller.record_request(0.0, 0.01)
+        controller.record_request(5.0, 0.01)  # far outside the first window
+        assert controller.session_count() == 1
+        controller.flush()
+        assert controller.session_count() == 2
+
+    def test_flush_closes_open_session(self):
+        controller = BilledDurationController()
+        controller.record_request(0.0, 0.01)
+        controller.flush()
+        assert controller.session_count() == 1
+        controller.flush()  # idempotent
+        assert controller.session_count() == 1
+
+    def test_total_billed_seconds(self):
+        controller = BilledDurationController()
+        controller.record_request(0.0, 0.01)
+        controller.record_request(10.0, 0.01)
+        controller.flush()
+        assert controller.total_billed_seconds() == pytest.approx(2 * BILLING_CYCLE_SECONDS)
+
+
+class TestCategories:
+    def test_warmup_session_keeps_category(self):
+        closed = []
+        controller = BilledDurationController(on_close=closed.append)
+        controller.record_request(0.0, 0.001, category="warmup")
+        controller.flush()
+        assert closed[0].category == "warmup"
+
+    def test_serving_overrides_warmup_in_mixed_window(self):
+        closed = []
+        controller = BilledDurationController(on_close=closed.append)
+        controller.record_request(0.0, 0.001, category="warmup")
+        controller.record_request(0.01, 0.02, category="serving")
+        controller.flush()
+        assert closed[0].category == "serving"
+
+
+class TestValidation:
+    def test_invalid_buffer(self):
+        with pytest.raises(ConfigurationError):
+            BilledDurationController(buffer_s=0.2)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            BilledDurationController(extension_threshold=0)
+
+    def test_negative_service_time(self):
+        controller = BilledDurationController()
+        with pytest.raises(ConfigurationError):
+            controller.record_request(0.0, -0.1)
+
+
+class TestBillingEconomics:
+    def test_idle_node_costs_nothing(self):
+        """No requests -> no sessions -> zero billed time: the pay-per-use
+        property the whole paper is built on."""
+        controller = BilledDurationController()
+        controller.expire_if_due(1e6)
+        controller.flush()
+        assert controller.session_count() == 0
+        assert controller.total_billed_seconds() == 0.0
+
+    def test_batched_requests_cheaper_than_spread_requests(self):
+        """Requests landing in one window share a billing cycle, spread
+        requests each pay their own — the incentive for the anticipatory
+        extension heuristic."""
+        batched = BilledDurationController()
+        for i in range(5):
+            batched.record_request(0.0 + i * 0.01, 0.005)
+        batched.flush()
+
+        spread = BilledDurationController()
+        for i in range(5):
+            spread.record_request(i * 10.0, 0.005)
+        spread.flush()
+
+        assert batched.total_billed_seconds() < spread.total_billed_seconds()

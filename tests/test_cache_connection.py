@@ -1,0 +1,152 @@
+"""Tests for the proxy-side and Lambda-side connection state machines."""
+
+import pytest
+
+from repro.cache.connection import (
+    LambdaNodeState,
+    LambdaSideConnection,
+    ProxyConnection,
+    ProxyLinkState,
+    ValidationState,
+)
+from repro.exceptions import ConnectionClosedError
+
+
+class TestProxyConnection:
+    def test_initial_state_is_sleeping_unvalidated(self):
+        connection = ProxyConnection("node-0")
+        assert connection.link_state is ProxyLinkState.SLEEPING
+        assert connection.validation is ValidationState.UNVALIDATED
+        assert not connection.is_validated
+
+    def test_invoke_then_pong_validates(self):
+        """Steps 1-3 of Figure 6."""
+        connection = ProxyConnection("node-0")
+        connection.begin_invocation()
+        assert connection.validation is ValidationState.VALIDATING
+        connection.pong_received()
+        assert connection.link_state is ProxyLinkState.ACTIVE
+        assert connection.is_validated
+
+    def test_request_consumes_validation(self):
+        """Step 4: after sending a request the connection must be re-validated."""
+        connection = ProxyConnection("node-0")
+        connection.begin_invocation()
+        connection.pong_received()
+        connection.send_request()
+        assert connection.validation is ValidationState.UNVALIDATED
+
+    def test_request_on_unvalidated_connection_rejected(self):
+        connection = ProxyConnection("node-0")
+        with pytest.raises(ConnectionClosedError):
+            connection.send_request()
+
+    def test_ping_pong_revalidates(self):
+        """Steps 7-10: lazy validation before the next request."""
+        connection = ProxyConnection("node-0")
+        connection.begin_invocation()
+        connection.pong_received()
+        connection.send_request()
+        connection.send_ping()
+        connection.pong_received()
+        connection.send_request()
+        assert connection.stats.pings == 1
+        assert connection.stats.requests == 2
+
+    def test_bye_returns_to_sleeping(self):
+        """Steps 13-14."""
+        connection = ProxyConnection("node-0")
+        connection.begin_invocation()
+        connection.pong_received()
+        connection.bye_received()
+        assert connection.link_state is ProxyLinkState.SLEEPING
+        assert connection.validation is ValidationState.UNVALIDATED
+
+    def test_node_return_resets_state(self):
+        connection = ProxyConnection("node-0")
+        connection.begin_invocation()
+        connection.pong_received()
+        connection.node_returned()
+        assert connection.link_state is ProxyLinkState.SLEEPING
+
+    def test_maybe_state_ignores_source_return(self):
+        """During backup the replaced source's return must be ignored."""
+        connection = ProxyConnection("node-0")
+        connection.begin_invocation()
+        connection.pong_received()
+        connection.enter_maybe()
+        connection.node_returned()
+        assert connection.link_state is ProxyLinkState.MAYBE
+        connection.leave_maybe()
+        assert connection.link_state is ProxyLinkState.SLEEPING
+
+    def test_maybe_state_still_validates_on_pong(self):
+        connection = ProxyConnection("node-0")
+        connection.enter_maybe()
+        connection.pong_received()
+        assert connection.link_state is ProxyLinkState.MAYBE
+        assert connection.is_validated
+
+    def test_unexpected_pong_replaces_connection(self):
+        connection = ProxyConnection("node-0")
+        connection.unexpected_pong()
+        assert connection.link_state is ProxyLinkState.ACTIVE
+        assert connection.stats.unexpected_pongs == 1
+
+
+class TestLambdaSideConnection:
+    def test_initial_state(self):
+        connection = LambdaSideConnection("node-0")
+        assert connection.state is LambdaNodeState.SLEEPING
+
+    def test_activation_sends_pong(self):
+        connection = LambdaSideConnection("node-0")
+        connection.activate()
+        assert connection.state is LambdaNodeState.ACTIVE_IDLING
+        assert connection.stats.pongs == 1
+
+    def test_serving_cycle(self):
+        """Steps 5-6 / 11-12 of Figure 7."""
+        connection = LambdaSideConnection("node-0")
+        connection.activate()
+        connection.begin_serving()
+        assert connection.state is LambdaNodeState.ACTIVE_SERVING
+        connection.finish_serving()
+        assert connection.state is LambdaNodeState.ACTIVE_IDLING
+
+    def test_cannot_serve_while_sleeping(self):
+        connection = LambdaSideConnection("node-0")
+        with pytest.raises(ConnectionClosedError):
+            connection.begin_serving()
+
+    def test_finish_without_begin_rejected(self):
+        connection = LambdaSideConnection("node-0")
+        connection.activate()
+        with pytest.raises(ConnectionClosedError):
+            connection.finish_serving()
+
+    def test_ping_while_sleeping_activates(self):
+        connection = LambdaSideConnection("node-0")
+        connection.ping()
+        assert connection.state is LambdaNodeState.ACTIVE_IDLING
+
+    def test_ping_while_active_counts_pong(self):
+        connection = LambdaSideConnection("node-0")
+        connection.activate()
+        connection.ping()
+        assert connection.stats.pongs == 2
+
+    def test_timeout_sends_bye_and_sleeps(self):
+        """Step 13: expiry of the billed window returns the function."""
+        connection = LambdaSideConnection("node-0")
+        connection.activate()
+        connection.timeout_and_return()
+        assert connection.state is LambdaNodeState.SLEEPING
+        assert connection.stats.byes == 1
+
+    def test_reclaim_sleeps_without_bye(self):
+        connection = LambdaSideConnection("node-0")
+        connection.activate()
+        connection.reclaimed()
+        assert connection.state is LambdaNodeState.SLEEPING
+        assert connection.stats.byes == 0

@@ -1,0 +1,105 @@
+"""Tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.cache.consistent_hash import ConsistentHashRing, stable_hash
+from repro.exceptions import ConfigurationError
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("key") == stable_hash("key")
+
+    def test_64_bit_range(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+    def test_different_keys_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestConsistentHashRing:
+    def test_empty_ring_lookup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing().lookup("key")
+
+    def test_single_member_gets_everything(self):
+        ring = ConsistentHashRing()
+        ring.add("p0", "proxy-0")
+        assert ring.lookup("anything") == "proxy-0"
+        assert ring.lookup_id("anything") == "p0"
+
+    def test_lookup_is_stable(self):
+        ring = ConsistentHashRing()
+        for i in range(5):
+            ring.add(f"p{i}", f"proxy-{i}")
+        keys = [f"key-{i}" for i in range(100)]
+        first = [ring.lookup_id(key) for key in keys]
+        second = [ring.lookup_id(key) for key in keys]
+        assert first == second
+
+    def test_duplicate_member_rejected(self):
+        ring = ConsistentHashRing()
+        ring.add("p0", "proxy-0")
+        with pytest.raises(ConfigurationError):
+            ring.add("p0", "proxy-0-again")
+
+    def test_remove_member(self):
+        ring = ConsistentHashRing()
+        ring.add("p0", "x")
+        ring.add("p1", "y")
+        ring.remove("p0")
+        assert "p0" not in ring
+        assert all(ring.lookup_id(f"k{i}") == "p1" for i in range(20))
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing().remove("ghost")
+
+    def test_members_listing(self):
+        ring = ConsistentHashRing()
+        ring.add("b", 2)
+        ring.add("a", 1)
+        assert ring.members() == [1, 2]
+        assert len(ring) == 2
+
+    def test_distribution_reasonably_balanced(self):
+        ring = ConsistentHashRing(virtual_nodes=128)
+        for i in range(5):
+            ring.add(f"p{i}", i)
+        keys = [f"obj-{i}" for i in range(5000)]
+        counts = ring.distribution(keys)
+        assert sum(counts.values()) == 5000
+        # With 128 virtual nodes no proxy should be starved or dominate badly.
+        assert min(counts.values()) > 5000 / 5 * 0.5
+        assert max(counts.values()) < 5000 / 5 * 1.7
+
+    def test_minimal_disruption_on_member_removal(self):
+        """Consistent hashing's key property: removing one member only
+        remaps the keys that were on it."""
+        ring = ConsistentHashRing()
+        for i in range(4):
+            ring.add(f"p{i}", i)
+        keys = [f"obj-{i}" for i in range(2000)]
+        before = {key: ring.lookup_id(key) for key in keys}
+        ring.remove("p2")
+        moved = sum(
+            1 for key in keys if before[key] != "p2" and ring.lookup_id(key) != before[key]
+        )
+        assert moved == 0
+
+    def test_all_clients_agree(self):
+        """Two independently built rings over the same members map keys the
+        same way — multiple InfiniCache clients sharing proxies agree on
+        placement (Figure 2's shared-access requirement)."""
+        ring_a = ConsistentHashRing()
+        ring_b = ConsistentHashRing()
+        for i in range(3):
+            ring_a.add(f"p{i}", i)
+            ring_b.add(f"p{i}", i)
+        for i in range(200):
+            key = f"shared-{i}"
+            assert ring_a.lookup_id(key) == ring_b.lookup_id(key)
+
+    def test_invalid_virtual_nodes(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(virtual_nodes=0)

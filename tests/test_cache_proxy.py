@@ -1,0 +1,236 @@
+"""Tests for the proxy: placement, first-d GETs, eviction, recovery."""
+
+import pytest
+
+from repro.cache.chunk import CacheChunk, descriptor_for
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.proxy import Proxy
+from repro.exceptions import CacheError, ObjectTooLargeError
+from repro.faas.platform import FaaSPlatform
+from repro.network.transfer import TransferModel
+from repro.simulation.events import Simulator
+from repro.utils.rng import SeededRNG
+from repro.utils.units import MB, MIB
+
+
+def build_proxy(
+    lambdas: int = 12,
+    data_shards: int = 4,
+    parity_shards: int = 2,
+    memory_mib: int = 1536,
+    straggler_probability: float = 0.0,
+) -> Proxy:
+    config = InfiniCacheConfig(
+        lambdas_per_proxy=lambdas,
+        lambda_memory_bytes=memory_mib * MIB,
+        data_shards=data_shards,
+        parity_shards=parity_shards,
+        straggler=StragglerModel(probability=straggler_probability),
+        seed=7,
+    )
+    platform = FaaSPlatform(Simulator())
+    return Proxy(
+        proxy_id="proxy-test",
+        config=config,
+        platform=platform,
+        transfer_model=TransferModel(),
+        rng=SeededRNG(11),
+    )
+
+
+def make_chunks(key: str, object_size: int, d: int = 4, p: int = 2) -> tuple:
+    descriptor = descriptor_for(key, object_size, d, p)
+    chunks = [
+        CacheChunk.sized(key, index, descriptor.chunk_size)
+        for index in range(descriptor.total_chunks)
+    ]
+    return descriptor, chunks
+
+
+class TestPut:
+    def test_put_places_chunks_on_distinct_nodes(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        result = proxy.put("obj", descriptor, chunks, now=0.0)
+        assert len(result.node_ids) == 6
+        assert len(set(result.node_ids)) == 6
+        assert result.latency_s > 0
+        assert proxy.contains("obj")
+        assert proxy.pool_bytes_used() == descriptor.stored_bytes
+
+    def test_put_records_hosts_touched(self):
+        proxy = build_proxy(memory_mib=256)
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        result = proxy.put("obj", descriptor, chunks, now=0.0)
+        assert 1 <= result.hosts_touched <= 6
+
+    def test_put_with_explicit_placement(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 600)
+        placement = [node.node_id for node in proxy.nodes[:6]]
+        result = proxy.put("obj", descriptor, chunks, now=0.0, placement=placement)
+        assert result.node_ids == placement
+
+    def test_put_rejects_bad_placement(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 600)
+        with pytest.raises(CacheError):
+            proxy.put("obj", descriptor, chunks, now=0.0, placement=["only-one"])
+        duplicate = [proxy.nodes[0].node_id] * 6
+        with pytest.raises(CacheError):
+            proxy.put("obj", descriptor, chunks, now=0.0, placement=duplicate)
+
+    def test_put_rejects_chunk_count_mismatch(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 600)
+        with pytest.raises(CacheError):
+            proxy.put("obj", descriptor, chunks[:-1], now=0.0)
+
+    def test_overwrite_replaces_previous_version(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        proxy.put("obj", descriptor, chunks, now=0.0)
+        descriptor2, chunks2 = make_chunks("obj", 3 * MB)
+        proxy.put("obj", descriptor2, chunks2, now=1.0)
+        assert proxy.pool_bytes_used() == descriptor2.stored_bytes
+
+    def test_object_wider_than_pool_rejected(self):
+        proxy = build_proxy(lambdas=6)
+        descriptor, chunks = make_chunks("obj", 600)
+        with pytest.raises(ObjectTooLargeError):
+            proxy.put("obj", descriptor, chunks, now=0.0, placement=None) \
+                if len(proxy.nodes) < 6 else proxy.choose_placement(7)
+
+
+class TestGet:
+    def test_get_hit_returns_first_d_chunks(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        proxy.put("obj", descriptor, chunks, now=0.0)
+        result = proxy.get("obj", now=1.0)
+        assert result.found and result.recoverable
+        assert len(result.used_chunks) == descriptor.data_shards
+        assert result.latency_s > 0
+        assert result.chunks_lost == 0
+
+    def test_get_miss_for_unknown_key(self):
+        proxy = build_proxy()
+        result = proxy.get("ghost", now=0.0)
+        assert result.is_miss
+        assert result.found is False
+
+    def test_first_d_latency_not_worse_than_slowest_chunk(self):
+        proxy = build_proxy(straggler_probability=0.5)
+        descriptor, chunks = make_chunks("obj", 60 * MB)
+        proxy.put("obj", descriptor, chunks, now=0.0)
+        result = proxy.get("obj", now=1.0)
+        finite_times = [fetch.time_s for fetch in result.fetches if not fetch.lost]
+        assert result.latency_s <= max(finite_times)
+
+    def test_get_survives_up_to_p_lost_chunks(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        # Reclaim the instances of two of the placed nodes (p == 2).
+        for node_id in put_result.node_ids[:2]:
+            node = proxy.node(node_id)
+            proxy.platform.reclaim_instance(node.primary)
+        result = proxy.get("obj", now=1.0)
+        assert result.found and result.recoverable
+        assert result.chunks_lost == 2
+
+    def test_get_fails_when_more_than_p_chunks_lost(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        for node_id in put_result.node_ids[:3]:
+            node = proxy.node(node_id)
+            proxy.platform.reclaim_instance(node.primary)
+        result = proxy.get("obj", now=1.0)
+        assert result.found is True
+        assert result.recoverable is False
+        assert result.is_miss
+        # The unrecoverable entry is dropped from the mapping table.
+        assert not proxy.contains("obj")
+
+    def test_degraded_read_triggers_repair(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        victim = proxy.node(put_result.node_ids[0])
+        proxy.platform.reclaim_instance(victim.primary)
+        result = proxy.get("obj", now=1.0)
+        assert result.recovery_performed is True
+        # After repair the object is whole again: no chunks lost on re-read.
+        follow_up = proxy.get("obj", now=2.0)
+        assert follow_up.chunks_lost == 0
+
+    def test_repair_can_be_disabled(self):
+        proxy = build_proxy()
+        object.__setattr__(proxy.config, "repair_degraded_objects", False)
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        victim = proxy.node(put_result.node_ids[0])
+        proxy.platform.reclaim_instance(victim.primary)
+        result = proxy.get("obj", now=1.0)
+        assert result.recovery_performed is False
+
+
+class TestEviction:
+    def test_eviction_makes_room_for_new_objects(self):
+        proxy = build_proxy(lambdas=6, memory_mib=128)
+        capacity = proxy.pool_capacity_bytes
+        object_size = capacity // 3
+        keys = [f"obj-{i}" for i in range(6)]
+        for index, key in enumerate(keys):
+            descriptor, chunks = make_chunks(key, object_size)
+            proxy.put(key, descriptor, chunks, now=float(index))
+        assert proxy.pool_bytes_used() <= capacity
+        assert proxy.object_count() < len(keys)
+        assert proxy.metrics.counters()["proxy.evictions"] > 0
+
+    def test_untouched_objects_evicted_before_hot_ones(self):
+        proxy = build_proxy(lambdas=6, memory_mib=128)
+        capacity = proxy.pool_capacity_bytes
+        object_size = capacity // 4
+        for index in range(3):
+            descriptor, chunks = make_chunks(f"obj-{index}", object_size)
+            proxy.put(f"obj-{index}", descriptor, chunks, now=float(index))
+        # Touch obj-2 repeatedly so its reference bit stays set.
+        proxy.get("obj-2", now=10.0)
+        proxy.get("obj-2", now=11.0)
+        descriptor, chunks = make_chunks("obj-new", object_size)
+        proxy.put("obj-new", descriptor, chunks, now=20.0)
+        assert proxy.contains("obj-2")
+
+    def test_impossible_object_raises(self):
+        proxy = build_proxy(lambdas=6, memory_mib=128)
+        descriptor, chunks = make_chunks("huge", proxy.pool_capacity_bytes * 2)
+        with pytest.raises(ObjectTooLargeError):
+            proxy.put("huge", descriptor, chunks, now=0.0)
+
+
+class TestInvalidate:
+    def test_invalidate_removes_object_and_chunks(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        result = proxy.put("obj", descriptor, chunks, now=0.0)
+        assert proxy.invalidate("obj") is True
+        assert not proxy.contains("obj")
+        assert proxy.pool_bytes_used() == 0
+        for node_id in result.node_ids:
+            assert proxy.node(node_id).chunk_count() == 0
+
+    def test_invalidate_unknown_key(self):
+        proxy = build_proxy()
+        assert proxy.invalidate("ghost") is False
+
+
+class TestWarmup:
+    def test_warm_up_pool_touches_every_node(self):
+        proxy = build_proxy(lambdas=8)
+        proxy.warm_up_pool(now=0.0)
+        assert all(node.primary is not None for node in proxy.nodes)
+        proxy.finish_sessions()
+        warmup_cost = proxy.platform.billing.cost_by_category.get("warmup", 0.0)
+        assert warmup_cost > 0

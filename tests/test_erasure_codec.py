@@ -1,0 +1,149 @@
+"""Tests for the object-level erasure codec."""
+
+import pytest
+
+from repro.erasure.codec import Chunk, ErasureCodec
+from repro.exceptions import DecodingError, EncodingError
+
+
+@pytest.fixture
+def codec() -> ErasureCodec:
+    return ErasureCodec(4, 2)
+
+
+def sample_object(size: int = 1000) -> bytes:
+    return bytes(i % 251 for i in range(size))
+
+
+class TestEncode:
+    def test_chunk_count_and_ids(self, codec):
+        chunks = codec.encode("key", sample_object())
+        assert len(chunks) == 6
+        assert [chunk.chunk_id for chunk in chunks] == [f"key#{i}" for i in range(6)]
+
+    def test_chunk_sizes_equal(self, codec):
+        chunks = codec.encode("key", sample_object(1001))
+        sizes = {chunk.size for chunk in chunks}
+        assert len(sizes) == 1
+        assert sizes.pop() == codec.chunk_size_for(1001)
+
+    def test_chunk_size_is_ceiling_division(self, codec):
+        assert codec.chunk_size_for(1000) == 250
+        assert codec.chunk_size_for(1001) == 251
+        assert codec.chunk_size_for(1) == 1
+
+    def test_parity_flag(self, codec):
+        chunks = codec.encode("key", sample_object())
+        assert [chunk.is_parity for chunk in chunks] == [False] * 4 + [True] * 2
+
+    def test_empty_key_rejected(self, codec):
+        with pytest.raises(EncodingError):
+            codec.encode("", sample_object())
+
+    def test_empty_payload_rejected(self, codec):
+        with pytest.raises(EncodingError):
+            codec.encode("key", b"")
+
+    def test_storage_overhead(self, codec):
+        assert codec.storage_overhead() == pytest.approx(1.5)
+        assert ErasureCodec(10, 2).storage_overhead() == pytest.approx(1.2)
+
+    def test_invalid_chunk_size_query(self, codec):
+        with pytest.raises(EncodingError):
+            codec.chunk_size_for(0)
+
+
+class TestDecode:
+    def test_roundtrip_from_all_chunks(self, codec):
+        payload = sample_object(997)
+        chunks = codec.encode("key", payload)
+        assert codec.decode(chunks) == payload
+
+    def test_roundtrip_from_data_chunks_only(self, codec):
+        payload = sample_object()
+        chunks = codec.encode("key", payload)
+        assert codec.decode(chunks[:4]) == payload
+
+    def test_roundtrip_from_mixed_chunks(self, codec):
+        payload = sample_object(1003)
+        chunks = codec.encode("key", payload)
+        subset = [chunks[0], chunks[2], chunks[4], chunks[5]]
+        assert codec.decode(subset) == payload
+
+    def test_roundtrip_small_object(self, codec):
+        payload = b"tiny"
+        chunks = codec.encode("key", payload)
+        assert codec.decode(chunks[2:]) == payload
+
+    def test_too_few_chunks(self, codec):
+        chunks = codec.encode("key", sample_object())
+        with pytest.raises(DecodingError):
+            codec.decode(chunks[:3])
+
+    def test_mixed_objects_rejected(self, codec):
+        chunks_a = codec.encode("a", sample_object())
+        chunks_b = codec.encode("b", sample_object())
+        with pytest.raises(DecodingError):
+            codec.decode([chunks_a[0], chunks_b[1], chunks_a[2], chunks_a[3]])
+
+    def test_conflicting_duplicate_chunk_rejected(self, codec):
+        chunks = codec.encode("key", sample_object())
+        forged = Chunk(
+            key="key", index=0, payload=bytes(len(chunks[0].payload)),
+            metadata=chunks[0].metadata,
+        )
+        with pytest.raises(DecodingError):
+            codec.decode([forged] + chunks)
+
+    def test_no_chunks_rejected(self, codec):
+        with pytest.raises(DecodingError):
+            codec.decode([])
+
+
+class TestFirstDSupport:
+    def test_needs_decoding_false_when_data_chunks_present(self, codec):
+        chunks = codec.encode("key", sample_object())
+        assert codec.needs_decoding(chunks[:4]) is False
+
+    def test_needs_decoding_true_with_parity_substitute(self, codec):
+        chunks = codec.encode("key", sample_object())
+        subset = [chunks[0], chunks[1], chunks[2], chunks[5]]
+        assert codec.needs_decoding(subset) is True
+
+    def test_rebuild_missing_restores_full_stripe(self, codec):
+        payload = sample_object(1024)
+        chunks = codec.encode("key", payload)
+        rebuilt = codec.rebuild_missing(chunks[1:5])
+        assert len(rebuilt) == codec.total_shards
+        assert [chunk.payload for chunk in rebuilt] == [chunk.payload for chunk in chunks]
+        assert codec.decode(rebuilt) == payload
+
+    def test_rebuild_missing_empty_rejected(self, codec):
+        with pytest.raises(DecodingError):
+            codec.rebuild_missing([])
+
+
+class TestNoParityBaseline:
+    """The paper's (10+0) baseline: plain striping, no redundancy."""
+
+    def test_roundtrip(self):
+        codec = ErasureCodec(10, 0)
+        payload = sample_object(12345)
+        chunks = codec.encode("key", payload)
+        assert len(chunks) == 10
+        assert codec.decode(chunks) == payload
+
+    def test_any_loss_is_fatal(self):
+        codec = ErasureCodec(10, 0)
+        chunks = codec.encode("key", sample_object(5000))
+        with pytest.raises(DecodingError):
+            codec.decode(chunks[1:])
+
+
+@pytest.mark.parametrize("size", [1, 3, 39, 40, 41, 1000, 65537])
+def test_roundtrip_at_awkward_sizes(size):
+    """Padding must be transparent for sizes that do not divide evenly."""
+    codec = ErasureCodec(4, 2)
+    payload = sample_object(size)
+    chunks = codec.encode("obj", payload)
+    assert codec.decode(chunks[2:]) == payload

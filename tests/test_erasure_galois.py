@@ -1,0 +1,115 @@
+"""Tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.erasure.galois import GF256
+
+
+class TestScalarArithmetic:
+    def test_addition_is_xor(self):
+        assert GF256.add(0b1010, 0b0110) == 0b1100
+
+    def test_addition_self_inverse(self):
+        for a in (0, 1, 77, 255):
+            assert GF256.add(a, a) == 0
+
+    def test_subtract_equals_add(self):
+        assert GF256.subtract(200, 77) == GF256.add(200, 77)
+
+    def test_multiply_by_zero_and_one(self):
+        for a in range(0, 256, 17):
+            assert GF256.multiply(a, 0) == 0
+            assert GF256.multiply(a, 1) == a
+
+    def test_multiplication_commutative(self):
+        for a, b in [(3, 7), (100, 200), (255, 2)]:
+            assert GF256.multiply(a, b) == GF256.multiply(b, a)
+
+    def test_multiplication_associative(self):
+        a, b, c = 29, 113, 222
+        left = GF256.multiply(GF256.multiply(a, b), c)
+        right = GF256.multiply(a, GF256.multiply(b, c))
+        assert left == right
+
+    def test_distributivity(self):
+        a, b, c = 54, 99, 180
+        left = GF256.multiply(a, GF256.add(b, c))
+        right = GF256.add(GF256.multiply(a, b), GF256.multiply(a, c))
+        assert left == right
+
+    def test_division_inverts_multiplication(self):
+        for a, b in [(7, 13), (200, 99), (255, 254)]:
+            product = GF256.multiply(a, b)
+            assert GF256.divide(product, b) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.divide(5, 0)
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert GF256.multiply(a, GF256.inverse(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inverse(0)
+
+    def test_power(self):
+        assert GF256.power(2, 0) == 1
+        assert GF256.power(0, 5) == 0
+        assert GF256.power(3, 2) == GF256.multiply(3, 3)
+        assert GF256.power(7, 3) == GF256.multiply(7, GF256.multiply(7, 7))
+
+    def test_field_is_closed(self):
+        # Every product stays within [0, 255].
+        for a in range(0, 256, 23):
+            for b in range(0, 256, 31):
+                assert 0 <= GF256.multiply(a, b) <= 255
+
+
+class TestVectorArithmetic:
+    def test_multiply_vector_matches_scalar(self):
+        vector = np.array([0, 1, 55, 200, 255], dtype=np.uint8)
+        scalar = 37
+        result = GF256.multiply_vector(scalar, vector)
+        expected = [GF256.multiply(scalar, int(v)) for v in vector]
+        assert list(result) == expected
+
+    def test_multiply_vector_by_zero(self):
+        vector = np.array([1, 2, 3], dtype=np.uint8)
+        assert list(GF256.multiply_vector(0, vector)) == [0, 0, 0]
+
+    def test_multiply_vector_by_one_copies(self):
+        vector = np.array([9, 8, 7], dtype=np.uint8)
+        result = GF256.multiply_vector(1, vector)
+        assert list(result) == [9, 8, 7]
+        result[0] = 0
+        assert vector[0] == 9  # original untouched
+
+    def test_add_vectors(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([3, 2, 1], dtype=np.uint8)
+        assert list(GF256.add_vectors(a, b)) == [2, 0, 2]
+
+    def test_multiply_accumulate_matches_manual(self):
+        accumulator = np.array([5, 10, 15], dtype=np.uint8)
+        vector = np.array([1, 2, 3], dtype=np.uint8)
+        expected = [
+            GF256.add(int(a), GF256.multiply(7, int(v)))
+            for a, v in zip(accumulator, vector)
+        ]
+        GF256.multiply_accumulate(accumulator, 7, vector)
+        assert list(accumulator) == expected
+
+    def test_multiply_accumulate_zero_scalar_is_noop(self):
+        accumulator = np.array([5, 10], dtype=np.uint8)
+        GF256.multiply_accumulate(accumulator, 0, np.array([9, 9], dtype=np.uint8))
+        assert list(accumulator) == [5, 10]
+
+    def test_exp_log_tables_consistent(self):
+        # exp(log(a) + log(b)) == a*b for non-zero a, b.
+        for a in (1, 2, 78, 255):
+            for b in (1, 3, 90, 254):
+                index = int(GF256.log_table[a]) + int(GF256.log_table[b])
+                assert int(GF256.exp_table[index]) == GF256.multiply(a, b)

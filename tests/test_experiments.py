@@ -1,0 +1,193 @@
+"""Smoke tests for every experiment module at a tiny scale.
+
+These confirm each figure/table reproduction runs end to end, returns the
+expected result structure, and preserves the paper's qualitative shape where
+that can be asserted cheaply.  The full-size regenerations live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    availability,
+    figure1,
+    figure4,
+    figure8,
+    figure9,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    production,
+    table1,
+)
+from repro.experiments.report import format_cdf_summary, format_table
+from repro.utils.units import MB
+
+
+@pytest.fixture(scope="module")
+def production_results():
+    """One shared tiny production replay for the Figure 13-16 / Table 1 tests."""
+    return production.run(production.ProductionScale.quick())
+
+
+class TestReportHelpers:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.0001]], title="T")
+        assert "T" in text and "a" in text and "x" in text
+
+    def test_format_cdf_summary(self):
+        assert "p50" in format_cdf_summary("lat", [(1.0, 0.5), (2.0, 1.0)])
+        assert "(empty)" in format_cdf_summary("lat", [])
+
+
+class TestFigure1:
+    def test_characteristics_match_paper_shape(self):
+        results = figure1.run(duration_hours=3.0, datacenters=("dallas",))
+        result = results["dallas"]
+        assert result.large_object_fraction > 0.15
+        assert result.large_byte_fraction > 0.9
+        # Over a short 3-hour window most reuses are trivially within an hour;
+        # the 37-46% band of the paper applies to the long trace and is
+        # checked by the Figure 1 benchmark instead.
+        assert result.reuse_within_hour_fraction > 0.25
+        assert result.object_size_cdf[-1][1] == pytest.approx(1.0)
+        assert "Figure 1" in figure1.format_report(results)
+
+
+class TestFigure4:
+    def test_latency_decreases_with_more_hosts(self):
+        result = figure4.run(pool_sizes=(20, 120), requests_per_pool=12)
+        medians = {
+            hosts: sorted(latencies)[len(latencies) // 2]
+            for hosts, latencies in result.latency_by_hosts.items()
+            if len(latencies) >= 3
+        }
+        assert len(medians) >= 2
+        few_hosts = min(medians)
+        many_hosts = max(medians)
+        assert many_hosts > few_hosts
+        assert medians[many_hosts] < medians[few_hosts]
+        assert "Figure 4" in figure4.format_report(result)
+
+
+class TestFigures8And9:
+    def test_spiky_vs_continuous_regimes(self):
+        result = figure8.run(fleet_size=100, hours=8, strategies=(
+            figure8.DEFAULT_STRATEGIES[0],  # 9-min spike regime
+            figure8.DEFAULT_STRATEGIES[4],  # 1-min Poisson regime
+        ))
+        spike_label = figure8.DEFAULT_STRATEGIES[0].label
+        poisson_label = figure8.DEFAULT_STRATEGIES[4].label
+        spike_hours = result.reclaims_per_hour[spike_label]
+        poisson_hours = result.reclaims_per_hour[poisson_label]
+        # The spike regime concentrates reclaims in a few hours.
+        assert max(spike_hours) > 0.5 * result.fleet_size
+        # The continuous regime never takes most of the fleet in one hour.
+        assert max(poisson_hours) < 0.6 * result.fleet_size
+        assert "Figure 8" in figure8.format_report(result)
+
+        figure9_result = figure9.run(figure8_result=result)
+        distribution = figure9_result.distributions[poisson_label]
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert "Figure 9" in figure9.format_report(figure9_result)
+
+
+class TestFigure11:
+    def test_memory_and_code_sweep_shapes(self):
+        result = figure11.run(
+            lambda_memories_mib=(256, 2048),
+            rs_codes=((10, 1), (10, 4)),
+            object_sizes=(10 * MB, 100 * MB),
+            requests_per_cell=6,
+        )
+        # Bigger objects are slower at fixed memory/code.
+        assert result.median(2048, (10, 1), 100 * MB) > result.median(2048, (10, 1), 10 * MB)
+        # Bigger Lambdas are faster for large objects.
+        assert result.median(256, (10, 1), 100 * MB) > result.median(2048, (10, 1), 100 * MB)
+        # ElastiCache baselines present for both sizes.
+        assert ("ElastiCache(1-node)", 10 * MB) in result.elasticache
+        assert "Figure 11" in figure11.format_report(result)
+
+
+class TestFigure12:
+    def test_throughput_scales_with_clients(self):
+        result = figure12.run(client_counts=(1, 4), requests_per_client=8,
+                              objects_per_client=2, lambdas_per_proxy=20, num_proxies=2)
+        assert result.throughput_bps[4] > 1.5 * result.throughput_bps[1]
+        assert "Figure 12" in figure12.format_report(result)
+
+
+class TestProductionProjections:
+    def test_figure13_cost_ordering(self, production_results):
+        result = figure13.from_production(production_results)
+        costs = result.total_costs
+        assert costs["ElastiCache"] > costs["IC (all objects)"]
+        assert costs["IC (large only)"] >= costs["IC (large no backup)"]
+        assert result.improvement_over_elasticache["IC (all objects)"] > 10
+        for setting, breakdown in result.cost_breakdown.items():
+            expected_backup = 0.0 if "no backup" in setting else None
+            if expected_backup is not None:
+                assert breakdown.get("backup", 0.0) == expected_backup
+        assert "Figure 13" in figure13.format_report(result)
+
+    def test_figure14_backup_reduces_resets(self, production_results):
+        result = figure14.from_production(production_results)
+        with_backup = result.totals["large only"][0]
+        without_backup = result.totals["large no backup"][0]
+        assert without_backup >= with_backup
+        availability_with = result.totals["large only"][2]
+        availability_without = result.totals["large no backup"][2]
+        assert availability_with >= availability_without
+        assert "Figure 14" in figure14.format_report(result)
+
+    def test_figure15_cache_beats_s3_for_large_objects(self, production_results):
+        result = figure15.from_production(production_results)
+        def median(cdf):
+            return next(v for v, frac in cdf if frac >= 0.5)
+        assert median(result.large_objects["InfiniCache"]) < median(
+            result.large_objects["AWS S3"]
+        )
+        assert "Figure 15" in figure15.format_report(result)
+
+    def test_figure16_normalised_shape(self, production_results):
+        result = figure16.from_production(production_results)
+        infinicache = result.normalized_median["InfiniCache"]
+        assert infinicache["<1MB"] > 3.0           # small objects: IC much slower
+        assert infinicache[">=100MB"] < 2.0        # large objects: competitive
+        s3 = result.normalized_median["AWS S3"]
+        assert s3[">=100MB"] > infinicache[">=100MB"]
+        assert "Figure 16" in figure16.format_report(result)
+
+    def test_table1_hit_ratios(self, production_results):
+        result = table1.from_production(production_results)
+        rows = result.rows
+        assert rows["All objects"]["wss_gb"] > 0
+        assert 0 < rows["Large obj. only"]["ic_hit"] <= 1
+        assert rows["Large obj. only"]["ec_hit"] >= rows["Large obj. only"]["ic_no_backup_hit"]
+        assert "Table 1" in table1.format_report(result)
+
+
+class TestFigure17:
+    def test_crossover_in_paper_range(self):
+        result = figure17.run()
+        assert 250_000 < result.crossover_rate < 420_000
+        assert result.infinicache_hourly[0] < result.elasticache_hourly
+        assert result.infinicache_hourly[-1] == max(result.infinicache_hourly)
+        assert "crossover" in figure17.format_report(result)
+
+
+class TestAvailabilityAnalysis:
+    def test_paper_case_study_numbers(self):
+        result = availability.run()
+        assert result.approximation_ratio_r12 == pytest.approx(18.8, abs=0.3)
+        for _label, (loss, avail_minute, avail_hour) in result.per_fit.items():
+            assert 0 <= loss < 0.01
+            assert avail_minute > 0.99
+            assert 0.85 < avail_hour <= 1.0
+        assert "availability" in availability.format_report(result)

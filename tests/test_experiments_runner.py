@@ -1,0 +1,47 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunnerSpecs:
+    def test_every_paper_artifact_has_a_spec(self):
+        specs = runner._quick_specs()
+        expected = {
+            "figure1", "figure4", "figure8", "figure9", "figure11", "figure12",
+            "figure13", "figure14", "figure15", "figure16", "figure17",
+            "table1", "availability",
+        }
+        assert expected == set(specs)
+
+
+class TestRunAll:
+    def test_run_selected_experiments_writes_reports(self, tmp_path):
+        reports = runner.run_all(output_dir=tmp_path, only=["figure17", "availability"])
+        assert set(reports) == {"figure17", "availability"}
+        for name, report in reports.items():
+            assert (tmp_path / f"{name}.txt").exists()
+            assert (tmp_path / f"{name}.txt").read_text().strip() == report.strip()
+        assert "crossover" in reports["figure17"]
+        assert "availability" in reports["availability"]
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            runner.run_all(output_dir=tmp_path, only=["figure99"])
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        assert runner.main(["--list"]) == 0
+        captured = capsys.readouterr()
+        assert "figure13" in captured.out
+        assert "table1" in captured.out
+
+    def test_cli_runs_selected_experiment(self, tmp_path, capsys):
+        exit_code = runner.main(
+            ["--output-dir", str(tmp_path), "--only", "availability"]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "availability.txt").exists()
+        assert "availability" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Tests for the Lambda billing model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faas.billing import (
+    BILLING_CYCLE_SECONDS,
+    BillingModel,
+    LambdaPricing,
+    ceil_to_billing_cycle,
+)
+from repro.utils.units import GIB
+
+
+class TestCeilToBillingCycle:
+    def test_rounds_up(self):
+        assert ceil_to_billing_cycle(0.050) == pytest.approx(0.1)
+        assert ceil_to_billing_cycle(0.101) == pytest.approx(0.2)
+        assert ceil_to_billing_cycle(0.999) == pytest.approx(1.0)
+
+    def test_exact_cycle_not_rounded_further(self):
+        assert ceil_to_billing_cycle(0.2) == pytest.approx(0.2)
+
+    def test_zero_duration_still_one_cycle(self):
+        assert ceil_to_billing_cycle(0.0) == pytest.approx(BILLING_CYCLE_SECONDS)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ceil_to_billing_cycle(-0.1)
+
+
+class TestLambdaPricing:
+    def test_defaults_match_paper(self):
+        pricing = LambdaPricing()
+        assert pricing.price_per_invocation == pytest.approx(0.02 / 1_000_000)
+        assert pricing.price_per_gb_second == pytest.approx(0.0000166667)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LambdaPricing(price_per_invocation=-1)
+
+
+class TestBillingModel:
+    def test_single_invocation_charge(self):
+        billing = BillingModel()
+        charge = billing.charge_invocation(1 * GIB, 0.050)
+        assert charge.billed_duration_s == pytest.approx(0.1)
+        assert charge.invocation_fee == pytest.approx(0.02 / 1_000_000)
+        assert charge.duration_fee == pytest.approx(0.1 * 1.0 * 0.0000166667)
+        assert charge.total == pytest.approx(charge.invocation_fee + charge.duration_fee)
+
+    def test_memory_scales_duration_fee(self):
+        billing = BillingModel()
+        small = billing.charge_invocation(1 * GIB, 0.1)
+        large = billing.charge_invocation(2 * GIB, 0.1)
+        assert large.duration_fee == pytest.approx(2 * small.duration_fee)
+
+    def test_accumulation(self):
+        billing = BillingModel()
+        for _ in range(10):
+            billing.charge_invocation(1 * GIB, 0.1)
+        assert billing.total_invocations == 10
+        assert billing.total_billed_seconds == pytest.approx(1.0)
+        assert billing.total_cost == pytest.approx(10 * (0.02e-6 + 0.1 * 0.0000166667))
+
+    def test_categories(self):
+        billing = BillingModel()
+        billing.charge_invocation(1 * GIB, 0.1, category="serving")
+        billing.charge_invocation(1 * GIB, 0.1, category="warmup")
+        billing.charge_invocation(1 * GIB, 0.1, category="warmup")
+        breakdown = billing.breakdown()
+        assert breakdown["warmup"] == pytest.approx(2 * breakdown["serving"])
+        assert breakdown["total"] == pytest.approx(billing.total_cost)
+
+    def test_reset(self):
+        billing = BillingModel()
+        billing.charge_invocation(1 * GIB, 0.1)
+        billing.reset()
+        assert billing.total_cost == 0.0
+        assert billing.total_invocations == 0
+        assert billing.breakdown() == {"total": 0.0}
+
+    def test_paper_hourly_warmup_cost(self):
+        """Equation 5 sanity check: warming 400 x 1.5 GiB functions once a
+        minute costs a few cents per hour, not dollars."""
+        billing = BillingModel()
+        memory = int(1.5 * GIB)
+        for _ in range(400 * 60):
+            billing.charge_invocation(memory, 0.001, category="warmup")
+        assert 0.05 < billing.total_cost < 0.15

@@ -1,0 +1,105 @@
+"""Tests for VM hosts and the bin-packing placement."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faas.host import HostManager, VMHost
+from repro.faas.limits import LambdaLimits
+from repro.utils.units import MIB
+
+
+class TestVMHost:
+    def make_host(self) -> VMHost:
+        return VMHost(host_id="vm-0", memory_bytes=3008 * MIB, nic_bandwidth_bps=1.0)
+
+    def test_place_and_evict(self):
+        host = self.make_host()
+        host.place("f1", 1024 * MIB)
+        assert host.occupancy == 1
+        assert host.memory_in_use == 1024 * MIB
+        host.evict("f1", 1024 * MIB)
+        assert host.occupancy == 0
+        assert host.memory_in_use == 0
+
+    def test_can_fit(self):
+        host = self.make_host()
+        host.place("f1", 2048 * MIB)
+        assert host.can_fit(960 * MIB)
+        assert not host.can_fit(1024 * MIB)
+
+    def test_overfill_rejected(self):
+        host = self.make_host()
+        host.place("f1", 2048 * MIB)
+        with pytest.raises(ConfigurationError):
+            host.place("f2", 1024 * MIB)
+
+    def test_duplicate_placement_rejected(self):
+        host = self.make_host()
+        host.place("f1", 512 * MIB)
+        with pytest.raises(ConfigurationError):
+            host.place("f1", 512 * MIB)
+
+    def test_evict_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_host().evict("ghost", 128 * MIB)
+
+
+class TestHostManager:
+    def test_small_functions_share_hosts(self):
+        """256 MB functions pack ~11 per host (the Figure 4 contention setup)."""
+        manager = HostManager()
+        for i in range(22):
+            manager.place_function(f"f{i}", 256 * MIB)
+        assert manager.host_count == 2
+
+    def test_large_functions_get_dedicated_hosts(self):
+        """>= 1536 MB functions eliminate co-location (paper Section 3.1)."""
+        manager = HostManager()
+        for i in range(5):
+            manager.place_function(f"f{i}", 1536 * MIB)
+        assert manager.host_count == 5
+        for i in range(5):
+            assert manager.host_of(f"f{i}").occupancy == 1
+
+    def test_greedy_prefers_fullest_host(self):
+        manager = HostManager()
+        manager.place_function("a", 1024 * MIB)
+        manager.place_function("b", 1024 * MIB)   # same host (greedy packing)
+        manager.place_function("c", 2048 * MIB)   # needs a new host
+        assert manager.host_count == 2
+        assert manager.host_of("a") is manager.host_of("b")
+        assert manager.host_of("c") is not manager.host_of("a")
+
+    def test_remove_function_frees_capacity(self):
+        manager = HostManager()
+        manager.place_function("a", 2048 * MIB)
+        host = manager.host_of("a")
+        manager.remove_function("a")
+        assert host.occupancy == 0
+        assert manager.host_of("a") is None
+        # Removing again is a silent no-op (reclaim may race with shutdown).
+        manager.remove_function("a")
+
+    def test_duplicate_place_rejected(self):
+        manager = HostManager()
+        manager.place_function("a", 128 * MIB)
+        with pytest.raises(ConfigurationError):
+            manager.place_function("a", 128 * MIB)
+
+    def test_distinct_hosts(self):
+        manager = HostManager()
+        names = [f"f{i}" for i in range(12)]
+        for name in names:
+            manager.place_function(name, 256 * MIB)
+        # 11 fit on the first host, the 12th starts a second one.
+        assert manager.distinct_hosts(names) == 2
+        assert manager.distinct_hosts(names[:3]) == 1
+        assert manager.distinct_hosts(["unknown"]) == 0
+
+    def test_custom_limits(self):
+        limits = LambdaLimits(host_memory_bytes=1024 * MIB)
+        manager = HostManager(limits)
+        manager.place_function("a", 512 * MIB)
+        manager.place_function("b", 512 * MIB)
+        manager.place_function("c", 512 * MIB)
+        assert manager.host_count == 2

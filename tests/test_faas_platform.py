@@ -1,0 +1,210 @@
+"""Tests for the simulated FaaS platform."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, FunctionReclaimedError, InvocationError
+from repro.faas.function import FunctionState
+from repro.faas.platform import FaaSPlatform
+from repro.faas.reclamation import IdleTimeoutPolicy, PoissonReclamationPolicy
+from repro.simulation.events import Simulator
+from repro.utils.rng import SeededRNG
+from repro.utils.units import HOUR, MINUTE, MIB
+
+
+@pytest.fixture
+def platform() -> FaaSPlatform:
+    return FaaSPlatform(Simulator())
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, platform):
+        config = platform.register_function("cache-node-0", 1536 * MIB)
+        assert config.memory_bytes == 1536 * MIB
+        assert platform.is_registered("cache-node-0")
+        assert platform.function_config("cache-node-0") == config
+        assert platform.registered_functions() == ["cache-node-0"]
+
+    def test_duplicate_registration_rejected(self, platform):
+        platform.register_function("f", 128 * MIB)
+        with pytest.raises(ConfigurationError):
+            platform.register_function("f", 128 * MIB)
+
+    def test_invalid_memory_rejected(self, platform):
+        with pytest.raises(ConfigurationError):
+            platform.register_function("f", 100 * MIB)
+
+    def test_invoke_unregistered_rejected(self, platform):
+        with pytest.raises(InvocationError):
+            platform.invoke("ghost")
+
+
+class TestInvocation:
+    def test_first_invocation_is_cold(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        assert result.cold_start is True
+        assert result.instance.state is FunctionState.RUNNING
+        assert result.invoke_overhead_s > platform.limits.warm_invocation_overhead
+
+    def test_completed_instance_is_reused_warm(self, platform):
+        platform.register_function("f", 256 * MIB)
+        first = platform.invoke("f")
+        platform.complete_invocation(first.instance, 0.05)
+        second = platform.invoke("f")
+        assert second.cold_start is False
+        assert second.instance is first.instance
+        assert second.invoke_overhead_s == pytest.approx(
+            platform.limits.warm_invocation_overhead
+        )
+
+    def test_concurrent_invocations_autoscale(self, platform):
+        """A busy instance forces a peer replica — the backup protocol's λ_d."""
+        platform.register_function("f", 256 * MIB)
+        first = platform.invoke("f")
+        second = platform.invoke("f")
+        assert second.instance is not first.instance
+        assert platform.instance_count() == 2
+
+    def test_force_new_instance(self, platform):
+        platform.register_function("f", 256 * MIB)
+        first = platform.invoke("f")
+        platform.complete_invocation(first.instance, 0.01)
+        second = platform.invoke("f", force_new_instance=True)
+        assert second.instance is not first.instance
+
+    def test_invoke_instance_directly(self, platform):
+        platform.register_function("f", 256 * MIB)
+        first = platform.invoke("f")
+        platform.complete_invocation(first.instance, 0.01)
+        again = platform.invoke_instance(first.instance)
+        assert again.instance is first.instance
+        assert again.cold_start is False
+
+    def test_invoke_instance_rejects_running(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        with pytest.raises(InvocationError):
+            platform.invoke_instance(result.instance)
+
+    def test_invoke_instance_rejects_reclaimed(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.complete_invocation(result.instance, 0.01)
+        platform.reclaim_instance(result.instance)
+        with pytest.raises(FunctionReclaimedError):
+            platform.invoke_instance(result.instance)
+
+    def test_complete_invocation_bills(self, platform):
+        platform.register_function("f", 1024 * MIB)
+        result = platform.invoke("f")
+        platform.complete_invocation(result.instance, 0.25, category="serving")
+        assert platform.billing.total_invocations == 1
+        assert platform.billing.total_billed_seconds == pytest.approx(0.3)
+        assert platform.billing.cost_by_category["serving"] > 0
+
+    def test_complete_invocation_on_idle_rejected(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.complete_invocation(result.instance, 0.01)
+        with pytest.raises(InvocationError):
+            platform.complete_invocation(result.instance, 0.01)
+
+    def test_complete_on_reclaimed_instance_still_bills(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.reclaim_instance(result.instance)
+        platform.complete_invocation(result.instance, 0.1)
+        assert platform.billing.total_invocations == 1
+
+
+class TestStateAccess:
+    def test_runtime_state_persists_across_invocations(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.instance_state(result.instance)["chunks"] = {"a": b"data"}
+        platform.complete_invocation(result.instance, 0.01)
+        again = platform.invoke("f")
+        assert platform.instance_state(again.instance)["chunks"] == {"a": b"data"}
+
+    def test_state_of_reclaimed_instance_raises(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.reclaim_instance(result.instance)
+        with pytest.raises(FunctionReclaimedError):
+            platform.instance_state(result.instance)
+
+
+class TestReclamation:
+    def test_reclaim_listener_invoked(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.complete_invocation(result.instance, 0.01)
+        reclaimed = []
+        platform.on_reclaim(reclaimed.append)
+        platform.reclaim_instance(result.instance)
+        assert reclaimed == [result.instance]
+        assert platform.metrics.counters()["faas.reclaims"] == 1
+
+    def test_reclaim_is_idempotent(self, platform):
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.reclaim_instance(result.instance)
+        platform.reclaim_instance(result.instance)
+        assert platform.metrics.counters()["faas.reclaims"] == 1
+
+    def test_reclaim_frees_host(self, platform):
+        platform.register_function("f", 3008 * MIB)
+        result = platform.invoke("f")
+        host = platform.host_manager.host_of(result.instance.instance_id)
+        assert host.occupancy == 1
+        platform.reclaim_instance(result.instance)
+        assert host.occupancy == 0
+
+    def test_sweeps_reclaim_idle_functions(self):
+        simulator = Simulator()
+        platform = FaaSPlatform(
+            simulator, reclamation_policy=IdleTimeoutPolicy(idle_timeout_s=27 * MINUTE)
+        )
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.complete_invocation(result.instance, 0.01)
+        platform.start_reclamation_sweeps()
+        simulator.run_until(1 * HOUR)
+        assert not result.instance.is_alive
+        assert platform.warm_instance("f") is None
+
+    def test_warm_functions_survive_sweeps(self):
+        """The 1-minute warm-up strategy keeps instances alive indefinitely
+        under the idle-timeout policy."""
+        simulator = Simulator()
+        platform = FaaSPlatform(
+            simulator, reclamation_policy=IdleTimeoutPolicy(idle_timeout_s=27 * MINUTE)
+        )
+        platform.register_function("f", 256 * MIB)
+        result = platform.invoke("f")
+        platform.complete_invocation(result.instance, 0.01)
+
+        def warm():
+            invocation = platform.invoke("f")
+            platform.complete_invocation(invocation.instance, 0.001, "warmup")
+            simulator.schedule(MINUTE, warm)
+
+        simulator.schedule(MINUTE, warm)
+        platform.start_reclamation_sweeps()
+        simulator.run_until(2 * HOUR)
+        assert result.instance.is_alive
+
+    def test_stop_reclamation_sweeps(self):
+        simulator = Simulator()
+        platform = FaaSPlatform(
+            simulator,
+            reclamation_policy=PoissonReclamationPolicy(SeededRNG(1), 5.0),
+        )
+        platform.register_function("f", 256 * MIB)
+        invocation = platform.invoke("f")
+        platform.complete_invocation(invocation.instance, 0.01)
+        platform.start_reclamation_sweeps()
+        platform.stop_reclamation_sweeps()
+        simulator.run_until(10 * MINUTE)
+        # Only the already-scheduled sweep may have run; no periodic storm.
+        assert platform.metrics.series("faas.reclaims_per_sweep").values.count(0.0) <= 1

@@ -1,0 +1,166 @@
+"""Tests for provider reclamation policies."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faas.function import FunctionInstance
+from repro.faas.reclamation import (
+    IdleTimeoutPolicy,
+    NoReclamationPolicy,
+    PeriodicSpikePolicy,
+    PoissonReclamationPolicy,
+    ZipfBurstReclamationPolicy,
+)
+from repro.utils.rng import SeededRNG
+from repro.utils.units import HOUR, MINUTE, MIB
+
+
+def make_fleet(count: int, functions: int | None = None) -> list[FunctionInstance]:
+    """Build a fleet; ``functions`` controls how many distinct function names."""
+    functions = functions or count
+    return [
+        FunctionInstance(
+            function_name=f"fn-{i % functions}",
+            instance_id=f"fn-{i % functions}@{i // functions}",
+            memory_bytes=256 * MIB,
+            created_at=0.0,
+        )
+        for i in range(count)
+    ]
+
+
+class TestNoReclamation:
+    def test_never_reclaims(self):
+        policy = NoReclamationPolicy()
+        assert policy.select_reclaims(100.0, make_fleet(10)) == []
+
+
+class TestIdleTimeout:
+    def test_reclaims_only_idle_instances(self):
+        policy = IdleTimeoutPolicy(idle_timeout_s=27 * MINUTE)
+        fleet = make_fleet(3)
+        fleet[0].mark_invoked(0.0)
+        fleet[1].mark_invoked(20 * MINUTE)
+        fleet[2].mark_invoked(29 * MINUTE)
+        selected = policy.select_reclaims(30 * MINUTE, fleet)
+        assert selected == [fleet[0]]
+
+    def test_warmup_resets_clock(self):
+        """Re-invoking every minute keeps everything alive — the InfiniCache
+        warm-up strategy."""
+        policy = IdleTimeoutPolicy(idle_timeout_s=27 * MINUTE)
+        fleet = make_fleet(5)
+        now = 0.0
+        for _ in range(60):
+            now += MINUTE
+            for instance in fleet:
+                instance.mark_invoked(now)
+            assert policy.select_reclaims(now, fleet) == []
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigurationError):
+            IdleTimeoutPolicy(idle_timeout_s=0)
+
+
+class TestPeriodicSpike:
+    def test_mass_reclamation_inside_spike_window(self):
+        policy = PeriodicSpikePolicy(SeededRNG(1), spike_interval_s=6 * HOUR)
+        fleet = make_fleet(200)
+        reclaimed = set()
+        # Sweep once a minute across the spike window around hour 6.
+        for minute in range(int(5.75 * 60), int(6.25 * 60)):
+            now = minute * MINUTE
+            for instance in policy.select_reclaims(now, fleet):
+                reclaimed.add(instance.instance_id)
+        assert len(reclaimed) > 0.5 * len(fleet)
+
+    def test_quiet_between_spikes(self):
+        policy = PeriodicSpikePolicy(SeededRNG(2), spike_interval_s=6 * HOUR)
+        fleet = make_fleet(200)
+        total = 0
+        for minute in range(60, 120):  # hour 1-2, far from any spike
+            total += len(policy.select_reclaims(minute * MINUTE, fleet))
+        assert total < 0.2 * len(fleet)
+
+    def test_empty_fleet(self):
+        policy = PeriodicSpikePolicy(SeededRNG(3))
+        assert policy.select_reclaims(6 * HOUR, []) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSpikePolicy(SeededRNG(1), spike_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            PeriodicSpikePolicy(SeededRNG(1), spike_interval_s=0)
+
+
+class TestPoisson:
+    def test_mean_rate_approximately_respected(self):
+        policy = PoissonReclamationPolicy(SeededRNG(4), mean_reclaims_per_sweep=0.6)
+        fleet = make_fleet(400)
+        total = sum(len(policy.select_reclaims(m * MINUTE, fleet)) for m in range(600))
+        # 600 sweeps at mean 0.6 -> about 360 reclaims; allow wide slack.
+        assert 250 < total < 480
+
+    def test_never_exceeds_fleet(self):
+        policy = PoissonReclamationPolicy(SeededRNG(5), mean_reclaims_per_sweep=10)
+        fleet = make_fleet(3)
+        assert len(policy.select_reclaims(0.0, fleet)) <= 3
+
+    def test_selected_are_distinct(self):
+        policy = PoissonReclamationPolicy(SeededRNG(6), mean_reclaims_per_sweep=5)
+        fleet = make_fleet(50)
+        for minute in range(20):
+            selected = policy.select_reclaims(minute * MINUTE, fleet)
+            assert len({id(instance) for instance in selected}) == len(selected)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ConfigurationError):
+            PoissonReclamationPolicy(SeededRNG(1), mean_reclaims_per_sweep=-1)
+
+
+class TestZipfBurst:
+    def test_bursty_distribution(self):
+        policy = ZipfBurstReclamationPolicy(
+            SeededRNG(7), burst_probability=0.3, sibling_correlation=0.0
+        )
+        fleet = make_fleet(300)
+        counts = [len(policy.select_reclaims(m * MINUTE, fleet)) for m in range(2000)]
+        non_zero = [count for count in counts if count > 0]
+        assert non_zero, "bursts must occur"
+        # Heavy tail: most bursts are small, but some are much larger.
+        assert min(non_zero) == 1
+        assert max(non_zero) >= 5
+        assert sum(1 for count in counts if count == 0) > len(counts) * 0.5
+
+    def test_sibling_correlation_takes_both_replicas(self):
+        policy = ZipfBurstReclamationPolicy(
+            SeededRNG(8), burst_probability=1.0, sibling_correlation=1.0, max_burst=1
+        )
+        # 10 functions with 2 instances each (primary + backup peer).
+        fleet = make_fleet(20, functions=10)
+        selected = policy.select_reclaims(0.0, fleet)
+        names = {instance.function_name for instance in selected}
+        for name in names:
+            siblings = [i for i in fleet if i.function_name == name]
+            assert all(sibling in selected for sibling in siblings)
+
+    def test_no_correlation_keeps_selection_small(self):
+        policy = ZipfBurstReclamationPolicy(
+            SeededRNG(9), burst_probability=1.0, sibling_correlation=0.0, max_burst=1
+        )
+        fleet = make_fleet(20, functions=10)
+        assert len(policy.select_reclaims(0.0, fleet)) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ZipfBurstReclamationPolicy(SeededRNG(1), exponent=0)
+        with pytest.raises(ConfigurationError):
+            ZipfBurstReclamationPolicy(SeededRNG(1), max_burst=0)
+        with pytest.raises(ConfigurationError):
+            ZipfBurstReclamationPolicy(SeededRNG(1), burst_probability=2)
+        with pytest.raises(ConfigurationError):
+            ZipfBurstReclamationPolicy(SeededRNG(1), sibling_correlation=-0.1)
+
+    def test_describe_mentions_policy(self):
+        policy = ZipfBurstReclamationPolicy(SeededRNG(1))
+        assert policy.describe()["policy"] == "ZipfBurst"

@@ -1,0 +1,235 @@
+"""End-to-end integration tests across the whole stack.
+
+These drive the public API (deployment + client) through scenarios that span
+several subsystems at once: erasure coding over real bytes, the simulated
+platform's reclamation, warm-up, delta-sync backup, proxy eviction, and the
+cost accounting — i.e. the behaviours the paper's design section promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.faas.reclamation import IdleTimeoutPolicy, ZipfBurstReclamationPolicy
+from repro.utils.rng import SeededRNG
+from repro.utils.units import HOUR, MB, MIB, MINUTE
+
+
+def make_deployment(
+    lambdas: int = 16,
+    data_shards: int = 4,
+    parity_shards: int = 2,
+    backup_enabled: bool = True,
+    reclamation_policy=None,
+    memory_mib: int = 1536,
+    seed: int = 11,
+) -> InfiniCacheDeployment:
+    config = InfiniCacheConfig(
+        lambdas_per_proxy=lambdas,
+        lambda_memory_bytes=memory_mib * MIB,
+        data_shards=data_shards,
+        parity_shards=parity_shards,
+        backup_enabled=backup_enabled,
+        straggler=StragglerModel(probability=0.0),
+        seed=seed,
+    )
+    deployment = InfiniCacheDeployment(config, reclamation_policy=reclamation_policy)
+    deployment.start()
+    return deployment
+
+
+def payload(size: int, seed: int = 0) -> bytes:
+    return bytes((i * 31 + seed) % 256 for i in range(size))
+
+
+class TestEndToEndDataPath:
+    def test_many_objects_roundtrip_bytes_exactly(self):
+        deployment = make_deployment()
+        client = deployment.new_client()
+        originals = {}
+        for index in range(20):
+            data = payload(10_000 + index * 777, seed=index)
+            key = f"objects/{index}"
+            originals[key] = data
+            client.put(key, data)
+        for key, data in originals.items():
+            result = client.get(key)
+            assert result.hit
+            assert result.value == data
+        deployment.stop()
+
+    def test_data_integrity_across_simulated_hours(self):
+        deployment = make_deployment()
+        client = deployment.new_client()
+        data = payload(500_000)
+        client.put("long-lived", data)
+        for hour in range(1, 4):
+            deployment.run_until(hour * HOUR)
+            result = client.get("long-lived")
+            assert result.hit and result.value == data
+        deployment.stop()
+
+    def test_shared_access_between_clients(self):
+        deployment = make_deployment()
+        writer = deployment.new_client("writer")
+        reader = deployment.new_client("reader")
+        data = payload(200_000)
+        writer.put("shared", data)
+        assert reader.get("shared").value == data
+        deployment.stop()
+
+
+class TestFaultToleranceEndToEnd:
+    def test_object_survives_loss_of_p_nodes(self):
+        deployment = make_deployment(parity_shards=2)
+        client = deployment.new_client()
+        data = payload(300_000)
+        put_result = client.put("resilient", data)
+        # Reclaim exactly p of the nodes holding chunks.
+        for node_id in put_result.node_ids[:2]:
+            node = deployment.proxies[0].node(node_id)
+            deployment.platform.reclaim_instance(node.primary)
+        result = client.get("resilient")
+        assert result.hit
+        assert result.value == data
+        assert result.chunks_lost == 2
+        assert result.decoded is True
+        deployment.stop()
+
+    def test_object_lost_beyond_p_without_backup(self):
+        deployment = make_deployment(parity_shards=2, backup_enabled=False)
+        client = deployment.new_client()
+        put_result = client.put("fragile", payload(300_000))
+        for node_id in put_result.node_ids[:3]:
+            node = deployment.proxies[0].node(node_id)
+            deployment.platform.reclaim_instance(node.primary)
+        result = client.get("fragile")
+        assert not result.hit
+        assert result.data_lost is True
+        deployment.stop()
+
+    def test_backup_protects_against_correlated_loss(self):
+        """With delta-sync backup, losing the primaries after a backup round
+        still leaves the data reachable through the peer replicas."""
+        deployment = make_deployment(parity_shards=2, backup_enabled=True)
+        client = deployment.new_client()
+        data = payload(300_000)
+        put_result = client.put("protected", data)
+        # Let one backup round happen (interval is 5 minutes).
+        deployment.run_until(6 * MINUTE)
+        for node_id in put_result.node_ids:
+            node = deployment.proxies[0].node(node_id)
+            if node.primary is not None:
+                deployment.platform.reclaim_instance(node.primary)
+        result = client.get("protected")
+        assert result.hit
+        assert result.value == data
+        deployment.stop()
+
+    def test_degraded_read_repair_restores_redundancy(self):
+        deployment = make_deployment(parity_shards=2)
+        client = deployment.new_client()
+        put_result = client.put("repairable", payload(120_000))
+        victim = deployment.proxies[0].node(put_result.node_ids[0])
+        deployment.platform.reclaim_instance(victim.primary)
+        first = client.get("repairable")
+        assert first.hit and first.recovery_performed
+        second = client.get("repairable")
+        assert second.chunks_lost == 0
+        deployment.stop()
+
+    def test_churn_with_warmup_and_backup_keeps_availability_high(self):
+        policy = ZipfBurstReclamationPolicy(
+            SeededRNG(2), burst_probability=0.2, max_burst=4, sibling_correlation=0.5
+        )
+        deployment = make_deployment(reclamation_policy=policy)
+        client = deployment.new_client()
+        keys = [f"workload/{i}" for i in range(15)]
+        for index, key in enumerate(keys):
+            client.put_sized(key, 8 * MB)
+        hits = 0
+        probes = 0
+        for hour_fraction in range(1, 13):
+            deployment.run_until(hour_fraction * 10 * MINUTE)
+            for key in keys:
+                probes += 1
+                result = client.get(key)
+                if result.hit:
+                    hits += 1
+                else:
+                    client.put_sized(key, 8 * MB)  # RESET path
+        deployment.stop()
+        assert hits / probes > 0.8
+
+
+class TestEvictionEndToEnd:
+    def test_pool_capacity_respected_under_overload(self):
+        deployment = make_deployment(lambdas=6, memory_mib=256)
+        client = deployment.new_client()
+        object_size = deployment.pool_capacity_bytes() // 4
+        for index in range(10):
+            client.put_sized(f"big/{index}", object_size)
+        assert deployment.pool_bytes_used() <= deployment.pool_capacity_bytes()
+        # The most recently inserted object must still be cached.
+        assert client.get("big/9").hit
+        deployment.stop()
+
+    def test_write_through_overwrite_invalidates_old_version(self):
+        deployment = make_deployment()
+        client = deployment.new_client()
+        client.put("versioned", payload(50_000, seed=1))
+        client.invalidate("versioned")
+        client.put("versioned", payload(50_000, seed=2))
+        assert client.get("versioned").value == payload(50_000, seed=2)
+        deployment.stop()
+
+
+class TestCostAccountingEndToEnd:
+    def test_pay_per_use_vs_capacity_billing(self):
+        """A nearly idle InfiniCache deployment costs orders of magnitude less
+        than the equivalent always-on ElastiCache instance — the paper's
+        headline claim, reproduced end to end on the simulated substrate."""
+        from repro.baselines.elasticache import ElastiCacheCluster
+
+        deployment = make_deployment(lambdas=16)
+        client = deployment.new_client()
+        client.put_sized("occasional", 50 * MB)
+        for hour in range(1, 5):
+            deployment.run_until(hour * HOUR)
+            client.get("occasional")
+        deployment.stop()
+        infinicache_cost = deployment.total_cost()
+        elasticache_cost = ElastiCacheCluster("cache.r5.24xlarge").cost_for_duration(4 * HOUR)
+        assert elasticache_cost / infinicache_cost > 30
+
+    def test_warmup_and_backup_costs_scale_with_time(self):
+        deployment = make_deployment()
+        deployment.run_until(30 * MINUTE)
+        halfway = deployment.cost_breakdown()
+        deployment.run_until(60 * MINUTE)
+        deployment.stop()
+        final = deployment.cost_breakdown()
+        assert final["warmup"] > halfway["warmup"]
+        assert final["backup"] >= halfway["backup"]
+
+    def test_invocation_counts_track_chunk_fanout(self):
+        deployment = make_deployment(data_shards=4, parity_shards=2)
+        client = deployment.new_client()
+        client.put_sized("fanout", 60 * MB)
+        counters = deployment.counters()
+        assert counters["faas.invocations"] >= 6
+        deployment.stop()
+
+
+class TestIdleTimeoutRegime:
+    def test_warmup_interval_shorter_than_timeout_keeps_data(self):
+        deployment = make_deployment(
+            reclamation_policy=IdleTimeoutPolicy(idle_timeout_s=27 * MINUTE)
+        )
+        client = deployment.new_client()
+        client.put_sized("kept-alive", 10 * MB)
+        deployment.run_until(3 * HOUR)
+        assert client.get("kept-alive").hit
+        deployment.stop()

@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the erasure-coding stack.
+
+These exercise the core invariant the whole system rests on: any ``d`` of the
+``d + p`` chunks reconstruct the original object exactly, for arbitrary
+payloads and any valid code configuration.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure.codec import ErasureCodec
+from repro.erasure.galois import GF256
+from repro.erasure.reed_solomon import ReedSolomon
+
+# Keep payloads modest so the suite stays fast; sizes are drawn to hit both
+# the "smaller than d bytes" and the "does not divide evenly" edge cases.
+payloads = st.binary(min_size=1, max_size=4096)
+small_codes = st.tuples(st.integers(min_value=1, max_value=8),
+                        st.integers(min_value=0, max_value=4))
+
+
+class TestGaloisFieldProperties:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_addition_commutative(self, a, b):
+        assert GF256.add(a, b) == GF256.add(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_multiplication_commutative(self, a, b):
+        assert GF256.multiply(a, b) == GF256.multiply(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_multiplication_distributes_over_addition(self, a, b, c):
+        left = GF256.multiply(a, GF256.add(b, c))
+        right = GF256.add(GF256.multiply(a, b), GF256.multiply(a, c))
+        assert left == right
+
+    @given(st.integers(1, 255), st.integers(0, 255))
+    def test_division_is_multiplication_inverse(self, a, b):
+        assert GF256.divide(GF256.multiply(b, a), a) == b
+
+    @given(st.integers(0, 255))
+    def test_additive_identity_and_self_inverse(self, a):
+        assert GF256.add(a, 0) == a
+        assert GF256.add(a, a) == 0
+
+
+class TestReedSolomonProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.integers(min_value=2, max_value=10),
+        parity=st.integers(min_value=1, max_value=4),
+        payload=st.binary(min_size=8, max_size=512),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_any_d_of_n_chunks_reconstruct(self, data, parity, payload, seed):
+        """The MDS property under a randomly chosen survivor set."""
+        import random
+
+        shard_len = max(1, -(-len(payload) // data))
+        padded = payload + b"\x00" * (shard_len * data - len(payload))
+        shards = [padded[i * shard_len:(i + 1) * shard_len] for i in range(data)]
+        rs = ReedSolomon(data, parity)
+        stripe = rs.encode(shards)
+        survivors = random.Random(seed).sample(range(data + parity), data)
+        decoded = rs.decode({i: stripe[i] for i in survivors})
+        assert decoded == shards
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.integers(2, 10), parity=st.integers(1, 4),
+           payload=st.binary(min_size=8, max_size=512))
+    def test_encode_verify_roundtrip(self, data, parity, payload):
+        shard_len = max(1, -(-len(payload) // data))
+        padded = payload + b"\x00" * (shard_len * data - len(payload))
+        shards = [padded[i * shard_len:(i + 1) * shard_len] for i in range(data)]
+        rs = ReedSolomon(data, parity)
+        assert rs.verify(rs.encode(shards)) is True
+
+
+class TestCodecProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=payloads, code=small_codes)
+    def test_roundtrip_with_all_chunks(self, payload, code):
+        data, parity = code
+        codec = ErasureCodec(data, parity)
+        chunks = codec.encode("obj", payload)
+        assert codec.decode(chunks) == payload
+
+    @settings(max_examples=60, deadline=None)
+    @given(payload=payloads,
+           data=st.integers(2, 8),
+           parity=st.integers(1, 4),
+           drop_seed=st.integers(0, 2**31))
+    def test_roundtrip_after_dropping_up_to_p_chunks(self, payload, data, parity, drop_seed):
+        """Losing any p chunks never loses the object."""
+        import random
+
+        codec = ErasureCodec(data, parity)
+        chunks = codec.encode("obj", payload)
+        rng = random.Random(drop_seed)
+        dropped = set(rng.sample(range(data + parity), parity))
+        survivors = [chunk for chunk in chunks if chunk.index not in dropped]
+        assert codec.decode(survivors) == payload
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=payloads, code=small_codes)
+    def test_chunk_sizes_uniform_and_cover_object(self, payload, code):
+        data, parity = code
+        codec = ErasureCodec(data, parity)
+        chunks = codec.encode("obj", payload)
+        sizes = {chunk.size for chunk in chunks}
+        assert len(sizes) == 1
+        assert sizes.pop() * data >= len(payload)
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=payloads, data=st.integers(2, 8), parity=st.integers(1, 4))
+    def test_rebuild_missing_is_idempotent(self, payload, data, parity):
+        codec = ErasureCodec(data, parity)
+        chunks = codec.encode("obj", payload)
+        rebuilt = codec.rebuild_missing(chunks[: data])
+        assert [c.payload for c in rebuilt] == [c.payload for c in chunks]

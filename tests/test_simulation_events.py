@@ -1,0 +1,163 @@
+"""Tests for the event queue and simulator loop."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("cancelled"))
+        queue.push(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        popped = queue.pop()
+        popped.callback()
+        assert fired == ["kept"]
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+    def test_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue
+
+
+class TestSimulator:
+    def test_schedule_and_run_until(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(5.0, lambda: fired.append(simulator.now))
+        simulator.run_until(10.0)
+        assert fired == [5.0]
+        assert simulator.now == 10.0
+
+    def test_run_until_stops_before_later_events(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(5.0, lambda: fired.append("early"))
+        simulator.schedule(15.0, lambda: fired.append("late"))
+        simulator.run_until(10.0)
+        assert fired == ["early"]
+        simulator.run_until(20.0)
+        assert fired == ["early", "late"]
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule_at(3.0, lambda: fired.append(simulator.now))
+        simulator.run_until(5.0)
+        assert fired == [3.0]
+
+    def test_schedule_negative_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        simulator = Simulator()
+        simulator.run_until(10.0)
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(5.0, lambda: None)
+
+    def test_run_until_past_rejected(self):
+        simulator = Simulator()
+        simulator.run_until(10.0)
+        with pytest.raises(SimulationError):
+            simulator.run_until(5.0)
+
+    def test_chained_scheduling(self):
+        """An event can schedule a follow-up; both run within the horizon."""
+        simulator = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            simulator.schedule(1.0, lambda: fired.append("second"))
+
+        simulator.schedule(1.0, first)
+        simulator.run_until(3.0)
+        assert fired == ["first", "second"]
+
+    def test_periodic_rescheduling_respects_horizon(self):
+        simulator = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(simulator.now)
+            simulator.schedule(1.0, tick)
+
+        simulator.schedule(1.0, tick)
+        simulator.run_until(5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_events_processed_counter(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.run_until(3.0)
+        assert simulator.events_processed == 2
+
+    def test_run_all_drains_queue(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(2.0, lambda: fired.append(2))
+        simulator.run_all()
+        assert fired == [1, 2]
+
+    def test_run_all_detects_runaway(self):
+        simulator = Simulator()
+
+        def forever():
+            simulator.schedule(1.0, forever)
+
+        simulator.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            simulator.run_all(max_events=100)
+
+    def test_cancelled_event_not_dispatched(self):
+        simulator = Simulator()
+        fired = []
+        event = simulator.schedule(1.0, lambda: fired.append("no"))
+        event.cancel()
+        simulator.run_until(2.0)
+        assert fired == []

@@ -1,0 +1,119 @@
+"""Tests for counters, gauges, time series, and the metric registry."""
+
+import pytest
+
+from repro.simulation.metrics import Counter, Gauge, MetricRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_increment_default_and_amount(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.increment(5)
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        series = TimeSeries("s")
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert len(series) == 2
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries("s")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_window_half_open(self):
+        series = TimeSeries("s")
+        for t in range(5):
+            series.record(float(t), float(t) * 10)
+        window = series.window(1.0, 3.0)
+        assert [t for t, _ in window] == [1.0, 2.0]
+
+    def test_sum_and_count_in_window(self):
+        series = TimeSeries("s")
+        for t in range(4):
+            series.record(float(t), 2.0)
+        assert series.sum_in_window(0.0, 4.0) == 8.0
+        assert series.count_in_window(1.0, 3.0) == 2
+
+    def test_bucket_sum(self):
+        series = TimeSeries("s")
+        series.record(0.5, 1.0)
+        series.record(1.5, 2.0)
+        series.record(2.5, 3.0)
+        buckets = series.bucket(1.0, end_time=3.0, aggregate="sum")
+        assert buckets == [1.0, 2.0, 3.0]
+
+    def test_bucket_count(self):
+        series = TimeSeries("s")
+        series.record(0.1, 5.0)
+        series.record(0.2, 5.0)
+        series.record(1.7, 5.0)
+        buckets = series.bucket(1.0, end_time=2.0, aggregate="count")
+        assert buckets == [2.0, 1.0]
+
+    def test_bucket_invalid_aggregate(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.bucket(1.0, aggregate="median")
+
+    def test_bucket_invalid_width(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s").bucket(0.0)
+
+    def test_summary(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(1.0, 3.0)
+        assert series.summary()["mean"] == 2.0
+
+
+class TestMetricRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricRegistry()
+        registry.counter("hits").increment()
+        registry.counter("hits").increment()
+        assert registry.counters()["hits"] == 2.0
+
+    def test_gauge_and_series(self):
+        registry = MetricRegistry()
+        registry.gauge("mem").set(5)
+        registry.series("events").record(1.0, 1.0)
+        assert registry.gauges()["mem"] == 5
+        assert registry.series_names() == ["events"]
+        assert registry.has_series("events")
+        assert not registry.has_series("other")
+
+    def test_snapshot(self):
+        registry = MetricRegistry()
+        registry.counter("a").increment()
+        registry.series("s").record(0.0, 1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 1.0}
+        assert snapshot["series"] == {"s": 1}

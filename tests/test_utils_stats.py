@@ -1,0 +1,119 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import OnlineStats, cdf_points, percentile, percentiles, summarize
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentiles_dict(self):
+        result = percentiles([1, 2, 3, 4], [0, 50, 100])
+        assert result[0] == 1
+        assert result[100] == 4
+
+
+class TestCdfPoints:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_sorted_and_reaches_one(self):
+        points = cdf_points([3, 1, 2])
+        assert [value for value, _ in points] == [1, 2, 3]
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_fractions_are_monotone(self):
+        points = cdf_points([5, 5, 1, 9])
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+
+    def test_single_value(self):
+        assert cdf_points([7.0]) == [(7.0, 1.0)]
+
+
+class TestSummarize:
+    def test_empty_returns_nans(self):
+        summary = summarize([])
+        assert summary["count"] == 0
+        assert math.isnan(summary["mean"])
+
+    def test_basic_summary(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary["count"] == 5
+        assert summary["mean"] == 3
+        assert summary["min"] == 1
+        assert summary["max"] == 5
+        assert summary["p50"] == 3
+
+
+class TestOnlineStats:
+    def test_matches_direct_computation(self):
+        values = [1.0, 2.0, 3.0, 4.0, 10.0]
+        stats = OnlineStats()
+        stats.extend(values)
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.min == 1.0
+        assert stats.max == 10.0
+        expected_var = sum((v - 4.0) ** 2 for v in values) / 4
+        assert stats.variance == pytest.approx(expected_var)
+
+    def test_stddev_of_constant_is_zero(self):
+        stats = OnlineStats()
+        stats.extend([5.0, 5.0, 5.0])
+        assert stats.stddev == 0.0
+
+    def test_single_value_variance_zero(self):
+        stats = OnlineStats()
+        stats.add(42.0)
+        assert stats.variance == 0.0
+
+    def test_merge_equivalent_to_combined(self):
+        left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        a = [1.0, 4.0, 2.0]
+        b = [10.0, 0.5]
+        left.extend(a)
+        right.extend(b)
+        combined.extend(a + b)
+        merged = left.merge(right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.min == combined.min
+        assert merged.max == combined.max
+
+    def test_merge_with_empty(self):
+        stats = OnlineStats()
+        stats.extend([1.0, 2.0])
+        merged = stats.merge(OnlineStats())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+        merged_other_way = OnlineStats().merge(stats)
+        assert merged_other_way.count == 2
+
+    def test_as_dict(self):
+        stats = OnlineStats()
+        stats.extend([2.0, 4.0])
+        as_dict = stats.as_dict()
+        assert as_dict["count"] == 2
+        assert as_dict["mean"] == pytest.approx(3.0)

@@ -1,0 +1,108 @@
+"""Tests for workload distributions."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeededRNG
+from repro.utils.units import MB
+from repro.workload.distributions import (
+    ObjectSizeDistribution,
+    ZipfPopularity,
+    diurnal_rate_multiplier,
+)
+
+
+class TestObjectSizeDistribution:
+    def test_samples_within_ranges(self):
+        distribution = ObjectSizeDistribution()
+        rng = SeededRNG(1)
+        sizes = distribution.sample_many(rng, 2000)
+        assert all(
+            distribution.small_min_bytes <= size <= distribution.large_max_bytes
+            for size in sizes
+        )
+
+    def test_large_fraction_approximately_respected(self):
+        distribution = ObjectSizeDistribution(large_fraction=0.22)
+        rng = SeededRNG(2)
+        sizes = distribution.sample_many(rng, 5000)
+        large = sum(1 for size in sizes if size > 10 * MB)
+        assert 0.15 < large / len(sizes) < 0.30
+
+    def test_large_objects_dominate_bytes(self):
+        """Figure 1(b): >10 MB objects carry the overwhelming byte share."""
+        distribution = ObjectSizeDistribution()
+        rng = SeededRNG(3)
+        sizes = distribution.sample_many(rng, 5000)
+        large_bytes = sum(size for size in sizes if size > 10 * MB)
+        assert large_bytes / sum(sizes) > 0.9
+
+    def test_sizes_span_many_orders_of_magnitude(self):
+        distribution = ObjectSizeDistribution()
+        rng = SeededRNG(4)
+        sizes = distribution.sample_many(rng, 5000)
+        assert max(sizes) / min(sizes) > 1e5
+
+    def test_zero_large_fraction(self):
+        distribution = ObjectSizeDistribution(large_fraction=0.0)
+        rng = SeededRNG(5)
+        assert all(size <= 10 * MB for size in distribution.sample_many(rng, 500))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ObjectSizeDistribution(small_min_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ObjectSizeDistribution(large_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ObjectSizeDistribution(large_min_bytes=100, large_max_bytes=10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObjectSizeDistribution().sample_many(SeededRNG(1), -1)
+
+
+class TestZipfPopularity:
+    def test_ranks_in_range(self):
+        popularity = ZipfPopularity(catalogue_size=100, exponent=1.0)
+        rng = SeededRNG(6)
+        ranks = popularity.sample_ranks(rng, 1000)
+        assert all(0 <= rank < 100 for rank in ranks)
+
+    def test_long_tail_shape(self):
+        """A small set of hot objects absorbs a large share of requests."""
+        popularity = ZipfPopularity(catalogue_size=1000, exponent=1.0)
+        rng = SeededRNG(7)
+        ranks = popularity.sample_ranks(rng, 10_000)
+        top_10_share = sum(1 for rank in ranks if rank < 10) / len(ranks)
+        assert top_10_share > 0.2
+
+    def test_higher_exponent_more_skew(self):
+        rng_a, rng_b = SeededRNG(8), SeededRNG(8)
+        mild = ZipfPopularity(500, exponent=0.8).sample_ranks(rng_a, 5000)
+        steep = ZipfPopularity(500, exponent=1.4).sample_ranks(rng_b, 5000)
+        assert sum(1 for r in steep if r == 0) > sum(1 for r in mild if r == 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(catalogue_size=0)
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(catalogue_size=10, exponent=0)
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(10).sample_ranks(SeededRNG(1), -1)
+
+
+class TestDiurnalMultiplier:
+    def test_peak_at_peak_hour(self):
+        assert diurnal_rate_multiplier(14.0, peak_hour=14.0, amplitude=0.6) == pytest.approx(1.6)
+
+    def test_trough_twelve_hours_later(self):
+        assert diurnal_rate_multiplier(2.0, peak_hour=14.0, amplitude=0.6) == pytest.approx(0.4)
+
+    def test_bounded(self):
+        for hour in range(24):
+            multiplier = diurnal_rate_multiplier(float(hour))
+            assert 0.0 < multiplier < 2.0
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_rate_multiplier(0.0, amplitude=1.0)

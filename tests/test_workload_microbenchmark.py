@@ -1,0 +1,67 @@
+"""Tests for the microbenchmark workload generator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.units import MB
+from repro.workload.microbenchmark import (
+    FIGURE11_OBJECT_SIZES,
+    FIGURE11_RS_CODES,
+    MicrobenchmarkWorkload,
+)
+
+
+class TestConstants:
+    def test_figure11_sweeps_match_paper(self):
+        assert FIGURE11_OBJECT_SIZES == (10 * MB, 20 * MB, 40 * MB, 60 * MB, 80 * MB, 100 * MB)
+        assert (10, 1) in FIGURE11_RS_CODES
+        assert (10, 0) in FIGURE11_RS_CODES
+        assert (4, 2) in FIGURE11_RS_CODES
+
+
+class TestMicrobenchmarkWorkload:
+    def test_object_keys_unique(self):
+        workload = MicrobenchmarkWorkload(object_count=5)
+        keys = workload.object_keys()
+        assert len(keys) == len(set(keys)) == 5
+
+    def test_populate_records_are_puts(self):
+        workload = MicrobenchmarkWorkload(object_count=3, object_size_bytes=10 * MB)
+        records = workload.populate_records()
+        assert len(records) == 3
+        assert all(record.operation == "PUT" for record in records)
+        assert all(record.size == 10 * MB for record in records)
+
+    def test_get_records_draw_from_catalogue(self):
+        workload = MicrobenchmarkWorkload(object_count=4, requests=40)
+        records = workload.get_records()
+        assert len(records) == 40
+        assert all(record.operation == "GET" for record in records)
+        assert set(record.key for record in records) <= set(workload.object_keys())
+
+    def test_get_records_spaced_by_inter_arrival(self):
+        workload = MicrobenchmarkWorkload(requests=5, inter_arrival_s=2.0)
+        records = workload.get_records(start_time=1.0)
+        times = [record.timestamp for record in records]
+        assert times == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_as_trace_orders_put_before_get(self):
+        trace = MicrobenchmarkWorkload(object_count=2, requests=6).as_trace()
+        operations = [record.operation for record in trace]
+        assert operations[:2] == ["PUT", "PUT"]
+        assert all(op == "GET" for op in operations[2:])
+
+    def test_deterministic_given_seed(self):
+        a = MicrobenchmarkWorkload(seed=3).get_records()
+        b = MicrobenchmarkWorkload(seed=3).get_records()
+        assert [record.key for record in a] == [record.key for record in b]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MicrobenchmarkWorkload(object_size_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MicrobenchmarkWorkload(object_count=0)
+        with pytest.raises(ConfigurationError):
+            MicrobenchmarkWorkload(requests=0)
+        with pytest.raises(ConfigurationError):
+            MicrobenchmarkWorkload(inter_arrival_s=-1)
