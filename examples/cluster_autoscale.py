@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Cluster orchestration demo: autoscaling, tenants, membership, failures.
+
+This walks the :mod:`repro.cluster` subsystem end to end:
+
+1. start an :class:`~repro.cluster.InfiniCacheCluster` with a deliberately
+   small Lambda pool and autoscaling bounds;
+2. register two tenants — an unconstrained ``media`` tenant and a
+   rate-limited ``api`` tenant — and show namespace isolation;
+3. drive a rising flood of ``media`` PUTs and watch the autoscaler grow the
+   pool under memory pressure, then let the load drain away and watch the
+   pool shrink back;
+4. add a third proxy at runtime: the rebalancer migrates the keys the
+   consistent-hash ring re-assigns, without a restart;
+5. reclaim some Lambda functions and let the failure detector repair the
+   damaged stripes before any client notices.
+
+Run:  python examples/cluster_autoscale.py
+"""
+
+from __future__ import annotations
+
+from repro.cache import InfiniCacheConfig
+from repro.cluster import AutoscalerConfig, InfiniCacheCluster, TenantQuota
+from repro.exceptions import RateLimitedError
+from repro.utils.units import MB, MIB, format_bytes
+
+
+def main() -> None:
+    config = InfiniCacheConfig(
+        num_proxies=2,
+        lambdas_per_proxy=8,          # start small on purpose
+        lambda_memory_bytes=192 * MIB,
+        data_shards=4,
+        parity_shards=2,
+        min_lambdas_per_proxy=8,      # floor keeps spare nodes for EC repair
+        max_lambdas_per_proxy=40,     # autoscaler ceiling
+    )
+    cluster = InfiniCacheCluster(
+        config,
+        autoscaler_config=AutoscalerConfig(interval_s=15.0),
+        failure_detector_interval_s=30.0,
+    )
+    cluster.start()
+
+    print("== InfiniCache cluster demo ==")
+    print(f"initial pools: {cluster.pool_sizes()}")
+
+    # --- tenants and isolation ----------------------------------------------------
+    media = cluster.register_tenant("media")
+    api = cluster.register_tenant(
+        "api", TenantQuota(max_requests_per_s=5.0, burst_requests=10)
+    )
+    media.put("shared-name", b"media bytes" * 1000)
+    assert not api.exists("shared-name"), "namespaces must be isolated"
+    print("tenant isolation: 'media' and 'api' cannot see each other's keys")
+
+    throttled = 0
+    for index in range(40):
+        try:
+            api.put_sized(f"burst-{index}", 1 * MB)
+        except RateLimitedError:
+            throttled += 1
+    print(f"rate quota: {throttled}/40 of api's burst throttled\n")
+
+    # --- load surge: the pool grows -----------------------------------------------
+    print("PUT flood from 'media' (memory pressure rises)...")
+    now = 1.0
+    for index in range(150):
+        cluster.run_until(now)
+        media.put_sized(f"video-{index:04d}", 10 * MB)
+        now += 1.0
+    surge_pools = cluster.pool_sizes()
+    print(f"pools after surge:  {surge_pools}")
+    print(f"bytes cached: {format_bytes(cluster.deployment.pool_bytes_used())}")
+
+    # --- load drains: the pool shrinks --------------------------------------------
+    for index in range(150):
+        media.invalidate(f"video-{index:04d}")
+    cluster.run_until(now + 120.0)
+    idle_pools = cluster.pool_sizes()
+    print(f"pools after drain:  {idle_pools}")
+    assert sum(surge_pools.values()) > config.num_proxies * config.lambdas_per_proxy, \
+        "the surge must have grown the pool"
+    assert sum(idle_pools.values()) < sum(surge_pools.values()), \
+        "draining the load must shrink the pool"
+
+    # --- live membership change ---------------------------------------------------
+    print("\nAdding a third proxy at runtime...")
+    working_set = [f"doc-{index:03d}" for index in range(30)]
+    for key in working_set:
+        media.put_sized(key, 2 * MB)
+    before = {proxy.proxy_id: proxy.object_count() for proxy in cluster.deployment.proxies}
+    new_proxy = cluster.add_proxy()
+    migrated = cluster.metrics.counters().get("cluster.rebalance.migrated", 0.0)
+    print(f"objects per proxy before join: {before}")
+    print(f"{new_proxy.proxy_id} joined; {migrated:g} objects migrated to it")
+    hits = sum(media.get(key).hit for key in working_set)
+    print(f"working set after rebalance: {hits}/{len(working_set)} still hit")
+    assert hits == len(working_set), "data must survive the membership change"
+
+    # --- failure detection and repair ----------------------------------------------
+    print(f"\nReclaiming {config.parity_shards} Lambda nodes out from under the cluster...")
+    victim_proxy = cluster.deployment.proxies[0]
+    for node in victim_proxy.nodes[: config.parity_shards]:
+        for instance in (node.primary, node.backup_peer):
+            if instance is not None and instance.is_alive:
+                cluster.deployment.platform.reclaim_instance(instance)
+    repaired, lost = cluster.failure_detector.sweep_once()
+    print(f"failure detector: repaired {repaired} objects, lost {lost}")
+    assert lost == 0, "losing only p nodes must be survivable"
+
+    cluster.stop()
+    print("\nCost breakdown:")
+    for category, dollars in sorted(cluster.cost_breakdown().items()):
+        print(f"  {category:>10}: ${dollars:.6f}")
+    print("\nPer-tenant usage:")
+    for tenant_id, row in cluster.tenant_report().items():
+        print(f"  {tenant_id:>6}: puts={row['puts']:g} gets={row['gets']:g} "
+              f"throttled={row['throttled']:g} cached={format_bytes(int(row['bytes_stored']))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,8 @@ The most common entry points:
 * :class:`repro.workload.DockerRegistryTraceGenerator` and
   :class:`repro.workload.TraceReplayer` — synthesise and replay the
   production-style workload.
+* :class:`repro.cluster.InfiniCacheCluster` — the orchestrated multi-tenant
+  cluster: pool autoscaling, tenant quotas, rebalancing, failure detection.
 * :mod:`repro.analysis` — the availability and cost models of Section 4.3.
 * :mod:`repro.experiments` — one module per figure/table of the paper.
 """
@@ -25,6 +27,12 @@ from repro.cache import (
     PutResult,
 )
 from repro.analysis import AvailabilityModel, CostModel, CostModelParams
+from repro.cluster import (
+    AutoscalerConfig,
+    InfiniCacheCluster,
+    TenantClient,
+    TenantQuota,
+)
 from repro.erasure import ErasureCodec, ReedSolomon
 from repro.workload import (
     DockerRegistryTraceGenerator,
@@ -42,6 +50,10 @@ __all__ = [
     "InfiniCacheClient",
     "GetResult",
     "PutResult",
+    "AutoscalerConfig",
+    "InfiniCacheCluster",
+    "TenantClient",
+    "TenantQuota",
     "AvailabilityModel",
     "CostModel",
     "CostModelParams",

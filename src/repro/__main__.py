@@ -1,10 +1,47 @@
-"""``python -m repro`` — regenerate the paper's tables and figures.
+"""``python -m repro`` — experiment runner plus cluster demo.
 
-A thin alias for :mod:`repro.experiments.runner`; see that module for the
-available flags (``--only``, ``--output-dir``, ``--list``).
+Without a subcommand this regenerates the paper's tables and figures (a
+thin alias for :mod:`repro.experiments.runner`; see that module for the
+available flags — ``--only``, ``--output-dir``, ``--list``).
+
+``python -m repro cluster-demo [--duration SECONDS]`` instead runs the
+:mod:`repro.cluster` orchestration demo: autoscaling under a load surge,
+tenant quota enforcement, a live proxy join with rebalancing, and an
+injected-failure repair sweep.
 """
 
-from repro.experiments.runner import main
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import main as runner_main
+
+
+def _cluster_demo(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cluster-demo",
+        description="Exercise the autoscaling multi-tenant cluster subsystem.",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=240.0, metavar="SECONDS",
+        help="simulated seconds of load to drive (default: 240)",
+    )
+    args = parser.parse_args(argv)
+    from repro.cluster.demo import run_demo
+
+    run_demo(duration_s=args.duration)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch to the cluster demo or the experiment runner."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cluster-demo":
+        return _cluster_demo(argv[1:])
+    return runner_main(argv)
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -93,6 +93,25 @@ class InfiniCacheClient:
         self.hits = 0
         self.misses = 0
 
+    # ------------------------------------------------------------------ membership
+    def add_proxy(self, proxy: Proxy) -> None:
+        """Add a proxy to this client's consistent-hash ring (cluster join)."""
+        self.ring.add(proxy.proxy_id, proxy)
+
+    def remove_proxy(self, proxy_id: str) -> None:
+        """Drop a proxy from this client's ring (cluster leave).
+
+        Raises:
+            ConfigurationError: if removing it would leave the ring empty.
+        """
+        if len(self.ring) <= 1:
+            raise ConfigurationError("the client needs at least one proxy")
+        self.ring.remove(proxy_id)
+
+    def proxy_ids(self) -> list[str]:
+        """Identifiers of the proxies this client currently routes to."""
+        return self.ring.member_ids()
+
     # ------------------------------------------------------------------ helpers
     def _proxy_for(self, key: str) -> Proxy:
         return self.ring.lookup(key)

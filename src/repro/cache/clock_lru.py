@@ -35,6 +35,10 @@ class ClockLRU(Generic[V]):
     def __init__(self):
         self._entries: dict[str, _ClockEntry[V]] = {}
         self._ring: list[str] = []
+        #: Keys currently occupying a ring slot, including stale slots left
+        #: behind by remove().  Re-inserting such a key must revive its slot
+        #: rather than append a duplicate.
+        self._in_ring: set[str] = set()
         self._hand = 0
 
     def __len__(self) -> int:
@@ -51,7 +55,9 @@ class ClockLRU(Generic[V]):
             entry.referenced = True
             return
         self._entries[key] = _ClockEntry(key=key, value=value)
-        self._ring.append(key)
+        if key not in self._in_ring:
+            self._ring.append(key)
+            self._in_ring.add(key)
 
     def touch(self, key: str) -> None:
         """Record an access: set the entry's reference bit.
@@ -107,6 +113,7 @@ class ClockLRU(Generic[V]):
             if entry is None:
                 # Stale slot left behind by remove(); compact it.
                 self._ring.pop(self._hand)
+                self._in_ring.discard(key)
                 continue
             if entry.referenced:
                 entry.referenced = False
@@ -114,6 +121,7 @@ class ClockLRU(Generic[V]):
                 steps += 1
                 continue
             self._ring.pop(self._hand)
+            self._in_ring.discard(key)
             del self._entries[key]
             return key, entry.value
         raise CacheError("CLOCK sweep failed to find a victim (internal invariant violated)")

@@ -44,6 +44,11 @@ class InfiniCacheConfig:
     num_proxies: int = 1
     lambdas_per_proxy: int = 400
     lambda_memory_bytes: int = 1536 * MIB
+    #: Bounds the cluster autoscaler respects when resizing a proxy's pool.
+    #: ``None`` leaves the corresponding direction unbounded (shrinking is
+    #: still floored at the erasure stripe width so every stripe fits).
+    min_lambdas_per_proxy: int | None = None
+    max_lambdas_per_proxy: int | None = None
 
     # --- erasure coding ----------------------------------------------------------
     data_shards: int = 10
@@ -89,6 +94,26 @@ class InfiniCacheConfig:
                 f"{self.data_shards}+{self.parity_shards} chunks over "
                 f"{self.lambdas_per_proxy} nodes"
             )
+        if self.min_lambdas_per_proxy is not None:
+            if self.min_lambdas_per_proxy < 1:
+                raise ConfigurationError("min_lambdas_per_proxy must be at least 1")
+            if self.lambdas_per_proxy < self.min_lambdas_per_proxy:
+                raise ConfigurationError(
+                    f"pools start at {self.lambdas_per_proxy} nodes, below the "
+                    f"autoscale floor of {self.min_lambdas_per_proxy}"
+                )
+        if self.max_lambdas_per_proxy is not None:
+            floor = self.min_lambdas_per_proxy or 1
+            if self.max_lambdas_per_proxy < max(floor, self.data_shards + self.parity_shards):
+                raise ConfigurationError(
+                    "max_lambdas_per_proxy must cover the erasure stripe and "
+                    "min_lambdas_per_proxy"
+                )
+            if self.lambdas_per_proxy > self.max_lambdas_per_proxy:
+                raise ConfigurationError(
+                    f"pools start at {self.lambdas_per_proxy} nodes, above the "
+                    f"autoscale ceiling of {self.max_lambdas_per_proxy}"
+                )
         if self.warmup_interval_s <= 0 or self.backup_interval_s <= 0:
             raise ConfigurationError("warm-up and backup intervals must be positive")
         if self.encode_bandwidth_bps <= 0 or self.decode_bandwidth_bps <= 0:
@@ -109,6 +134,7 @@ class InfiniCacheConfig:
         return {
             "proxies": self.num_proxies,
             "lambdas_per_proxy": self.lambdas_per_proxy,
+            "autoscale_bounds": (self.min_lambdas_per_proxy, self.max_lambdas_per_proxy),
             "lambda_memory_MiB": self.lambda_memory_bytes // MIB,
             "rs_code": f"({self.data_shards}+{self.parity_shards})",
             "warmup_interval_s": self.warmup_interval_s,

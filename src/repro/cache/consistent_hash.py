@@ -46,6 +46,10 @@ class ConsistentHashRing(Generic[T]):
         """All members currently on the ring (ring order not implied)."""
         return [self._members[member_id] for member_id in sorted(self._members)]
 
+    def member_ids(self) -> list[str]:
+        """Identifiers of all members currently on the ring, sorted."""
+        return sorted(self._members)
+
     def add(self, member_id: str, member: T) -> None:
         """Add a member under a unique identifier."""
         if member_id in self._members:

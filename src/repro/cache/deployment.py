@@ -18,7 +18,7 @@ trace replayer:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cache.backup import BackupManager
 from repro.cache.client import InfiniCacheClient
@@ -28,10 +28,15 @@ from repro.faas.billing import BillingModel
 from repro.faas.platform import FaaSPlatform
 from repro.faas.reclamation import ReclamationPolicy
 from repro.network.transfer import TransferModel
+from repro.exceptions import ConfigurationError
 from repro.simulation.events import Simulator
 from repro.simulation.metrics import MetricRegistry
 from repro.utils.rng import SeededRNG
 from repro.utils.units import MINUTE
+
+#: Signature of a cluster-membership listener: ``(event, proxy)`` where
+#: ``event`` is ``"join"`` or ``"leave"``.
+MembershipListener = Callable[[str, Proxy], None]
 
 
 class InfiniCacheDeployment:
@@ -57,22 +62,80 @@ class InfiniCacheDeployment:
         self.transfer_model = TransferModel(
             base_latency_s=self.config.base_network_latency_s
         )
-        self.proxies: list[Proxy] = [
-            Proxy(
-                proxy_id=f"proxy-{i}",
-                config=self.config,
-                platform=self.platform,
-                transfer_model=self.transfer_model,
-                rng=self.rng.child("proxy", i),
-                metrics=self.metrics,
-            )
-            for i in range(self.config.num_proxies)
-        ]
-        self.backup_managers = [
-            BackupManager(proxy, self.platform, self.metrics) for proxy in self.proxies
-        ]
+        self._next_proxy_index = 0
+        self.proxies: list[Proxy] = []
+        self.backup_managers: list[BackupManager] = []
+        self._clients: list[InfiniCacheClient] = []
+        self._membership_listeners: list[MembershipListener] = []
+        for _ in range(self.config.num_proxies):
+            self._create_proxy()
         self._clients_created = 0
         self._started = False
+
+    def _create_proxy(self) -> Proxy:
+        index = self._next_proxy_index
+        self._next_proxy_index += 1
+        proxy = Proxy(
+            proxy_id=f"proxy-{index}",
+            config=self.config,
+            platform=self.platform,
+            transfer_model=self.transfer_model,
+            rng=self.rng.child("proxy", index),
+            metrics=self.metrics,
+        )
+        self.proxies.append(proxy)
+        self.backup_managers.append(BackupManager(proxy, self.platform, self.metrics))
+        return proxy
+
+    # ------------------------------------------------------------------ membership
+    def proxy(self, proxy_id: str) -> Proxy:
+        """Look up a live proxy by identifier."""
+        for proxy in self.proxies:
+            if proxy.proxy_id == proxy_id:
+                return proxy
+        raise ConfigurationError(f"deployment has no proxy {proxy_id!r}")
+
+    def on_membership_change(self, listener: MembershipListener) -> None:
+        """Register a callback fired after a proxy joins or leaves."""
+        self._membership_listeners.append(listener)
+
+    def add_proxy(self) -> Proxy:
+        """Grow the cluster by one proxy with a fresh Lambda pool.
+
+        Every client issued by this deployment has the new proxy added to its
+        consistent-hash ring before membership listeners (the rebalancer) run,
+        so listeners observe the post-change ownership.
+        """
+        proxy = self._create_proxy()
+        for client in self._clients:
+            client.add_proxy(proxy)
+        self.metrics.counter("cluster.proxy_joins").increment()
+        for listener in self._membership_listeners:
+            listener("join", proxy)
+        return proxy
+
+    def remove_proxy(self, proxy_id: str) -> Proxy:
+        """Remove a proxy from the cluster.
+
+        Client rings are updated first so lookups route to the surviving
+        proxies; membership listeners then run with the detached proxy (which
+        still holds its objects) so the rebalancer can migrate them off.  The
+        caller — normally :class:`repro.cluster.InfiniCacheCluster` — is
+        responsible for having such a listener installed.
+        """
+        if len(self.proxies) <= 1:
+            raise ConfigurationError("cannot remove the deployment's last proxy")
+        proxy = self.proxy(proxy_id)
+        index = self.proxies.index(proxy)
+        self.proxies.pop(index)
+        self.backup_managers.pop(index)
+        for client in self._clients:
+            client.remove_proxy(proxy_id)
+        self.metrics.counter("cluster.proxy_leaves").increment()
+        for listener in self._membership_listeners:
+            listener("leave", proxy)
+        proxy.finish_sessions()
+        return proxy
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -139,12 +202,14 @@ class InfiniCacheDeployment:
         if client_id is None:
             client_id = f"client-{self._clients_created}"
         self._clients_created += 1
-        return InfiniCacheClient(
+        client = InfiniCacheClient(
             proxies=self.proxies,
             config=self.config,
             clock=self.simulator.clock,
             client_id=client_id,
         )
+        self._clients.append(client)
+        return client
 
     # ------------------------------------------------------------------ reporting
     def cost_breakdown(self) -> dict[str, float]:

@@ -22,7 +22,7 @@ Section 3.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cache.chunk import CacheChunk, ObjectDescriptor
 from repro.cache.clock_lru import ClockLRU
@@ -105,31 +105,65 @@ class Proxy:
         self.transfer_model = transfer_model
         self.rng = rng
         self.metrics = metrics or MetricRegistry()
-        self.nodes: list[LambdaCacheNode] = [
-            LambdaCacheNode(
-                node_id=f"{proxy_id}-lambda-{i:04d}",
-                platform=platform,
-                memory_bytes=config.lambda_memory_bytes,
-                billing_buffer_s=config.billing_buffer_s,
-                billing_extension_threshold=config.billing_extension_threshold,
-                runtime_overhead_fraction=config.runtime_overhead_fraction,
-            )
-            for i in range(config.lambdas_per_proxy)
-        ]
-        self._nodes_by_id = {node.node_id: node for node in self.nodes}
-        self._nodes_by_function = dict(self._nodes_by_id)
+        self.nodes: list[LambdaCacheNode] = []
+        self._nodes_by_id: dict[str, LambdaCacheNode] = {}
+        self._nodes_by_function: dict[str, LambdaCacheNode] = {}
+        #: Monotonic node-name counter; decommissioned names are never reused
+        #: because the platform's function registry is append-only.
+        self._next_node_index = 0
+        for _ in range(config.lambdas_per_proxy):
+            self._create_node()
         self._objects: dict[str, _ObjectEntry] = {}
         self._lru: ClockLRU[int] = ClockLRU()
+        #: GET + PUT requests handled so far (the autoscaler samples deltas).
+        self.requests_served = 0
         platform.on_reclaim(self._handle_reclaim)
+
+    def _create_node(self) -> LambdaCacheNode:
+        node = LambdaCacheNode(
+            node_id=f"{self.proxy_id}-lambda-{self._next_node_index:04d}",
+            platform=self.platform,
+            memory_bytes=self.config.lambda_memory_bytes,
+            billing_buffer_s=self.config.billing_buffer_s,
+            billing_extension_threshold=self.config.billing_extension_threshold,
+            runtime_overhead_fraction=self.config.runtime_overhead_fraction,
+        )
+        self._next_node_index += 1
+        self.nodes.append(node)
+        self._nodes_by_id[node.node_id] = node
+        self._nodes_by_function[node.node_id] = node
+        return node
 
     def __repr__(self) -> str:
         return f"Proxy({self.proxy_id}, nodes={len(self.nodes)}, objects={len(self._objects)})"
 
     # ------------------------------------------------------------------ introspection
     @property
+    def pool_size(self) -> int:
+        """Number of Lambda nodes currently in the pool."""
+        return len(self.nodes)
+
+    @property
     def pool_capacity_bytes(self) -> int:
         """Total chunk capacity across the pool."""
         return sum(node.capacity_bytes for node in self.nodes)
+
+    def memory_pressure(self) -> float:
+        """Fraction of the pool's chunk capacity currently in use."""
+        capacity = self.pool_capacity_bytes
+        return self.pool_bytes_used() / capacity if capacity else 0.0
+
+    def object_keys(self) -> list[str]:
+        """Keys of every object this proxy currently tracks."""
+        return list(self._objects)
+
+    def objects_on_node(self, node_id: str) -> list[str]:
+        """Keys of objects with at least one chunk placed on the given node."""
+        return [
+            key
+            for key, entry in self._objects.items()
+            if node_id in entry.placement.values()
+        ]
 
     def pool_bytes_used(self) -> int:
         """Bytes of chunk data currently stored across the pool."""
@@ -155,6 +189,149 @@ class Proxy:
         node = self._nodes_by_function.get(instance.function_name)
         if node is not None:
             node.on_instance_reclaimed(instance)
+
+    # ------------------------------------------------------------------ pool elasticity
+    def add_node(self) -> LambdaCacheNode:
+        """Grow the pool by one freshly registered Lambda node."""
+        node = self._create_node()
+        self.metrics.counter("proxy.nodes_added").increment()
+        return node
+
+    def drain_node(self, node_id: str, now: float) -> tuple[int, int]:
+        """Migrate every chunk off a node onto the rest of the pool.
+
+        Chunks whose bytes are gone (the node was reclaimed) are rebuilt as
+        size-only placeholders, matching the degraded-read repair path.
+        Returns ``(moved, dropped)`` chunk counts; a chunk is dropped when no
+        other node has room for it, in which case its object keeps the stale
+        placement and relies on erasure parity.
+        """
+        return self._drain_chunks(self.node(node_id), now)
+
+    def _drain_chunks(self, node: LambdaCacheNode, now: float) -> tuple[int, int]:
+        moved = dropped = 0
+        for entry in self._objects.values():
+            for chunk_index, placed_on in list(entry.placement.items()):
+                if placed_on != node.node_id:
+                    continue
+                chunk_id = f"{entry.descriptor.key}#{chunk_index}"
+                chunk: Optional[CacheChunk] = None
+                if node.is_alive and node.has_chunk(chunk_id):
+                    chunk = node.fetch_chunk(chunk_id)
+                if chunk is None:
+                    chunk = CacheChunk.sized(
+                        entry.descriptor.key, chunk_index, entry.descriptor.chunk_size
+                    )
+                target = self._migration_target(entry, chunk.size, exclude=node.node_id)
+                if target is None:
+                    dropped += 1
+                    continue
+                target.ensure_active(now, "rebalance")
+                target.record_service(now, chunk.size / target.bandwidth_bps, "rebalance")
+                target.store_chunk(chunk)
+                node.delete_chunk(chunk_id)
+                entry.placement[chunk_index] = target.node_id
+                moved += 1
+        self.metrics.counter("proxy.chunks_drained").increment(moved)
+        return moved, dropped
+
+    def _migration_target(
+        self, entry: _ObjectEntry, chunk_size: int, exclude: str
+    ) -> Optional[LambdaCacheNode]:
+        """An alive node with room that holds no other chunk of this object."""
+        occupied = set(entry.placement.values())
+        candidates = [
+            node
+            for node in self.nodes
+            if node.node_id != exclude
+            and node.node_id not in occupied
+            and node.is_alive
+            and node.free_bytes() >= chunk_size
+        ]
+        if not candidates:
+            return None
+        # Fill the emptiest node first to keep the pool balanced.
+        return max(candidates, key=lambda node: (node.free_bytes(), node.node_id))
+
+    def decommission_node(self, node_id: str, now: float) -> tuple[int, int]:
+        """Drain a node, release its function instances, and shrink the pool."""
+        if len(self.nodes) <= 1:
+            raise CacheError(f"proxy {self.proxy_id} cannot drop its last node")
+        node = self.node(node_id)
+        self.nodes.remove(node)
+        self._nodes_by_id.pop(node_id)
+        self._nodes_by_function.pop(node_id)
+        moved, dropped = self._drain_chunks(node, now)
+        for instance in (node.primary, node.backup_peer):
+            if instance is not None and instance.is_alive:
+                self.platform.reclaim_instance(instance)
+        node.finish_sessions()
+        self.metrics.counter("proxy.nodes_removed").increment()
+        return moved, dropped
+
+    # ------------------------------------------------------------------ export / audit
+    def export_object(
+        self, key: str
+    ) -> Optional[tuple[ObjectDescriptor, list[CacheChunk]]]:
+        """Read an object's descriptor and chunks for cross-proxy migration.
+
+        Chunks whose bytes were lost to reclamation are rebuilt as size-only
+        placeholders (the same convention as degraded-read repair), so the
+        exported stripe always has ``total_chunks`` entries.
+        """
+        entry = self._objects.get(key)
+        if entry is None:
+            return None
+        chunks: list[CacheChunk] = []
+        for chunk_index in range(entry.descriptor.total_chunks):
+            node_id = entry.placement.get(chunk_index)
+            node = self._nodes_by_id.get(node_id) if node_id is not None else None
+            chunk_id = f"{key}#{chunk_index}"
+            chunk: Optional[CacheChunk] = None
+            if node is not None and node.is_alive and node.has_chunk(chunk_id):
+                chunk = node.fetch_chunk(chunk_id)
+            if chunk is None:
+                chunk = CacheChunk.sized(key, chunk_index, entry.descriptor.chunk_size)
+            chunks.append(chunk)
+        return entry.descriptor, chunks
+
+    def audit_and_repair(
+        self, now: float, on_loss: Optional[Callable[[str], None]] = None
+    ) -> tuple[int, int]:
+        """Proactively repair objects whose chunks were lost to reclamation.
+
+        The failure detector calls this between requests so that losses are
+        healed before the next degraded read.  Returns ``(repaired, lost)``
+        object counts; objects with more than ``p`` chunks gone are dropped
+        (the next GET would RESET them from the backing store anyway) and
+        reported through ``on_loss`` so callers can reconcile accounting.
+        """
+        repaired = lost = 0
+        for key in list(self._objects):
+            entry = self._objects[key]
+            missing = [
+                ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=None,
+                           time_s=float("inf"), lost=True)
+                for chunk_index, node_id in sorted(entry.placement.items())
+                if not self._chunk_present(key, chunk_index, node_id)
+            ]
+            if not missing:
+                continue
+            surviving = entry.descriptor.total_chunks - len(missing)
+            if surviving < entry.descriptor.data_shards:
+                self._remove_object(key)
+                self.metrics.counter("proxy.object_losses").increment()
+                lost += 1
+                if on_loss is not None:
+                    on_loss(key)
+                continue
+            if self._repair_object(key, entry, missing, now):
+                repaired += 1
+        return repaired, lost
+
+    def _chunk_present(self, key: str, chunk_index: int, node_id: str) -> bool:
+        node = self._nodes_by_id.get(node_id)
+        return node is not None and node.has_chunk(f"{key}#{chunk_index}")
 
     # ------------------------------------------------------------------ placement
     def choose_placement(self, total_chunks: int) -> list[str]:
@@ -308,7 +485,13 @@ class Proxy:
         )
         self._objects[key] = entry
         self._lru.insert(key, descriptor.stored_bytes)
-        self.metrics.counter("proxy.puts").increment()
+        if category == "serving":
+            # Maintenance traffic (rebalance migrations) must not pollute the
+            # autoscaler's client-request-rate signal.
+            self.requests_served += 1
+            self.metrics.counter("proxy.puts").increment()
+        else:
+            self.metrics.counter(f"proxy.{category}_puts").increment()
         self.metrics.gauge("proxy.bytes_used").set(self.pool_bytes_used())
 
         return ProxyPutResult(
@@ -322,6 +505,7 @@ class Proxy:
     # ------------------------------------------------------------------ GET
     def get(self, key: str, now: float) -> ProxyGetResult:
         """Fetch an object's chunks with first-d parallel streaming."""
+        self.requests_served += 1
         entry = self._objects.get(key)
         if entry is None:
             self.metrics.counter("proxy.misses").increment()
@@ -411,6 +595,7 @@ class Proxy:
         indices = self.rng.sample_without_replacement(len(candidates), len(lost_fetches))
         replacements = [candidates[i] for i in indices]
 
+        placed = 0
         for fetch, replacement in zip(lost_fetches, replacements):
             rebuilt = CacheChunk.sized(key, fetch.chunk_index, descriptor.chunk_size)
             if replacement.free_bytes() < rebuilt.size:
@@ -421,9 +606,13 @@ class Proxy:
             )
             replacement.store_chunk(rebuilt)
             entry.placement[fetch.chunk_index] = replacement.node_id
-        self.metrics.counter("proxy.recoveries").increment()
-        self.metrics.series("proxy.recovery_events").record(now, 1.0)
-        return True
+            placed += 1
+        if placed:
+            self.metrics.counter("proxy.recoveries").increment()
+            self.metrics.series("proxy.recovery_events").record(now, 1.0)
+        # Only a full repair counts: partially healed objects keep stale
+        # placements and must be re-detected by the next audit sweep.
+        return placed == len(lost_fetches)
 
     # ------------------------------------------------------------------ maintenance hooks
     def warm_up_pool(self, now: float, warmup_service_s: float = 0.001) -> None:

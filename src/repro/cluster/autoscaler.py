@@ -1,0 +1,179 @@
+"""Pool autoscaler: elastic Lambda-pool sizing from observed load.
+
+The paper provisions each proxy with a fixed pool (Section 5's 400 nodes)
+and leaves elastic sizing to future work; this module closes that gap for
+the reproduction.  A :class:`PoolAutoscaler` ticks on the shared simulation
+event loop and, per proxy, samples two signals:
+
+* **memory pressure** — bytes cached over pool capacity; crossing the high
+  watermark grows the pool *before* CLOCK eviction starts thrashing, and
+  dropping under the low watermark shrinks it so idle functions stop
+  accruing warm-up cost;
+* **request rate** — GET+PUT throughput per node since the last tick;
+  a hot-but-small working set still fans out over enough nodes to keep
+  per-function bandwidth from saturating.
+
+Scaling is bounded by ``InfiniCacheConfig.min_lambdas_per_proxy`` /
+``max_lambdas_per_proxy`` (and always floored at the erasure stripe width,
+since every object needs ``d+p`` distinct nodes).  Scale-down picks the
+emptiest nodes and routes them through the rebalancer's drain path so no
+chunk is silently lost, and it refuses to shrink past the point where the
+surviving capacity would immediately re-trip the high watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.cache.proxy import Proxy
+from repro.cluster.rebalancer import Rebalancer
+from repro.exceptions import ConfigurationError
+from repro.simulation.events import PeriodicTask
+from repro.simulation.metrics import MetricRegistry
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tuning knobs for the pool autoscaler."""
+
+    #: Seconds between scaling decisions (one shared tick for all proxies).
+    interval_s: float = 30.0
+    #: Memory-pressure fraction above which a pool grows.
+    high_memory_watermark: float = 0.70
+    #: Memory-pressure fraction below which a pool may shrink.
+    low_memory_watermark: float = 0.30
+    #: Requests/s per node above which a pool grows regardless of memory.
+    high_requests_per_node: float = 2.0
+    #: Requests/s per node below which a pool may shrink.
+    low_requests_per_node: float = 0.25
+    #: Nodes added per scale-up decision.
+    scale_up_step: int = 4
+    #: Nodes removed per scale-down decision.
+    scale_down_step: int = 2
+
+    def __post_init__(self):
+        if self.interval_s <= 0:
+            raise ConfigurationError("autoscaler interval must be positive")
+        if not 0.0 < self.low_memory_watermark < self.high_memory_watermark <= 1.0:
+            raise ConfigurationError(
+                "memory watermarks must satisfy 0 < low < high <= 1"
+            )
+        if self.low_requests_per_node < 0 or self.high_requests_per_node <= 0:
+            raise ConfigurationError("request-rate watermarks must be non-negative")
+        if self.low_requests_per_node >= self.high_requests_per_node:
+            raise ConfigurationError("rate watermarks must satisfy low < high")
+        if self.scale_up_step < 1 or self.scale_down_step < 1:
+            raise ConfigurationError("scaling steps must be at least 1")
+
+
+class PoolAutoscaler:
+    """Grows and shrinks each proxy's Lambda pool from observed load."""
+
+    def __init__(
+        self,
+        deployment: InfiniCacheDeployment,
+        config: AutoscalerConfig | None = None,
+        rebalancer: Rebalancer | None = None,
+        metrics: MetricRegistry | None = None,
+    ):
+        self.deployment = deployment
+        self.config = config or AutoscalerConfig()
+        self.rebalancer = rebalancer
+        self.metrics = metrics or deployment.metrics
+        self._last_requests: dict[str, int] = {}
+        self._task = PeriodicTask(
+            deployment.simulator, self.config.interval_s, self.evaluate_once,
+            label="cluster.autoscaler",
+        )
+
+    # ------------------------------------------------------------------ bounds
+    @property
+    def min_nodes(self) -> int:
+        """Smallest pool the autoscaler will shrink to."""
+        cache_config = self.deployment.config
+        stripe = cache_config.data_shards + cache_config.parity_shards
+        configured = cache_config.min_lambdas_per_proxy or 1
+        return max(stripe, configured)
+
+    @property
+    def max_nodes(self) -> int | None:
+        """Largest pool the autoscaler will grow to (``None`` = unbounded)."""
+        return self.deployment.config.max_lambdas_per_proxy
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Begin periodic scaling decisions on the deployment's simulator."""
+        self._task.start()
+
+    def stop(self) -> None:
+        """Stop scheduling further decisions."""
+        self._task.stop()
+
+    # ------------------------------------------------------------------ decisions
+    def evaluate_once(self) -> dict[str, int]:
+        """Apply one scaling decision per proxy; returns node deltas by proxy."""
+        now = self.deployment.simulator.now
+        deltas: dict[str, int] = {}
+        for proxy in list(self.deployment.proxies):
+            deltas[proxy.proxy_id] = self._evaluate_proxy(proxy, now)
+            self.metrics.series(f"cluster.pool_size.{proxy.proxy_id}").record(
+                now, float(proxy.pool_size)
+            )
+        return deltas
+
+    def _evaluate_proxy(self, proxy: Proxy, now: float) -> int:
+        pressure = proxy.memory_pressure()
+        rate_per_node = self._request_rate_per_node(proxy)
+        if (
+            pressure >= self.config.high_memory_watermark
+            or rate_per_node >= self.config.high_requests_per_node
+        ):
+            return self._scale_up(proxy)
+        if (
+            pressure <= self.config.low_memory_watermark
+            and rate_per_node <= self.config.low_requests_per_node
+        ):
+            return self._scale_down(proxy, now)
+        return 0
+
+    def _request_rate_per_node(self, proxy: Proxy) -> float:
+        served = proxy.requests_served
+        previous = self._last_requests.get(proxy.proxy_id, 0)
+        self._last_requests[proxy.proxy_id] = served
+        delta = max(0, served - previous)
+        return delta / self.config.interval_s / max(1, proxy.pool_size)
+
+    def _scale_up(self, proxy: Proxy) -> int:
+        step = self.config.scale_up_step
+        if self.max_nodes is not None:
+            step = min(step, self.max_nodes - proxy.pool_size)
+        if step <= 0:
+            return 0
+        for _ in range(step):
+            proxy.add_node()
+        self.metrics.counter("cluster.autoscaler.scale_ups").increment()
+        self.metrics.counter("cluster.autoscaler.nodes_added").increment(step)
+        return step
+
+    def _scale_down(self, proxy: Proxy, now: float) -> int:
+        step = min(self.config.scale_down_step, proxy.pool_size - self.min_nodes)
+        if step <= 0:
+            return 0
+        per_node_capacity = proxy.pool_capacity_bytes / proxy.pool_size
+        used = proxy.pool_bytes_used()
+        removed = 0
+        for _ in range(step):
+            surviving = (proxy.pool_size - 1) * per_node_capacity
+            if surviving <= 0 or used / surviving >= self.config.high_memory_watermark:
+                break
+            victim = min(proxy.nodes, key=lambda node: (node.bytes_used(), node.node_id))
+            if self.rebalancer is not None:
+                self.rebalancer.decommission_node(proxy, victim.node_id, now)
+            else:
+                proxy.decommission_node(victim.node_id, now)
+            removed += 1
+        if removed:
+            self.metrics.counter("cluster.autoscaler.scale_downs").increment()
+            self.metrics.counter("cluster.autoscaler.nodes_removed").increment(removed)
+        return -removed

@@ -1,0 +1,88 @@
+"""A compact, scriptable tour of the cluster subsystem.
+
+``python -m repro cluster-demo`` runs this; it is a condensed version of
+``examples/cluster_autoscale.py`` meant for smoke-testing an install: two
+quota-bearing tenants on an autoscaling cluster, a load surge and drain, a
+live proxy join, and an injected-failure repair, with one summary line per
+phase.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import InfiniCacheConfig
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.cluster.cluster import InfiniCacheCluster
+from repro.cluster.tenants import TenantQuota
+from repro.exceptions import RateLimitedError
+from repro.utils.units import MB, MIB
+
+
+def run_demo(duration_s: float = 240.0, print_fn=print) -> dict[str, object]:
+    """Run the demo; returns the phase summary (also printed via ``print_fn``)."""
+    config = InfiniCacheConfig(
+        num_proxies=2,
+        lambdas_per_proxy=8,
+        lambda_memory_bytes=192 * MIB,
+        data_shards=4,
+        parity_shards=2,
+        min_lambdas_per_proxy=8,
+        max_lambdas_per_proxy=32,
+    )
+    cluster = InfiniCacheCluster(config, AutoscalerConfig(interval_s=15.0))
+    cluster.start()
+    media = cluster.register_tenant("media")
+    api = cluster.register_tenant("api", TenantQuota(max_requests_per_s=5.0))
+
+    start_pool = sum(cluster.pool_sizes().values())
+    print_fn(f"cluster up: {config.num_proxies} proxies, {start_pool} Lambda nodes")
+
+    throttled = 0
+    for index in range(30):
+        try:
+            api.put_sized(f"burst-{index}", 1 * MB)
+        except RateLimitedError:
+            throttled += 1
+    print_fn(f"tenant quotas: api burst throttled {throttled}/30")
+
+    now = 1.0
+    for index in range(int(duration_s / 2)):
+        cluster.run_until(now)
+        media.put_sized(f"video-{index:04d}", 10 * MB)
+        now += 1.0
+    surge_pool = sum(cluster.pool_sizes().values())
+    print_fn(f"load surge: pool {start_pool} -> {surge_pool} nodes")
+
+    for index in range(int(duration_s / 2)):
+        media.invalidate(f"video-{index:04d}")
+    cluster.run_until(now + duration_s / 2)
+    idle_pool = sum(cluster.pool_sizes().values())
+    print_fn(f"load drained: pool {surge_pool} -> {idle_pool} nodes")
+
+    for index in range(20):
+        media.put_sized(f"doc-{index:02d}", 2 * MB)
+    cluster.add_proxy()
+    migrated = cluster.metrics.counters().get("cluster.rebalance.migrated", 0.0)
+    survivors = sum(media.get(f"doc-{index:02d}").hit for index in range(20))
+    print_fn(f"proxy join: {migrated:g} objects migrated, {survivors}/20 keys still hit")
+
+    victim = cluster.deployment.proxies[0]
+    for node in victim.nodes[: config.parity_shards]:
+        for instance in (node.primary, node.backup_peer):
+            if instance is not None and instance.is_alive:
+                cluster.deployment.platform.reclaim_instance(instance)
+    repaired, lost = cluster.failure_detector.sweep_once()
+    print_fn(f"failure sweep: repaired {repaired} objects, lost {lost}")
+
+    cluster.stop()
+    print_fn(f"total cost: ${cluster.total_cost():.6f}")
+    return {
+        "start_pool": start_pool,
+        "surge_pool": surge_pool,
+        "idle_pool": idle_pool,
+        "migrated": migrated,
+        "survivors": survivors,
+        "repaired": repaired,
+        "lost": lost,
+        "throttled": throttled,
+        "total_cost": cluster.total_cost(),
+    }

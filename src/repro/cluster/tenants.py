@@ -1,0 +1,250 @@
+"""Multi-tenant namespaces, quotas, and per-tenant accounting.
+
+A production cluster serves many applications from one Lambda pool; the
+paper's evaluation (and the seed reproduction) shares everything through a
+single anonymous client.  This module adds the isolation layer:
+
+* every tenant owns a **namespace** — its keys are stored under
+  ``tenant_id::key``, so tenants can never collide on or read each other's
+  objects;
+* a tenant may carry a :class:`TenantQuota` — a byte cap on what it may keep
+  cached and a token-bucket request-rate cap — enforced *before* the request
+  reaches the consistent-hash ring;
+* per-tenant counters (gets/puts/hits/misses/throttles/rejections) and a
+  bytes-stored gauge are recorded in the shared
+  :class:`~repro.simulation.metrics.MetricRegistry` under ``tenant.<id>.*``.
+
+Byte accounting tracks *logical* object sizes and is reconciled against the
+cache's own behaviour: CLOCK evictions, invalidations, and
+reclamation-induced object losses all flow back through
+:meth:`TenantManager.record_gone`, so a tenant's usage never drifts from
+what the pool actually holds for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import (
+    ConfigurationError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenantError,
+)
+from repro.simulation.metrics import MetricRegistry
+
+#: Separator between the tenant namespace and the application key.
+NAMESPACE_SEPARATOR = "::"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource limits for one tenant; ``None`` leaves a dimension unlimited."""
+
+    #: Cap on the logical bytes the tenant may keep cached at once.
+    max_bytes: Optional[int] = None
+    #: Sustained request rate (GETs + PUTs per second, token-bucket refill).
+    max_requests_per_s: Optional[float] = None
+    #: Bucket depth; defaults to two seconds' worth of the sustained rate.
+    burst_requests: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive when set")
+        if self.max_requests_per_s is not None and self.max_requests_per_s <= 0:
+            raise ConfigurationError("max_requests_per_s must be positive when set")
+        if self.burst_requests is not None:
+            if self.max_requests_per_s is None:
+                raise ConfigurationError("burst_requests requires max_requests_per_s")
+            if self.burst_requests < 1:
+                raise ConfigurationError("burst_requests must be at least 1")
+
+    @property
+    def burst(self) -> float:
+        """Effective token-bucket depth."""
+        if self.max_requests_per_s is None:
+            return float("inf")
+        if self.burst_requests is not None:
+            return self.burst_requests
+        return max(1.0, 2.0 * self.max_requests_per_s)
+
+
+class _TokenBucket:
+    """A standard token bucket over the simulation clock."""
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.last_refill = 0.0
+
+    def allow(self, now: float) -> bool:
+        if now > self.last_refill:
+            self.tokens = min(self.burst, self.tokens + (now - self.last_refill) * self.rate)
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class Tenant:
+    """One tenant's quota state and live usage."""
+
+    def __init__(self, tenant_id: str, quota: TenantQuota):
+        self.tenant_id = tenant_id
+        self.quota = quota
+        #: namespaced key -> logical object bytes currently cached.
+        self.objects: dict[str, int] = {}
+        self.bytes_stored = 0
+        self.bucket: Optional[_TokenBucket] = None
+        if quota.max_requests_per_s is not None:
+            self.bucket = _TokenBucket(quota.max_requests_per_s, quota.burst)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tenant({self.tenant_id!r}, objects={len(self.objects)}, "
+            f"bytes={self.bytes_stored})"
+        )
+
+
+def namespace_key(tenant_id: str, key: str) -> str:
+    """The ring key under which a tenant's object is stored."""
+    return f"{tenant_id}{NAMESPACE_SEPARATOR}{key}"
+
+
+def split_namespaced_key(namespaced: str) -> tuple[Optional[str], str]:
+    """Invert :func:`namespace_key`; ``(None, key)`` for un-namespaced keys."""
+    if NAMESPACE_SEPARATOR not in namespaced:
+        return None, namespaced
+    tenant_id, key = namespaced.split(NAMESPACE_SEPARATOR, 1)
+    return tenant_id, key
+
+
+class TenantManager:
+    """Registry of tenants plus quota enforcement and usage accounting."""
+
+    def __init__(self, metrics: MetricRegistry | None = None):
+        self.metrics = metrics or MetricRegistry()
+        self._tenants: dict[str, Tenant] = {}
+
+    # ------------------------------------------------------------------ registry
+    def register(self, tenant_id: str, quota: TenantQuota | None = None) -> Tenant:
+        """Create a tenant; identifiers must be unique and separator-free."""
+        if not tenant_id:
+            raise TenantError("tenant id must be non-empty")
+        if NAMESPACE_SEPARATOR in tenant_id:
+            raise TenantError(
+                f"tenant id {tenant_id!r} may not contain {NAMESPACE_SEPARATOR!r}"
+            )
+        if tenant_id in self._tenants:
+            raise TenantError(f"tenant {tenant_id!r} is already registered")
+        tenant = Tenant(tenant_id, quota or TenantQuota())
+        self._tenants[tenant_id] = tenant
+        return tenant
+
+    def tenant(self, tenant_id: str) -> Tenant:
+        """Look up a registered tenant."""
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise TenantError(f"tenant {tenant_id!r} is not registered")
+        return tenant
+
+    def tenant_ids(self) -> list[str]:
+        """Identifiers of every registered tenant, sorted."""
+        return sorted(self._tenants)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    # ------------------------------------------------------------------ enforcement
+    def authorize_request(self, tenant: Tenant, now: float) -> None:
+        """Charge one request against the tenant's rate quota.
+
+        Raises:
+            RateLimitedError: when the token bucket is empty.
+        """
+        if tenant.bucket is not None and not tenant.bucket.allow(now):
+            self._counter(tenant, "throttled").increment()
+            raise RateLimitedError(tenant.tenant_id, tenant.quota.max_requests_per_s)
+
+    def authorize_put(self, tenant: Tenant, namespaced: str, size: int) -> None:
+        """Check that storing ``size`` bytes would not breach the byte quota.
+
+        Overwrites only charge the delta: the existing object's bytes are
+        credited back before the check.
+
+        Raises:
+            QuotaExceededError: when the projected usage exceeds the cap.
+        """
+        if tenant.quota.max_bytes is None:
+            return
+        projected = tenant.bytes_stored - tenant.objects.get(namespaced, 0) + size
+        if projected > tenant.quota.max_bytes:
+            self._counter(tenant, "rejected_puts").increment()
+            raise QuotaExceededError(tenant.tenant_id, projected, tenant.quota.max_bytes)
+
+    # ------------------------------------------------------------------ accounting
+    def record_put(self, tenant: Tenant, namespaced: str, size: int) -> None:
+        """Account a successful PUT of ``size`` logical bytes."""
+        previous = tenant.objects.get(namespaced, 0)
+        tenant.objects[namespaced] = size
+        tenant.bytes_stored += size - previous
+        self._counter(tenant, "puts").increment()
+        self._gauge(tenant).set(tenant.bytes_stored)
+
+    def record_get(self, tenant: Tenant, hit: bool) -> None:
+        """Account one GET and its outcome."""
+        self._counter(tenant, "gets").increment()
+        self._counter(tenant, "hits" if hit else "misses").increment()
+
+    def record_gone(self, namespaced: str) -> None:
+        """Reconcile an object leaving the cache (eviction, loss, invalidate).
+
+        Safe to call for unknown keys and idempotent per key, so callers can
+        report every eviction the proxy surfaces without cross-checking.
+        """
+        tenant_id, _key = split_namespaced_key(namespaced)
+        if tenant_id is None:
+            return
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            return
+        size = tenant.objects.pop(namespaced, None)
+        if size is None:
+            return
+        tenant.bytes_stored -= size
+        self._gauge(tenant).set(tenant.bytes_stored)
+
+    # ------------------------------------------------------------------ reporting
+    def report(self) -> dict[str, dict[str, float]]:
+        """Per-tenant usage snapshot keyed by tenant id."""
+        counters = self.metrics.counters()
+        rows: dict[str, dict[str, float]] = {}
+        for tenant_id in self.tenant_ids():
+            tenant = self._tenants[tenant_id]
+
+            def count(name: str) -> float:
+                return counters.get(f"tenant.{tenant_id}.{name}", 0.0)
+
+            gets = count("gets")
+            hits = count("hits")
+            rows[tenant_id] = {
+                "gets": gets,
+                "puts": count("puts"),
+                "hits": hits,
+                "misses": count("misses"),
+                "hit_ratio": hits / gets if gets else 0.0,
+                "throttled": count("throttled"),
+                "rejected_puts": count("rejected_puts"),
+                "bytes_stored": float(tenant.bytes_stored),
+                "objects": float(len(tenant.objects)),
+            }
+        return rows
+
+    def _counter(self, tenant: Tenant, name: str):
+        return self.metrics.counter(f"tenant.{tenant.tenant_id}.{name}")
+
+    def _gauge(self, tenant: Tenant):
+        return self.metrics.gauge(f"tenant.{tenant.tenant_id}.bytes_stored")

@@ -76,3 +76,36 @@ class BackupError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload trace could not be generated, parsed, or replayed."""
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-orchestration failures (membership, scaling)."""
+
+
+class TenantError(ClusterError):
+    """A tenant was registered or addressed incorrectly."""
+
+
+class QuotaExceededError(ClusterError):
+    """A tenant request would exceed its byte quota."""
+
+    def __init__(self, tenant_id: str, requested: int, limit: int):
+        super().__init__(
+            f"tenant {tenant_id!r} would store {requested} bytes "
+            f"but is limited to {limit}"
+        )
+        self.tenant_id = tenant_id
+        self.requested = requested
+        self.limit = limit
+
+
+class RateLimitedError(ClusterError):
+    """A tenant request was throttled by its request-rate quota."""
+
+    def __init__(self, tenant_id: str, rate_limit: float):
+        super().__init__(
+            f"tenant {tenant_id!r} exceeded its rate quota of "
+            f"{rate_limit:g} requests/s"
+        )
+        self.tenant_id = tenant_id
+        self.rate_limit = rate_limit

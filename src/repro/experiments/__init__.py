@@ -23,6 +23,10 @@ full-scale settings.
 | :mod:`repro.experiments.figure17` | Fig. 17 hourly cost vs access rate |
 | :mod:`repro.experiments.table1`   | Table 1 WSS / throughput / hit ratios |
 | :mod:`repro.experiments.availability` | Section 4.3 availability numbers |
+
+Beyond the paper, :mod:`repro.experiments.cluster_scale` replays a
+multi-tenant mix against the orchestrated autoscaling cluster of
+:mod:`repro.cluster`.
 """
 
 __all__ = [
@@ -39,6 +43,7 @@ __all__ = [
     "figure17",
     "table1",
     "availability",
+    "cluster_scale",
     "production",
     "report",
 ]

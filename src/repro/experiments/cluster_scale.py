@@ -1,0 +1,254 @@
+"""Cluster-scale experiment: multi-tenant replay on the orchestrated cluster.
+
+This experiment goes beyond the paper's single-tenant evaluation and
+exercises the :mod:`repro.cluster` subsystem end to end.  Several tenants
+with different working sets and quotas share one autoscaling cluster:
+
+* ``media`` — an unconstrained tenant with a large, Zipf-skewed working set;
+  it supplies the memory pressure that drives the autoscaler up;
+* ``api`` — a latency-sensitive tenant with a small hot set but a strict
+  request-rate quota, so a burst of its traffic is throttled rather than
+  allowed to crowd out the others;
+* ``batch`` — a bulk tenant with a byte quota well under its working set,
+  so its PUTs are rejected once it reaches its cap.
+
+The replay interleaves all tenants' requests in timestamp order on the
+shared simulation clock (misses RESET through a simulated backing store,
+as in the paper's replays) and reports, per tenant: hit ratio, latency
+percentiles, throttle/rejection counts, bytes cached, and a request-share
+cost split.  The pool-size timeline shows the autoscaler reacting to the
+aggregate load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.s3 import ObjectStore
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cluster import AutoscalerConfig, InfiniCacheCluster, TenantQuota
+from repro.exceptions import QuotaExceededError, RateLimitedError
+from repro.experiments.report import format_table
+from repro.utils.rng import SeededRNG
+from repro.utils.stats import summarize
+from repro.utils.units import MB, MIB
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Workload and quota description of one tenant in the experiment."""
+
+    tenant_id: str
+    requests: int
+    num_objects: int
+    object_size: int
+    zipf_exponent: float = 0.9
+    quota: TenantQuota = field(default_factory=TenantQuota)
+
+
+def default_tenants(requests_per_tenant: int = 300) -> list[TenantSpec]:
+    """The three-tenant mix described in the module docstring."""
+    return [
+        TenantSpec(
+            tenant_id="media",
+            requests=requests_per_tenant,
+            num_objects=120,
+            object_size=12 * MB,
+        ),
+        TenantSpec(
+            tenant_id="api",
+            requests=requests_per_tenant,
+            num_objects=10,
+            object_size=1 * MB,
+            quota=TenantQuota(max_requests_per_s=1.0, burst_requests=5),
+        ),
+        TenantSpec(
+            tenant_id="batch",
+            requests=requests_per_tenant,
+            num_objects=40,
+            object_size=10 * MB,
+            quota=TenantQuota(max_bytes=120 * MB),
+        ),
+    ]
+
+
+@dataclass
+class TenantOutcome:
+    """Everything measured for one tenant during the replay."""
+
+    tenant_id: str
+    requests_issued: int = 0
+    hits: int = 0
+    misses: int = 0
+    throttled: int = 0
+    rejected_puts: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    bytes_stored: int = 0
+    cost_share: float = 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def latency_summary(self) -> dict[str, float]:
+        return summarize(self.latencies_s)
+
+
+@dataclass
+class ClusterScaleResult:
+    """Outcome of the multi-tenant cluster replay."""
+
+    duration_s: float
+    tenants: dict[str, TenantOutcome]
+    pool_size_timeline: list[tuple[float, float]]
+    initial_pool_size: int
+    peak_pool_size: int
+    final_pool_size: int
+    total_cost: float
+    cost_breakdown: dict[str, float]
+    counters: dict[str, float]
+
+
+def run(
+    tenants: list[TenantSpec] | None = None,
+    duration_s: float = 600.0,
+    seed: int = 2020,
+) -> ClusterScaleResult:
+    """Replay the multi-tenant mix against an autoscaling cluster."""
+    specs = tenants if tenants is not None else default_tenants()
+    config = InfiniCacheConfig(
+        num_proxies=2,
+        lambdas_per_proxy=8,
+        lambda_memory_bytes=192 * MIB,
+        data_shards=4,
+        parity_shards=2,
+        min_lambdas_per_proxy=6,
+        max_lambdas_per_proxy=48,
+        straggler=StragglerModel(probability=0.0),
+        seed=seed,
+    )
+    cluster = InfiniCacheCluster(
+        config,
+        autoscaler_config=AutoscalerConfig(interval_s=30.0),
+    )
+    cluster.start()
+    backing_store = ObjectStore()
+
+    rng = SeededRNG(seed).child("cluster_scale")
+    clients = {spec.tenant_id: cluster.register_tenant(spec.tenant_id, spec.quota)
+               for spec in specs}
+    outcomes = {spec.tenant_id: TenantOutcome(spec.tenant_id) for spec in specs}
+
+    # Interleave all tenants' requests in timestamp order on one clock.
+    schedule: list[tuple[float, TenantSpec]] = []
+    for spec in specs:
+        tenant_rng = rng.child(spec.tenant_id)
+        times = sorted(tenant_rng.uniform(0.0, duration_s) for _ in range(spec.requests))
+        schedule.extend((time, spec) for time in times)
+    schedule.sort(key=lambda item: item[0])
+
+    key_rngs = {spec.tenant_id: rng.child(spec.tenant_id, "keys") for spec in specs}
+    for timestamp, spec in schedule:
+        cluster.run_until(timestamp)
+        outcome = outcomes[spec.tenant_id]
+        client = clients[spec.tenant_id]
+        rank = key_rngs[spec.tenant_id].bounded_zipf(spec.num_objects, spec.zipf_exponent)
+        key = f"obj-{rank:05d}"
+        outcome.requests_issued += 1
+        try:
+            result = client.get(key)
+        except RateLimitedError:
+            outcome.throttled += 1
+            continue
+        if result.hit:
+            outcome.hits += 1
+            outcome.latencies_s.append(result.latency_s)
+            continue
+        outcome.misses += 1
+        # RESET: fetch from the backing store and re-insert (quota permitting).
+        backing_store.put(f"{spec.tenant_id}/{key}", spec.object_size)
+        _size, store_latency = backing_store.get(f"{spec.tenant_id}/{key}")
+        latency = store_latency
+        try:
+            put_result = client.put_sized(key, spec.object_size)
+            latency += put_result.latency_s
+        except QuotaExceededError:
+            outcome.rejected_puts += 1
+        except RateLimitedError:
+            outcome.throttled += 1
+        outcome.latencies_s.append(latency)
+
+    cluster.run_until(duration_s)
+    cluster.stop()
+
+    report = cluster.tenant_report()
+    total_requests = sum(outcome.requests_issued for outcome in outcomes.values())
+    total_cost = cluster.total_cost()
+    for outcome in outcomes.values():
+        outcome.bytes_stored = int(report[outcome.tenant_id]["bytes_stored"])
+        if total_requests:
+            outcome.cost_share = total_cost * outcome.requests_issued / total_requests
+
+    timeline: list[tuple[float, float]] = []
+    for proxy_id in sorted(cluster.pool_sizes()):
+        series = cluster.metrics.series(f"cluster.pool_size.{proxy_id}")
+        timeline.extend(zip(series.times, series.values))
+    timeline.sort()
+    pool_total_by_time: dict[float, float] = {}
+    for time, size in timeline:
+        pool_total_by_time[time] = pool_total_by_time.get(time, 0.0) + size
+    pool_timeline = sorted(pool_total_by_time.items())
+    initial_pool = config.num_proxies * config.lambdas_per_proxy
+    sizes = [size for _time, size in pool_timeline] or [float(initial_pool)]
+
+    return ClusterScaleResult(
+        duration_s=duration_s,
+        tenants=outcomes,
+        pool_size_timeline=pool_timeline,
+        initial_pool_size=initial_pool,
+        peak_pool_size=int(max(sizes)),
+        final_pool_size=int(sizes[-1]),
+        total_cost=total_cost,
+        cost_breakdown=cluster.cost_breakdown(),
+        counters=cluster.metrics.counters(),
+    )
+
+
+def format_report(result: ClusterScaleResult) -> str:
+    """Render the per-tenant table plus the autoscaling summary."""
+    rows = []
+    for tenant_id in sorted(result.tenants):
+        outcome = result.tenants[tenant_id]
+        latency = outcome.latency_summary()
+        rows.append([
+            tenant_id,
+            outcome.requests_issued,
+            outcome.hit_ratio,
+            latency.get("p50", 0.0) * 1000.0,
+            latency.get("p99", 0.0) * 1000.0,
+            outcome.throttled,
+            outcome.rejected_puts,
+            outcome.bytes_stored / MB,
+            outcome.cost_share,
+        ])
+    table = format_table(
+        ["tenant", "requests", "hit_ratio", "p50_ms", "p99_ms",
+         "throttled", "rejected", "cached_MB", "cost_$"],
+        rows,
+        title="Multi-tenant cluster replay (autoscaling InfiniCache)",
+    )
+    scale_ups = result.counters.get("cluster.autoscaler.scale_ups", 0.0)
+    scale_downs = result.counters.get("cluster.autoscaler.scale_downs", 0.0)
+    migrated = result.counters.get("cluster.rebalance.chunks_moved", 0.0)
+    lines = [
+        table,
+        "",
+        f"pool size: start={result.initial_pool_size} "
+        f"peak={result.peak_pool_size} final={result.final_pool_size} "
+        f"(scale-ups={scale_ups:g}, scale-downs={scale_downs:g}, "
+        f"chunks migrated={migrated:g})",
+        f"total cost: ${result.total_cost:.6f} "
+        f"(rebalance ${result.cost_breakdown.get('rebalance', 0.0):.6f})",
+    ]
+    return "\n".join(lines)

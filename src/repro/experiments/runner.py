@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.experiments import (
     availability,
+    cluster_scale,
     figure1,
     figure4,
     figure8,
@@ -65,6 +66,9 @@ def _quick_specs() -> dict[str, Callable[[], str]]:
         "table1": lambda: table1.format_report(table1.from_production(shared_results())),
         "figure17": lambda: figure17.format_report(figure17.run()),
         "availability": lambda: availability.format_report(availability.run()),
+        "cluster_scale": lambda: cluster_scale.format_report(
+            cluster_scale.run(duration_s=300.0)
+        ),
     }
 
 

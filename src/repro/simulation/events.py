@@ -154,3 +154,53 @@ class Simulator:
                     f"run_all dispatched {max_events} events without draining the queue; "
                     "a component is likely rescheduling itself forever"
                 )
+
+
+class PeriodicTask:
+    """A callback rescheduled every ``interval_s`` until stopped.
+
+    Wraps the schedule-yourself-again idiom the periodic maintenance actors
+    (autoscaler, failure detector) share, including cancellation of the
+    pending event on :meth:`stop` so a stopped task never fires late.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        interval_s: float,
+        callback: Callable[[], object],
+        label: str = "",
+    ):
+        if interval_s <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval_s}")
+        self.simulator = simulator
+        self.interval_s = interval_s
+        self.callback = callback
+        self.label = label
+        self._started = False
+        self._pending: Optional[Event] = None
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the task is currently scheduled to keep firing."""
+        return self._started
+
+    def start(self) -> None:
+        """Schedule the first firing (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._pending = self.simulator.schedule(self.interval_s, self._fire, self.label)
+
+    def stop(self) -> None:
+        """Cancel the pending firing and stop rescheduling."""
+        self._started = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _fire(self) -> None:
+        if not self._started:
+            return
+        self.callback()
+        self._pending = self.simulator.schedule(self.interval_s, self._fire, self.label)

@@ -106,6 +106,58 @@ class TestEviction:
         assert lru.get("a") == 2
 
 
+class TestReinsertAfterRemove:
+    """Regression: remove() leaves a lazy ring slot; re-inserting the same
+    key must revive that slot, not append a duplicate."""
+
+    def test_no_duplicate_entry(self):
+        lru = ClockLRU()
+        lru.insert("a", 1)
+        lru.remove("a")
+        lru.insert("a", 2)
+        assert len(lru) == 1
+        assert [key for key, _ in lru.items()] == ["a"]
+        assert lru.keys_mru_to_lru() == ["a"]
+
+    def test_items_yield_each_key_once_with_latest_value(self):
+        lru = ClockLRU()
+        for key in ("a", "b", "c"):
+            lru.insert(key, 1)
+        lru.remove("b")
+        lru.insert("b", 99)
+        assert dict(lru.items()) == {"a": 1, "b": 99, "c": 1}
+        assert len(list(lru.items())) == 3
+
+    def test_eviction_drains_without_duplicates(self):
+        lru = ClockLRU()
+        for cycle in range(3):
+            lru.insert("x", cycle)
+            lru.remove("x")
+        lru.insert("x", 3)
+        lru.insert("y", 4)
+        evicted = []
+        while True:
+            victim = lru.evict()
+            if victim is None:
+                break
+            evicted.append(victim[0])
+        assert sorted(evicted) == ["x", "y"]
+        assert len(lru) == 0
+
+    def test_reinserted_key_counts_as_referenced(self):
+        lru = ClockLRU()
+        lru.insert("a", 1)
+        lru.insert("b", 2)
+        lru.remove("a")
+        lru.insert("a", 3)
+        # Both entries referenced: a full clearing sweep then one eviction
+        # must leave exactly one entry, and the survivor must be intact.
+        lru.evict()
+        assert len(lru) == 1
+        survivor, value = next(iter(lru.items()))
+        assert (survivor, value) in {("a", 3), ("b", 2)}
+
+
 class TestMruOrdering:
     def test_keys_mru_to_lru_prioritises_referenced(self):
         lru = ClockLRU()

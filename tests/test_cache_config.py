@@ -49,6 +49,21 @@ class TestInfiniCacheConfig:
         with pytest.raises(ConfigurationError):
             InfiniCacheConfig(lambdas_per_proxy=8, data_shards=10, parity_shards=2)
 
+    def test_autoscale_bounds_validated(self):
+        config = InfiniCacheConfig(
+            lambdas_per_proxy=16, min_lambdas_per_proxy=12, max_lambdas_per_proxy=32
+        )
+        assert config.describe()["autoscale_bounds"] == (12, 32)
+        with pytest.raises(ConfigurationError):
+            # Pool starts above the declared ceiling.
+            InfiniCacheConfig(lambdas_per_proxy=400, max_lambdas_per_proxy=32)
+        with pytest.raises(ConfigurationError):
+            # Pool starts below the declared floor.
+            InfiniCacheConfig(lambdas_per_proxy=16, min_lambdas_per_proxy=20)
+        with pytest.raises(ConfigurationError):
+            # Ceiling narrower than the erasure stripe.
+            InfiniCacheConfig(lambdas_per_proxy=12, max_lambdas_per_proxy=8)
+
     def test_invalid_proxy_count(self):
         with pytest.raises(ConfigurationError):
             InfiniCacheConfig(num_proxies=0)

@@ -1,0 +1,153 @@
+"""Tests for the Lambda-pool autoscaler."""
+
+import pytest
+
+from repro.cache.config import InfiniCacheConfig, StragglerModel
+from repro.cache.deployment import InfiniCacheDeployment
+from repro.cluster.autoscaler import AutoscalerConfig, PoolAutoscaler
+from repro.exceptions import ConfigurationError
+from repro.utils.units import MB, MIB
+
+
+def make_deployment(**overrides) -> InfiniCacheDeployment:
+    defaults = dict(
+        num_proxies=1,
+        lambdas_per_proxy=8,
+        lambda_memory_bytes=256 * MIB,
+        data_shards=4,
+        parity_shards=2,
+        max_lambdas_per_proxy=16,
+        straggler=StragglerModel(probability=0.0),
+        seed=7,
+    )
+    defaults.update(overrides)
+    deployment = InfiniCacheDeployment(InfiniCacheConfig(**defaults))
+    deployment.start()
+    return deployment
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        AutoscalerConfig()
+
+    def test_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(interval_s=0)
+
+    def test_bad_watermarks(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(low_memory_watermark=0.8, high_memory_watermark=0.5)
+
+    def test_bad_rate_watermarks(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(low_requests_per_node=3.0, high_requests_per_node=2.0)
+
+    def test_bad_steps(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(scale_up_step=0)
+
+
+class TestBounds:
+    def test_min_nodes_floors_at_stripe_width(self):
+        deployment = make_deployment()
+        autoscaler = PoolAutoscaler(deployment)
+        assert autoscaler.min_nodes == 6  # RS(4+2)
+
+    def test_min_nodes_respects_config(self):
+        deployment = make_deployment(lambdas_per_proxy=12, min_lambdas_per_proxy=10)
+        autoscaler = PoolAutoscaler(deployment)
+        assert autoscaler.min_nodes == 10
+
+    def test_max_nodes_from_config(self):
+        deployment = make_deployment()
+        assert PoolAutoscaler(deployment).max_nodes == 16
+
+
+class TestScaleUp:
+    def test_memory_pressure_grows_pool(self):
+        deployment = make_deployment()
+        autoscaler = PoolAutoscaler(deployment, AutoscalerConfig(interval_s=10.0))
+        client = deployment.new_client()
+        index = 0
+        # Fill past the high watermark (pool capacity is 8 * ~230 MB).
+        while deployment.proxies[0].memory_pressure() < 0.75:
+            client.put_sized(f"obj-{index}", 40 * MB)
+            index += 1
+        deltas = autoscaler.evaluate_once()
+        assert deltas["proxy-0"] > 0
+        assert deployment.proxies[0].pool_size == 8 + deltas["proxy-0"]
+
+    def test_request_rate_grows_pool(self):
+        deployment = make_deployment()
+        config = AutoscalerConfig(interval_s=10.0, high_requests_per_node=1.0)
+        autoscaler = PoolAutoscaler(deployment, config)
+        client = deployment.new_client()
+        client.put_sized("hot", 1 * MB)
+        autoscaler.evaluate_once()  # baseline sample
+        for _ in range(200):  # 20 req/s over 10 s >> 1 req/s/node * 8 nodes
+            client.get("hot")
+        deltas = autoscaler.evaluate_once()
+        assert deltas["proxy-0"] > 0
+
+    def test_respects_max_nodes(self):
+        deployment = make_deployment(max_lambdas_per_proxy=9)
+        autoscaler = PoolAutoscaler(deployment, AutoscalerConfig(scale_up_step=8))
+        client = deployment.new_client()
+        index = 0
+        while deployment.proxies[0].memory_pressure() < 0.75:
+            client.put_sized(f"obj-{index}", 40 * MB)
+            index += 1
+        autoscaler.evaluate_once()
+        autoscaler.evaluate_once()
+        assert deployment.proxies[0].pool_size <= 9
+
+
+class TestScaleDown:
+    def test_idle_pool_shrinks_to_floor(self):
+        deployment = make_deployment()
+        autoscaler = PoolAutoscaler(deployment, AutoscalerConfig(scale_down_step=4))
+        for _ in range(5):
+            autoscaler.evaluate_once()
+        assert deployment.proxies[0].pool_size == autoscaler.min_nodes
+
+    def test_shrink_preserves_cached_objects(self):
+        deployment = make_deployment()
+        autoscaler = PoolAutoscaler(deployment, AutoscalerConfig(scale_down_step=2))
+        client = deployment.new_client()
+        for index in range(4):
+            client.put_sized(f"keep-{index}", 4 * MB)
+        autoscaler.evaluate_once()
+        assert deployment.proxies[0].pool_size < 8
+        for index in range(4):
+            assert client.get(f"keep-{index}").hit
+
+    def test_no_shrink_when_capacity_would_retrip_watermark(self):
+        deployment = make_deployment()
+        config = AutoscalerConfig(
+            low_memory_watermark=0.65, high_memory_watermark=0.66,
+        )
+        autoscaler = PoolAutoscaler(deployment, config)
+        client = deployment.new_client()
+        index = 0
+        # Park usage just under the (tight) low watermark: eligible to shrink
+        # by rate, but removing nodes would push pressure over the high mark.
+        while deployment.proxies[0].memory_pressure() < 0.60:
+            client.put_sized(f"obj-{index}", 20 * MB)
+            index += 1
+        autoscaler.evaluate_once()  # resets the rate sample
+        deltas = autoscaler.evaluate_once()
+        assert deltas["proxy-0"] == 0
+
+
+class TestScheduling:
+    def test_ticks_on_simulator(self):
+        deployment = make_deployment()
+        autoscaler = PoolAutoscaler(deployment, AutoscalerConfig(interval_s=30.0))
+        autoscaler.start()
+        deployment.run_until(95.0)
+        series = deployment.metrics.series("cluster.pool_size.proxy-0")
+        assert len(series) == 3  # ticks at 30, 60, 90
+        autoscaler.stop()
+        deployment.run_until(200.0)
+        assert len(series) == 3  # no further ticks after stop
+        deployment.stop()

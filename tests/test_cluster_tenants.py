@@ -1,0 +1,167 @@
+"""Tests for tenant namespaces, quotas, and accounting."""
+
+import pytest
+
+from repro.cluster.tenants import (
+    TenantManager,
+    TenantQuota,
+    namespace_key,
+    split_namespaced_key,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenantError,
+)
+
+
+class TestQuotaValidation:
+    def test_defaults_are_unlimited(self):
+        quota = TenantQuota()
+        assert quota.max_bytes is None
+        assert quota.burst == float("inf")
+
+    def test_invalid_byte_quota(self):
+        with pytest.raises(ConfigurationError):
+            TenantQuota(max_bytes=0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            TenantQuota(max_requests_per_s=-1.0)
+
+    def test_burst_requires_rate(self):
+        with pytest.raises(ConfigurationError):
+            TenantQuota(burst_requests=5)
+
+    def test_default_burst_is_two_seconds_of_rate(self):
+        assert TenantQuota(max_requests_per_s=10.0).burst == 20.0
+
+    def test_explicit_burst_wins(self):
+        assert TenantQuota(max_requests_per_s=10.0, burst_requests=3).burst == 3
+
+
+class TestNamespacing:
+    def test_round_trip(self):
+        namespaced = namespace_key("media", "photos/cat.jpg")
+        assert namespaced == "media::photos/cat.jpg"
+        assert split_namespaced_key(namespaced) == ("media", "photos/cat.jpg")
+
+    def test_unnamespaced_key(self):
+        assert split_namespaced_key("bare-key") == (None, "bare-key")
+
+    def test_key_containing_separator(self):
+        namespaced = namespace_key("t", "a::b")
+        assert split_namespaced_key(namespaced) == ("t", "a::b")
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        manager = TenantManager()
+        tenant = manager.register("media")
+        assert manager.tenant("media") is tenant
+        assert "media" in manager
+        assert manager.tenant_ids() == ["media"]
+
+    def test_duplicate_rejected(self):
+        manager = TenantManager()
+        manager.register("media")
+        with pytest.raises(TenantError):
+            manager.register("media")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(TenantError):
+            TenantManager().register("")
+
+    def test_separator_in_id_rejected(self):
+        with pytest.raises(TenantError):
+            TenantManager().register("bad::id")
+
+    def test_unknown_tenant(self):
+        with pytest.raises(TenantError):
+            TenantManager().tenant("ghost")
+
+
+class TestRateQuota:
+    def test_bucket_throttles_burst_and_refills(self):
+        manager = TenantManager()
+        tenant = manager.register(
+            "api", TenantQuota(max_requests_per_s=1.0, burst_requests=2)
+        )
+        manager.authorize_request(tenant, now=0.0)
+        manager.authorize_request(tenant, now=0.0)
+        with pytest.raises(RateLimitedError):
+            manager.authorize_request(tenant, now=0.0)
+        # One second refills one token.
+        manager.authorize_request(tenant, now=1.0)
+        with pytest.raises(RateLimitedError):
+            manager.authorize_request(tenant, now=1.0)
+
+    def test_unlimited_tenant_never_throttled(self):
+        manager = TenantManager()
+        tenant = manager.register("free")
+        for _ in range(1000):
+            manager.authorize_request(tenant, now=0.0)
+
+    def test_throttles_are_counted(self):
+        manager = TenantManager()
+        tenant = manager.register(
+            "api", TenantQuota(max_requests_per_s=1.0, burst_requests=1)
+        )
+        manager.authorize_request(tenant, now=0.0)
+        for _ in range(3):
+            with pytest.raises(RateLimitedError):
+                manager.authorize_request(tenant, now=0.0)
+        assert manager.report()["api"]["throttled"] == 3
+
+
+class TestByteQuota:
+    def test_put_over_quota_rejected(self):
+        manager = TenantManager()
+        tenant = manager.register("batch", TenantQuota(max_bytes=100))
+        manager.authorize_put(tenant, "batch::a", 60)
+        manager.record_put(tenant, "batch::a", 60)
+        with pytest.raises(QuotaExceededError):
+            manager.authorize_put(tenant, "batch::b", 50)
+
+    def test_overwrite_charges_only_the_delta(self):
+        manager = TenantManager()
+        tenant = manager.register("batch", TenantQuota(max_bytes=100))
+        manager.record_put(tenant, "batch::a", 90)
+        # Overwriting "a" with 95 bytes is fine: projected usage is 95.
+        manager.authorize_put(tenant, "batch::a", 95)
+        with pytest.raises(QuotaExceededError):
+            manager.authorize_put(tenant, "batch::b", 20)
+
+    def test_record_gone_frees_quota(self):
+        manager = TenantManager()
+        tenant = manager.register("batch", TenantQuota(max_bytes=100))
+        manager.record_put(tenant, "batch::a", 90)
+        manager.record_gone("batch::a")
+        assert tenant.bytes_stored == 0
+        manager.authorize_put(tenant, "batch::b", 100)
+
+    def test_record_gone_is_idempotent_and_tolerant(self):
+        manager = TenantManager()
+        tenant = manager.register("batch")
+        manager.record_put(tenant, "batch::a", 10)
+        manager.record_gone("batch::a")
+        manager.record_gone("batch::a")        # second call is a no-op
+        manager.record_gone("ghost::key")      # unknown tenant ignored
+        manager.record_gone("unqualified")     # un-namespaced ignored
+        assert tenant.bytes_stored == 0
+
+
+class TestReporting:
+    def test_report_rows(self):
+        manager = TenantManager()
+        tenant = manager.register("media")
+        manager.record_put(tenant, "media::a", 100)
+        manager.record_get(tenant, hit=True)
+        manager.record_get(tenant, hit=False)
+        row = manager.report()["media"]
+        assert row["puts"] == 1
+        assert row["gets"] == 2
+        assert row["hit_ratio"] == 0.5
+        assert row["bytes_stored"] == 100
+        assert row["objects"] == 1
