@@ -1,4 +1,4 @@
-"""``python -m repro`` — experiment runner plus cluster demo.
+"""``python -m repro`` — experiment runner plus cluster subcommands.
 
 Without a subcommand this regenerates the paper's tables and figures (a
 thin alias for :mod:`repro.experiments.runner`; see that module for the
@@ -8,6 +8,11 @@ available flags — ``--only``, ``--output-dir``, ``--list``).
 :mod:`repro.cluster` orchestration demo: autoscaling under a load surge,
 tenant quota enforcement, a live proxy join with rebalancing, and an
 injected-failure repair sweep.
+
+``python -m repro chargeback [--duration SECONDS] [--requests N]`` runs a
+small multi-tenant replay and prints the per-tenant GB-second chargeback
+view: who caused which share of the Lambda bill, with the conservation
+check that the per-tenant totals sum to the cluster-wide bill.
 """
 
 from __future__ import annotations
@@ -34,12 +39,61 @@ def _cluster_demo(argv: list[str]) -> int:
     return 0
 
 
+def _chargeback(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro chargeback",
+        description="Per-tenant GB-second chargeback view over a multi-tenant replay.",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=300.0, metavar="SECONDS",
+        help="simulated seconds to replay (default: 300)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=150, metavar="N",
+        help="requests per tenant (default: 150)",
+    )
+    parser.add_argument(
+        "--policy", choices=("reactive", "predictive"), default="reactive",
+        help="autoscaler policy to run under (default: reactive)",
+    )
+    args = parser.parse_args(argv)
+    from repro.cluster import AutoscalerConfig
+    from repro.experiments import cluster_scale
+    from repro.experiments.report import format_table
+    from repro.faas.billing import UNATTRIBUTED_TENANT
+
+    result = cluster_scale.run(
+        tenants=cluster_scale.default_tenants(args.requests),
+        duration_s=args.duration,
+        autoscaler_config=AutoscalerConfig(policy=args.policy),
+    )
+    rows = []
+    for tenant_id, row in sorted(result.chargeback.items()):
+        label = "(cluster)" if tenant_id == UNATTRIBUTED_TENANT else tenant_id
+        rows.append([
+            label, row["gb_seconds"], row["cost"], row["bill_share"],
+        ])
+    print(format_table(
+        ["tenant", "gb_seconds", "cost_$", "bill_share"],
+        rows,
+        title=f"Chargeback ({args.policy} autoscaler, {args.duration:g}s replay)",
+    ))
+    drift = abs(result.chargeback_total_cost - result.total_cost)
+    print(
+        f"\nconservation: per-tenant sum ${result.chargeback_total_cost:.6f} vs "
+        f"cluster bill ${result.total_cost:.6f} (drift ${drift:.2e})"
+    )
+    return 0 if drift <= 1e-9 + 1e-9 * result.total_cost else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch to the cluster demo or the experiment runner."""
+    """Dispatch to a cluster subcommand or the experiment runner."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "cluster-demo":
         return _cluster_demo(argv[1:])
+    if argv and argv[0] == "chargeback":
+        return _chargeback(argv[1:])
     return runner_main(argv)
 
 

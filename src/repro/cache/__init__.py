@@ -28,6 +28,7 @@ from repro.cache.chunk import CacheChunk, ObjectDescriptor
 from repro.cache.consistent_hash import ConsistentHashRing
 from repro.cache.clock_lru import ClockLRU
 from repro.cache.client import GetResult, InfiniCacheClient, PutResult
+from repro.cache.namespacing import NAMESPACE_SEPARATOR, owner_of
 from repro.cache.proxy import Proxy
 from repro.cache.node import LambdaCacheNode
 from repro.cache.deployment import InfiniCacheDeployment
@@ -43,6 +44,8 @@ __all__ = [
     "GetResult",
     "PutResult",
     "InfiniCacheClient",
+    "NAMESPACE_SEPARATOR",
+    "owner_of",
     "Proxy",
     "LambdaCacheNode",
     "InfiniCacheDeployment",

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cache.chunk import CacheChunk
+from repro.cache.namespacing import owner_of
 from repro.cache.node import LambdaCacheNode
 from repro.cache.proxy import Proxy
 from repro.exceptions import BackupError
@@ -71,6 +73,32 @@ class BackupManager:
         """
         return self.PROTOCOL_OVERHEAD_S + delta_bytes / node.bandwidth_bps
 
+    @staticmethod
+    def _chargeback_weights(
+        node: LambdaCacheNode, delta: list[CacheChunk]
+    ) -> dict[str, float] | None:
+        """Per-tenant byte weights for one backup round's bill.
+
+        The round's busy time is dominated by the delta transfer, so the
+        delta's bytes set the weights; a delta-free round (pure liveness
+        check on the peer) is charged to whoever's chunks it keeps
+        protected.  An empty node's round stays unattributed.
+        """
+        chunks: list[CacheChunk] = delta
+        if not chunks:
+            chunks = [
+                chunk
+                for chunk_id in node.chunk_ids()
+                if (chunk := node.peek_chunk(chunk_id)) is not None
+            ]
+        if not chunks:
+            return None
+        weights: dict[str, float] = {}
+        for chunk in chunks:
+            owner = owner_of(chunk.key)
+            weights[owner] = weights.get(owner, 0.0) + float(chunk.size)
+        return weights
+
     def backup_node(self, node: LambdaCacheNode, now: float) -> BackupReport:
         """Run one backup round for a single node."""
         if node.primary is None or not node.primary.is_alive:
@@ -95,12 +123,15 @@ class BackupManager:
             )
 
         duration = self._sync_duration(node, delta_bytes)
+        attribution = self._chargeback_weights(node, delta)
         # The destination replica is billed through the normal invocation path…
-        self.platform.complete_invocation(peer, duration, category="backup")
+        self.platform.complete_invocation(
+            peer, duration, category="backup", attribution=attribution
+        )
         # …and the source replica's extra active time is billed as well (the
         # paper notes warm-up invocations that trigger a backup run longer).
         self.platform.billing.charge_invocation(
-            node.memory_bytes, duration, category="backup"
+            node.memory_bytes, duration, category="backup", attribution=attribution
         )
 
         node.apply_backup(peer, delta)

@@ -21,7 +21,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.exceptions import ConfigurationError
-from repro.faas.billing import BILLING_CYCLE_SECONDS, ceil_to_billing_cycle
+from repro.faas.billing import (
+    BILLING_CYCLE_SECONDS,
+    attribution_shares,
+    ceil_to_billing_cycle,
+)
 
 
 @dataclass
@@ -35,6 +39,11 @@ class BilledSession:
     busy_seconds: float = 0.0
     requests_served: int = 0
     category: str = "serving"
+    #: Busy seconds by the tenant whose request caused them — the chargeback
+    #: weights for this session's eventual bill.  One session can serve many
+    #: tenants (the anticipatory window keeps the node alive between
+    #: requests); tenant-less work accrues under ``UNATTRIBUTED_TENANT``.
+    busy_by_tenant: dict[str, float] = field(default_factory=dict)
 
     @property
     def active_seconds(self) -> float:
@@ -51,6 +60,8 @@ class SessionCharge:
     billed_duration_s: float
     requests_served: int
     category: str
+    #: Per-tenant busy-second weights, for splitting the charge (chargeback).
+    busy_by_tenant: dict[str, float] = field(default_factory=dict)
 
 
 class BilledDurationController:
@@ -97,6 +108,7 @@ class BilledDurationController:
             billed_duration_s=ceil_to_billing_cycle(duration),
             requests_served=session.requests_served,
             category=session.category,
+            busy_by_tenant=dict(session.busy_by_tenant),
         )
         self.closed_sessions.append(charge)
         if self.on_close is not None:
@@ -116,8 +128,20 @@ class BilledDurationController:
         """Whether the node is inside a granted execution window at ``now``."""
         return self.current is not None and now < self.current.window_end
 
-    def record_request(self, now: float, service_time_s: float, category: str = "serving") -> bool:
+    def record_request(
+        self,
+        now: float,
+        service_time_s: float,
+        category: str = "serving",
+        attribution: dict[str, float] | str | None = None,
+    ) -> bool:
         """Account for one request arriving at ``now`` and taking ``service_time_s``.
+
+        Args:
+            attribution: who to charge the busy time to — a tenant id, or a
+                dict of relative per-tenant weights over which the busy time
+                is split (maintenance work touching many tenants' chunks).
+                ``None`` charges ``UNATTRIBUTED_TENANT``.
 
         Returns:
             ``True`` if the request found the node already active (no
@@ -138,6 +162,8 @@ class BilledDurationController:
                 session.category = "serving"
         session.requests_served += 1
         session.busy_seconds += service_time_s
+        for tenant, busy in self._attributed_busy(service_time_s, attribution).items():
+            session.busy_by_tenant[tenant] = session.busy_by_tenant.get(tenant, 0.0) + busy
         finish = now + service_time_s
         # Always extend the window far enough to cover the request itself
         # (the PONG handshake "delays the timeout" in the paper), aligned to
@@ -153,6 +179,18 @@ class BilledDurationController:
         if session.requests_served >= self.extension_threshold:
             session.window_end = max(session.window_end, aligned_end + BILLING_CYCLE_SECONDS)
         return was_active
+
+    @staticmethod
+    def _attributed_busy(
+        service_time_s: float, attribution: dict[str, float] | str | None
+    ) -> dict[str, float]:
+        """Split one request's busy time over the tenants that caused it."""
+        if isinstance(attribution, str):
+            attribution = {attribution: 1.0}
+        return {
+            tenant: service_time_s * share
+            for tenant, share in attribution_shares(attribution).items()
+        }
 
     def expire_if_due(self, now: float) -> None:
         """Close the current session if its window has ended by ``now``."""

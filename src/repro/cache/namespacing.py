@@ -1,0 +1,41 @@
+"""Tenant namespacing of cache keys.
+
+Multi-tenant layers (``repro.cluster``) store every tenant's objects under
+``tenant_id::key``.  The cache layer itself is tenant-agnostic, but cost
+attribution needs to know, for any ring key, *which tenant's traffic caused
+the work* — so the naming scheme lives here, below both the proxy and the
+cluster router, and both sides agree on it.
+
+The separator is reserved: tenant ids may not contain it (enforced at
+registration) and neither may application keys (enforced at request time by
+the router).  That makes :func:`split_namespaced_key` unambiguous — an
+un-namespaced key can never be mistaken for a tenant-qualified one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faas.billing import UNATTRIBUTED_TENANT as UNATTRIBUTED
+
+#: Separator between the tenant namespace and the application key.
+NAMESPACE_SEPARATOR = "::"
+
+
+def namespace_key(tenant_id: str, key: str) -> str:
+    """The ring key under which a tenant's object is stored."""
+    return f"{tenant_id}{NAMESPACE_SEPARATOR}{key}"
+
+
+def split_namespaced_key(namespaced: str) -> tuple[Optional[str], str]:
+    """Invert :func:`namespace_key`; ``(None, key)`` for un-namespaced keys."""
+    if NAMESPACE_SEPARATOR not in namespaced:
+        return None, namespaced
+    tenant_id, key = namespaced.split(NAMESPACE_SEPARATOR, 1)
+    return tenant_id, key
+
+
+def owner_of(key: str) -> str:
+    """The attribution label for work done on behalf of a ring key."""
+    tenant_id, _rest = split_namespaced_key(key)
+    return tenant_id if tenant_id else UNATTRIBUTED

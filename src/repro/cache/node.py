@@ -90,12 +90,16 @@ class LambdaCacheNode:
         self._session_instance = None
         if instance is None:
             # The session's instance was reclaimed and already cleaned up;
-            # the tenant is still billed for the duration that ran.
+            # the account is still billed for the duration that ran.
             self.platform.billing.charge_invocation(
-                self.memory_bytes, charge.duration_s, charge.category
+                self.memory_bytes, charge.duration_s, charge.category,
+                attribution=charge.busy_by_tenant,
             )
             return
-        self.platform.complete_invocation(instance, charge.duration_s, charge.category)
+        self.platform.complete_invocation(
+            instance, charge.duration_s, charge.category,
+            attribution=charge.busy_by_tenant,
+        )
 
     # ------------------------------------------------------------------ state access
     def _state_of(self, instance: Optional[FunctionInstance]) -> Optional[dict]:
@@ -181,9 +185,20 @@ class LambdaCacheNode:
         self.proxy_connection.pong_received()
         return NodeAccess(overhead_s=overhead, invoked=True, cold_start=cold_start)
 
-    def record_service(self, now: float, service_time_s: float, category: str = "serving") -> None:
-        """Account ``service_time_s`` of work starting at ``now`` on this node."""
-        self.duration_controller.record_request(now, service_time_s, category)
+    def record_service(
+        self,
+        now: float,
+        service_time_s: float,
+        category: str = "serving",
+        attribution: dict[str, float] | str | None = None,
+    ) -> None:
+        """Account ``service_time_s`` of work starting at ``now`` on this node.
+
+        ``attribution`` names the tenant (or per-tenant weights) the busy
+        time is charged back to; the billed session splits its eventual bill
+        over these weights.
+        """
+        self.duration_controller.record_request(now, service_time_s, category, attribution)
 
     # ------------------------------------------------------------------ chunk operations
     def store_chunk(self, chunk: CacheChunk) -> None:
@@ -219,6 +234,18 @@ class LambdaCacheNode:
             return None
         state["clock"].touch(chunk_id)
         return chunk
+
+    def peek_chunk(self, chunk_id: str) -> Optional[CacheChunk]:
+        """Read a chunk without touching the LRU clock or the loss counters.
+
+        Maintenance paths (repair, export, drain) use this to inspect
+        surviving stripe chunks without perturbing eviction order or the
+        data-loss statistics the experiments report.
+        """
+        state = self._primary_state()
+        if state is None:
+            return None
+        return state["chunks"].get(chunk_id)
 
     def has_chunk(self, chunk_id: str) -> bool:
         """Whether the primary replica currently holds this chunk."""

@@ -27,8 +27,11 @@ from typing import Callable, Optional
 from repro.cache.chunk import CacheChunk, ObjectDescriptor
 from repro.cache.clock_lru import ClockLRU
 from repro.cache.config import InfiniCacheConfig
+from repro.cache.namespacing import owner_of
 from repro.cache.node import LambdaCacheNode
-from repro.exceptions import CacheError, ObjectTooLargeError
+from repro.erasure.codec import Chunk as ErasureChunk
+from repro.erasure.codec import ErasureCodec, StripeMetadata
+from repro.exceptions import CacheError, DecodingError, ObjectTooLargeError
 from repro.faas.platform import FaaSPlatform
 from repro.network.transfer import TransferModel
 from repro.simulation.metrics import MetricRegistry
@@ -115,6 +118,8 @@ class Proxy:
             self._create_node()
         self._objects: dict[str, _ObjectEntry] = {}
         self._lru: ClockLRU[int] = ClockLRU()
+        #: Codecs for stripe reconstruction, cached per (d, p) geometry.
+        self._codecs: dict[tuple[int, int], ErasureCodec] = {}
         #: GET + PUT requests handled so far (the autoscaler samples deltas).
         self.requests_served = 0
         platform.on_reclaim(self._handle_reclaim)
@@ -200,34 +205,42 @@ class Proxy:
     def drain_node(self, node_id: str, now: float) -> tuple[int, int]:
         """Migrate every chunk off a node onto the rest of the pool.
 
-        Chunks whose bytes are gone (the node was reclaimed) are rebuilt as
-        size-only placeholders, matching the degraded-read repair path.
+        Chunks whose bytes are gone (the node was reclaimed) are EC-decoded
+        back from the surviving stripe when possible, and rebuilt as
+        size-only placeholders only when the stripe is unrecoverable.
         Returns ``(moved, dropped)`` chunk counts; a chunk is dropped when no
         other node has room for it, in which case its object keeps the stale
-        placement and relies on erasure parity.
+        placement and relies on erasure parity.  The migration traffic is
+        billed under ``rebalance`` and charged back to the owning tenant.
         """
         return self._drain_chunks(self.node(node_id), now)
 
     def _drain_chunks(self, node: LambdaCacheNode, now: float) -> tuple[int, int]:
         moved = dropped = 0
-        for entry in self._objects.values():
+        for key, entry in self._objects.items():
+            reconstructed: Optional[dict[int, CacheChunk]] = None
+            owner = owner_of(key)
             for chunk_index, placed_on in list(entry.placement.items()):
                 if placed_on != node.node_id:
                     continue
-                chunk_id = f"{entry.descriptor.key}#{chunk_index}"
+                chunk_id = f"{key}#{chunk_index}"
                 chunk: Optional[CacheChunk] = None
                 if node.is_alive and node.has_chunk(chunk_id):
                     chunk = node.fetch_chunk(chunk_id)
                 if chunk is None:
-                    chunk = CacheChunk.sized(
-                        entry.descriptor.key, chunk_index, entry.descriptor.chunk_size
-                    )
+                    if reconstructed is None:
+                        reconstructed = self._reconstruct_missing(
+                            key, entry, self._surviving_chunks(key, entry)
+                        )
+                    chunk = self._rebuilt_chunk(key, entry, chunk_index, reconstructed)
                 target = self._migration_target(entry, chunk.size, exclude=node.node_id)
                 if target is None:
                     dropped += 1
                     continue
                 target.ensure_active(now, "rebalance")
-                target.record_service(now, chunk.size / target.bandwidth_bps, "rebalance")
+                target.record_service(
+                    now, chunk.size / target.bandwidth_bps, "rebalance", owner
+                )
                 target.store_chunk(chunk)
                 node.delete_chunk(chunk_id)
                 entry.placement[chunk_index] = target.node_id
@@ -270,28 +283,103 @@ class Proxy:
         return moved, dropped
 
     # ------------------------------------------------------------------ export / audit
+    def _codec_for(self, descriptor: ObjectDescriptor) -> ErasureCodec:
+        geometry = (descriptor.data_shards, descriptor.parity_shards)
+        codec = self._codecs.get(geometry)
+        if codec is None:
+            codec = ErasureCodec(*geometry)
+            self._codecs[geometry] = codec
+        return codec
+
+    def _surviving_chunks(self, key: str, entry: _ObjectEntry) -> dict[int, CacheChunk]:
+        """Every stripe chunk whose bytes are still present, by index."""
+        survivors: dict[int, CacheChunk] = {}
+        for chunk_index, node_id in entry.placement.items():
+            node = self._nodes_by_id.get(node_id)
+            if node is None:
+                continue
+            chunk = node.peek_chunk(f"{key}#{chunk_index}")
+            if chunk is not None:
+                survivors[chunk_index] = chunk
+        return survivors
+
+    def _reconstruct_missing(
+        self, key: str, entry: _ObjectEntry, survivors: dict[int, CacheChunk]
+    ) -> dict[int, CacheChunk]:
+        """EC-decode the lost chunks' real payloads from the survivors.
+
+        Returns the rebuilt payload-carrying chunks by index — empty when the
+        stripe cannot be reconstructed (size-only chunks, or fewer than
+        ``data_shards`` payload-carrying survivors), in which case callers
+        fall back to size-only placeholders.
+        """
+        descriptor = entry.descriptor
+        with_payload = [
+            chunk for chunk in survivors.values() if chunk.payload is not None
+        ]
+        if len(with_payload) < descriptor.data_shards:
+            return {}
+        metadata = StripeMetadata(
+            key=descriptor.key,
+            object_size=descriptor.object_size,
+            data_shards=descriptor.data_shards,
+            parity_shards=descriptor.parity_shards,
+            chunk_size=descriptor.chunk_size,
+        )
+        erasure_chunks = [
+            ErasureChunk(key=key, index=chunk.index, payload=chunk.payload,
+                         metadata=metadata)
+            for chunk in with_payload
+        ]
+        try:
+            stripe = self._codec_for(descriptor).rebuild_missing(erasure_chunks)
+        except DecodingError:
+            return {}
+        missing = set(range(descriptor.total_chunks)) - set(survivors)
+        return {
+            chunk.index: CacheChunk.from_erasure_chunk(chunk)
+            for chunk in stripe
+            if chunk.index in missing
+        }
+
+    def _rebuilt_chunk(
+        self,
+        key: str,
+        entry: _ObjectEntry,
+        chunk_index: int,
+        reconstructed: dict[int, CacheChunk],
+    ) -> CacheChunk:
+        """A lost chunk's replacement: real payload if decodable, else a
+        size-only placeholder (the stripe is then only nominally whole)."""
+        rebuilt = reconstructed.get(chunk_index)
+        if rebuilt is not None:
+            return rebuilt
+        return CacheChunk.sized(key, chunk_index, entry.descriptor.chunk_size)
+
     def export_object(
         self, key: str
     ) -> Optional[tuple[ObjectDescriptor, list[CacheChunk]]]:
         """Read an object's descriptor and chunks for cross-proxy migration.
 
-        Chunks whose bytes were lost to reclamation are rebuilt as size-only
-        placeholders (the same convention as degraded-read repair), so the
-        exported stripe always has ``total_chunks`` entries.
+        Chunks whose bytes were lost to reclamation are EC-decoded back from
+        the surviving chunks whenever at least ``data_shards`` payload-carrying
+        chunks remain, so migrated objects keep their real data.  Only a
+        genuinely unrecoverable stripe (or a size-only replay stripe) falls
+        back to size-only placeholders, and the export still always has
+        ``total_chunks`` entries.
         """
         entry = self._objects.get(key)
         if entry is None:
             return None
+        survivors = self._surviving_chunks(key, entry)
+        reconstructed: dict[int, CacheChunk] = {}
+        if len(survivors) < entry.descriptor.total_chunks:
+            reconstructed = self._reconstruct_missing(key, entry, survivors)
         chunks: list[CacheChunk] = []
         for chunk_index in range(entry.descriptor.total_chunks):
-            node_id = entry.placement.get(chunk_index)
-            node = self._nodes_by_id.get(node_id) if node_id is not None else None
-            chunk_id = f"{key}#{chunk_index}"
-            chunk: Optional[CacheChunk] = None
-            if node is not None and node.is_alive and node.has_chunk(chunk_id):
-                chunk = node.fetch_chunk(chunk_id)
+            chunk = survivors.get(chunk_index)
             if chunk is None:
-                chunk = CacheChunk.sized(key, chunk_index, entry.descriptor.chunk_size)
+                chunk = self._rebuilt_chunk(key, entry, chunk_index, reconstructed)
             chunks.append(chunk)
         return entry.descriptor, chunks
 
@@ -325,7 +413,7 @@ class Proxy:
                 if on_loss is not None:
                     on_loss(key)
                 continue
-            if self._repair_object(key, entry, missing, now):
+            if self._repair_object(key, entry, missing, now, category="repair"):
                 repaired += 1
         return repaired, lost
 
@@ -356,6 +444,7 @@ class Proxy:
         concurrent_streams: int,
         now: float,
         category: str,
+        tenant: Optional[str] = None,
     ) -> float:
         """Invocation overhead + contention-aware transfer time for one chunk."""
         access = node.ensure_active(now, category)
@@ -372,7 +461,7 @@ class Proxy:
         straggler = self.config.straggler
         if straggler.probability > 0 and self.rng.random() < straggler.probability:
             transfer_s *= self.rng.uniform(straggler.min_factor, straggler.max_factor)
-        node.record_service(now, timing.latency_s + transfer_s, category)
+        node.record_service(now, timing.latency_s + transfer_s, category, tenant)
         return access.overhead_s + timing.latency_s + transfer_s
 
     def _flows_per_host(self, nodes: list[LambdaCacheNode]) -> dict[str, int]:
@@ -470,10 +559,11 @@ class Proxy:
 
         target_nodes = [self.node(node_id) for node_id in placement]
         flows = self._flows_per_host(target_nodes)
+        owner = owner_of(key)
         chunk_times = []
         for chunk, node in zip(chunks, target_nodes):
             time_s = self._chunk_transfer_time(
-                chunk.size, node, flows, len(chunks), now, category
+                chunk.size, node, flows, len(chunks), now, category, owner
             )
             node.store_chunk(chunk)
             chunk_times.append(time_s)
@@ -515,6 +605,7 @@ class Proxy:
         descriptor = entry.descriptor
         involved_nodes = [self.node(node_id) for node_id in entry.placement.values()]
         flows = self._flows_per_host(involved_nodes)
+        owner = owner_of(key)
         fetches: list[ChunkFetch] = []
         for chunk_index, node_id in sorted(entry.placement.items()):
             node = self.node(node_id)
@@ -527,7 +618,7 @@ class Proxy:
                 )
                 continue
             time_s = self._chunk_transfer_time(
-                chunk.size, node, flows, descriptor.total_chunks, now, "serving"
+                chunk.size, node, flows, descriptor.total_chunks, now, "serving", owner
             )
             fetches.append(
                 ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=chunk,
@@ -580,9 +671,22 @@ class Proxy:
 
     # ------------------------------------------------------------------ recovery
     def _repair_object(
-        self, key: str, entry: _ObjectEntry, fetches: list[ChunkFetch], now: float
+        self,
+        key: str,
+        entry: _ObjectEntry,
+        fetches: list[ChunkFetch],
+        now: float,
+        category: str = "serving",
     ) -> bool:
-        """Re-insert chunks lost to reclamation onto fresh nodes (EC recovery)."""
+        """Re-insert chunks lost to reclamation onto fresh nodes (EC recovery).
+
+        When at least ``data_shards`` payload-carrying chunks survive, the
+        lost chunks are EC-decoded and re-inserted with their *real* bytes;
+        a size-only placeholder is stored only for stripes that carry no
+        payloads (trace-replay mode).  The repair traffic is charged back to
+        the owning tenant under ``category`` (``"serving"`` on the degraded
+        GET path, ``"repair"`` from the failure detector's audit sweep).
+        """
         descriptor = entry.descriptor
         lost_fetches = [fetch for fetch in fetches if fetch.lost]
         if not lost_fetches:
@@ -595,31 +699,58 @@ class Proxy:
         indices = self.rng.sample_without_replacement(len(candidates), len(lost_fetches))
         replacements = [candidates[i] for i in indices]
 
-        placed = 0
+        reconstructed = self._reconstruct_missing(
+            key, entry, self._surviving_chunks(key, entry)
+        )
+        owner = owner_of(key)
+        placed = payload_repairs = 0
         for fetch, replacement in zip(lost_fetches, replacements):
-            rebuilt = CacheChunk.sized(key, fetch.chunk_index, descriptor.chunk_size)
+            rebuilt = self._rebuilt_chunk(key, entry, fetch.chunk_index, reconstructed)
             if replacement.free_bytes() < rebuilt.size:
                 continue
-            replacement.ensure_active(now, "serving")
+            replacement.ensure_active(now, category)
             replacement.record_service(
-                now, rebuilt.size / replacement.bandwidth_bps, "serving"
+                now, rebuilt.size / replacement.bandwidth_bps, category, owner
             )
             replacement.store_chunk(rebuilt)
             entry.placement[fetch.chunk_index] = replacement.node_id
             placed += 1
+            if rebuilt.payload is not None:
+                payload_repairs += 1
         if placed:
             self.metrics.counter("proxy.recoveries").increment()
             self.metrics.series("proxy.recovery_events").record(now, 1.0)
+        if payload_repairs:
+            self.metrics.counter("proxy.payload_repairs").increment(payload_repairs)
         # Only a full repair counts: partially healed objects keep stale
         # placements and must be re-detected by the next audit sweep.
         return placed == len(lost_fetches)
 
     # ------------------------------------------------------------------ maintenance hooks
+    def _tenant_bytes_by_node(self) -> dict[str, dict[str, int]]:
+        """Per node: bytes stored for each owning tenant (chargeback weights)."""
+        weights: dict[str, dict[str, int]] = {}
+        for key, entry in self._objects.items():
+            owner = owner_of(key)
+            chunk_size = entry.descriptor.chunk_size
+            for node_id in entry.placement.values():
+                per_tenant = weights.setdefault(node_id, {})
+                per_tenant[owner] = per_tenant.get(owner, 0) + chunk_size
+        return weights
+
     def warm_up_pool(self, now: float, warmup_service_s: float = 0.001) -> None:
-        """Invoke every node briefly so the provider keeps it warm."""
+        """Invoke every node briefly so the provider keeps it warm.
+
+        Each node's warm-up is charged back to the tenants whose bytes it is
+        keeping warm, pro-rata by stored bytes; warming an empty node is
+        unattributed (it lands in the cluster's own chargeback row).
+        """
+        tenant_bytes = self._tenant_bytes_by_node()
         for node in self.nodes:
             node.ensure_active(now, "warmup")
-            node.record_service(now, warmup_service_s, "warmup")
+            weights = tenant_bytes.get(node.node_id)
+            attribution = {t: float(b) for t, b in weights.items()} if weights else None
+            node.record_service(now, warmup_service_s, "warmup", attribution)
         self.metrics.counter("proxy.warmups").increment()
 
     def finish_sessions(self) -> None:

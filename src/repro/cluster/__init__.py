@@ -16,21 +16,30 @@ concerns the paper's production discussion (Section 6) leaves open:
   top-level entry point.
 """
 
-from repro.cluster.autoscaler import AutoscalerConfig, PoolAutoscaler
+from repro.cluster.autoscaler import (
+    AutoscalerConfig,
+    PoolAutoscaler,
+    PredictiveEwmaPolicy,
+    ReactiveWatermarkPolicy,
+)
 from repro.cluster.cluster import InfiniCacheCluster
 from repro.cluster.rebalancer import FailureDetector, Rebalancer
 from repro.cluster.router import ClusterRouter, TenantClient
 from repro.cluster.tenants import (
+    UNATTRIBUTED_TENANT,
     Tenant,
     TenantManager,
     TenantQuota,
     namespace_key,
     split_namespaced_key,
+    validate_app_key,
 )
 
 __all__ = [
     "AutoscalerConfig",
     "PoolAutoscaler",
+    "PredictiveEwmaPolicy",
+    "ReactiveWatermarkPolicy",
     "InfiniCacheCluster",
     "FailureDetector",
     "Rebalancer",
@@ -39,6 +48,8 @@ __all__ = [
     "Tenant",
     "TenantManager",
     "TenantQuota",
+    "UNATTRIBUTED_TENANT",
     "namespace_key",
     "split_namespaced_key",
+    "validate_app_key",
 ]

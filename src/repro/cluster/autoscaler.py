@@ -5,13 +5,19 @@ and leaves elastic sizing to future work; this module closes that gap for
 the reproduction.  A :class:`PoolAutoscaler` ticks on the shared simulation
 event loop and, per proxy, samples two signals:
 
-* **memory pressure** — bytes cached over pool capacity; crossing the high
-  watermark grows the pool *before* CLOCK eviction starts thrashing, and
-  dropping under the low watermark shrinks it so idle functions stop
-  accruing warm-up cost;
-* **request rate** — GET+PUT throughput per node since the last tick;
-  a hot-but-small working set still fans out over enough nodes to keep
-  per-function bandwidth from saturating.
+* **memory pressure** — bytes cached over pool capacity;
+* **request rate** — GET+PUT throughput since the last tick.
+
+Two scaling *policies* turn those signals into node deltas:
+
+* :class:`ReactiveWatermarkPolicy` (default) — scale up when either signal
+  crosses its high watermark, down when both drop under their low
+  watermarks; it only reacts after the pool is already hot or cold.
+* :class:`PredictiveEwmaPolicy` — keeps an exponentially weighted moving
+  average of each proxy's request rate and byte growth, forecasts the next
+  interval, and sizes the pool to the forecast *before* the watermarks
+  would trip.  The cost/miss-rate trade-off between the two is measured by
+  :mod:`repro.experiments.autoscale_policies`.
 
 Scaling is bounded by ``InfiniCacheConfig.min_lambdas_per_proxy`` /
 ``max_lambdas_per_proxy`` (and always floored at the erasure stripe width,
@@ -23,6 +29,7 @@ surviving capacity would immediately re-trip the high watermark.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.cache.deployment import InfiniCacheDeployment
@@ -31,6 +38,9 @@ from repro.cluster.rebalancer import Rebalancer
 from repro.exceptions import ConfigurationError
 from repro.simulation.events import PeriodicTask
 from repro.simulation.metrics import MetricRegistry
+
+#: Names accepted by :attr:`AutoscalerConfig.policy`.
+SCALING_POLICIES = ("reactive", "predictive")
 
 
 @dataclass(frozen=True)
@@ -51,6 +61,14 @@ class AutoscalerConfig:
     scale_up_step: int = 4
     #: Nodes removed per scale-down decision.
     scale_down_step: int = 2
+    #: Which scaling policy to run (see :data:`SCALING_POLICIES`).
+    policy: str = "reactive"
+    #: EWMA smoothing factor for the predictive policy's forecasts.
+    ewma_alpha: float = 0.3
+    #: Requests/s one node should serve at the predictive policy's target
+    #: operating point (its sizing divisor; keep under the high watermark so
+    #: the forecast leaves headroom).
+    target_requests_per_node: float = 1.0
 
     def __post_init__(self):
         if self.interval_s <= 0:
@@ -65,6 +83,104 @@ class AutoscalerConfig:
             raise ConfigurationError("rate watermarks must satisfy low < high")
         if self.scale_up_step < 1 or self.scale_down_step < 1:
             raise ConfigurationError("scaling steps must be at least 1")
+        if self.policy not in SCALING_POLICIES:
+            raise ConfigurationError(
+                f"unknown scaling policy {self.policy!r}; expected one of {SCALING_POLICIES}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        if self.target_requests_per_node <= 0:
+            raise ConfigurationError("target_requests_per_node must be positive")
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """One proxy's load signals at a scaling tick."""
+
+    proxy_id: str
+    pool_size: int
+    per_node_capacity_bytes: float
+    bytes_used: int
+    memory_pressure: float
+    #: Total GET+PUT requests/s over the last interval (not per node).
+    request_rate: float
+
+
+class ReactiveWatermarkPolicy:
+    """Scale on watermark crossings of the *observed* signals."""
+
+    def __init__(self, config: AutoscalerConfig):
+        self.config = config
+
+    def desired_delta(self, snapshot: PoolSnapshot) -> int:
+        """Signed node-count intent; the autoscaler clamps it to its steps."""
+        rate_per_node = snapshot.request_rate / max(1, snapshot.pool_size)
+        if (
+            snapshot.memory_pressure >= self.config.high_memory_watermark
+            or rate_per_node >= self.config.high_requests_per_node
+        ):
+            return self.config.scale_up_step
+        if (
+            snapshot.memory_pressure <= self.config.low_memory_watermark
+            and rate_per_node <= self.config.low_requests_per_node
+        ):
+            return -self.config.scale_down_step
+        return 0
+
+
+class PredictiveEwmaPolicy:
+    """Size each pool to an EWMA forecast of its next-interval load.
+
+    Per proxy, the policy smooths the observed request rate and byte growth
+    with an EWMA and sizes the pool so the *forecast* rate lands at
+    ``target_requests_per_node`` and the forecast footprint stays under the
+    high memory watermark — growing ahead of a building surge instead of
+    after the watermarks trip, and shrinking gradually as the forecast
+    decays.
+    """
+
+    def __init__(self, config: AutoscalerConfig):
+        self.config = config
+        self._rate_forecast: dict[str, float] = {}
+        self._growth_forecast: dict[str, float] = {}
+        self._last_bytes: dict[str, int] = {}
+
+    def _ewma(self, store: dict[str, float], proxy_id: str, observed: float) -> float:
+        previous = store.get(proxy_id)
+        if previous is None:
+            forecast = observed
+        else:
+            alpha = self.config.ewma_alpha
+            forecast = alpha * observed + (1.0 - alpha) * previous
+        store[proxy_id] = forecast
+        return forecast
+
+    def desired_delta(self, snapshot: PoolSnapshot) -> int:
+        """Forecast-sized pool minus the current pool."""
+        rate_forecast = self._ewma(
+            self._rate_forecast, snapshot.proxy_id, snapshot.request_rate
+        )
+        growth = snapshot.bytes_used - self._last_bytes.get(
+            snapshot.proxy_id, snapshot.bytes_used
+        )
+        self._last_bytes[snapshot.proxy_id] = snapshot.bytes_used
+        growth_forecast = self._ewma(
+            self._growth_forecast, snapshot.proxy_id, float(growth)
+        )
+
+        nodes_for_rate = math.ceil(rate_forecast / self.config.target_requests_per_node)
+        projected_bytes = snapshot.bytes_used + max(0.0, growth_forecast)
+        headroom = self.config.high_memory_watermark * snapshot.per_node_capacity_bytes
+        nodes_for_memory = math.ceil(projected_bytes / headroom) if headroom > 0 else 0
+        desired = max(nodes_for_rate, nodes_for_memory, 1)
+        return desired - snapshot.pool_size
+
+
+def make_policy(config: AutoscalerConfig):
+    """Instantiate the scaling policy the config names."""
+    if config.policy == "predictive":
+        return PredictiveEwmaPolicy(config)
+    return ReactiveWatermarkPolicy(config)
 
 
 class PoolAutoscaler:
@@ -81,6 +197,7 @@ class PoolAutoscaler:
         self.config = config or AutoscalerConfig()
         self.rebalancer = rebalancer
         self.metrics = metrics or deployment.metrics
+        self.policy = make_policy(self.config)
         self._last_requests: dict[str, int] = {}
         self._task = PeriodicTask(
             deployment.simulator, self.config.interval_s, self.evaluate_once,
@@ -122,30 +239,37 @@ class PoolAutoscaler:
             )
         return deltas
 
+    def _snapshot(self, proxy: Proxy) -> PoolSnapshot:
+        # One O(nodes x chunks) byte traversal per tick; pressure is derived
+        # rather than re-sampled through proxy.memory_pressure().
+        used = proxy.pool_bytes_used()
+        capacity = proxy.pool_capacity_bytes
+        return PoolSnapshot(
+            proxy_id=proxy.proxy_id,
+            pool_size=proxy.pool_size,
+            per_node_capacity_bytes=capacity / proxy.pool_size if proxy.pool_size else 0.0,
+            bytes_used=used,
+            memory_pressure=used / capacity if capacity else 0.0,
+            request_rate=self._request_rate(proxy),
+        )
+
     def _evaluate_proxy(self, proxy: Proxy, now: float) -> int:
-        pressure = proxy.memory_pressure()
-        rate_per_node = self._request_rate_per_node(proxy)
-        if (
-            pressure >= self.config.high_memory_watermark
-            or rate_per_node >= self.config.high_requests_per_node
-        ):
-            return self._scale_up(proxy)
-        if (
-            pressure <= self.config.low_memory_watermark
-            and rate_per_node <= self.config.low_requests_per_node
-        ):
-            return self._scale_down(proxy, now)
+        desired = self.policy.desired_delta(self._snapshot(proxy))
+        if desired > 0:
+            return self._scale_up(proxy, desired)
+        if desired < 0:
+            return self._scale_down(proxy, now, -desired)
         return 0
 
-    def _request_rate_per_node(self, proxy: Proxy) -> float:
+    def _request_rate(self, proxy: Proxy) -> float:
+        """Total requests/s this proxy served since the previous tick."""
         served = proxy.requests_served
         previous = self._last_requests.get(proxy.proxy_id, 0)
         self._last_requests[proxy.proxy_id] = served
-        delta = max(0, served - previous)
-        return delta / self.config.interval_s / max(1, proxy.pool_size)
+        return max(0, served - previous) / self.config.interval_s
 
-    def _scale_up(self, proxy: Proxy) -> int:
-        step = self.config.scale_up_step
+    def _scale_up(self, proxy: Proxy, desired: int) -> int:
+        step = min(self.config.scale_up_step, desired)
         if self.max_nodes is not None:
             step = min(step, self.max_nodes - proxy.pool_size)
         if step <= 0:
@@ -156,8 +280,8 @@ class PoolAutoscaler:
         self.metrics.counter("cluster.autoscaler.nodes_added").increment(step)
         return step
 
-    def _scale_down(self, proxy: Proxy, now: float) -> int:
-        step = min(self.config.scale_down_step, proxy.pool_size - self.min_nodes)
+    def _scale_down(self, proxy: Proxy, now: float, desired: int) -> int:
+        step = min(self.config.scale_down_step, desired, proxy.pool_size - self.min_nodes)
         if step <= 0:
             return 0
         per_node_capacity = proxy.pool_capacity_bytes / proxy.pool_size

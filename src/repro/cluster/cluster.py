@@ -127,6 +127,16 @@ class InfiniCacheCluster:
         """Per-tenant usage and quota-enforcement snapshot."""
         return self.tenants.report()
 
+    def chargeback_report(self) -> dict[str, dict[str, float]]:
+        """Per-tenant GB-seconds and dollars, summing to the cluster bill.
+
+        Every row decomposes :meth:`total_cost`: registered tenants pay for
+        the invocations their traffic caused (serving, backup, warm-up,
+        rebalance, and repair attributed by busy time), and the
+        ``UNATTRIBUTED_TENANT`` row holds pool maintenance no tenant caused.
+        """
+        return self.tenants.chargeback(self.deployment.billing)
+
     def total_cost(self) -> float:
         """Total tenant-side dollars spent so far."""
         return self.deployment.total_cost()
@@ -142,6 +152,7 @@ class InfiniCacheCluster:
         description["pool_sizes"] = self.pool_sizes()
         description["autoscaler"] = {
             "interval_s": self.autoscaler.config.interval_s,
+            "policy": self.autoscaler.config.policy,
             "min_nodes": self.autoscaler.min_nodes,
             "max_nodes": self.autoscaler.max_nodes,
         }

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.cache.chunk import descriptor_for
 from repro.cache.client import GetResult, InfiniCacheClient, PutResult
 from repro.cache.deployment import InfiniCacheDeployment
-from repro.cluster.tenants import Tenant, TenantManager, namespace_key
+from repro.cluster.tenants import Tenant, TenantManager, namespace_key, validate_app_key
 from repro.simulation.metrics import MetricRegistry
 
 #: Reserved client id for the router's shared underlying client.
@@ -49,6 +50,7 @@ class ClusterRouter:
     def get(self, tenant_id: str, key: str) -> GetResult:
         """GET within a tenant's namespace, subject to its rate quota."""
         tenant = self.tenants.tenant(tenant_id)
+        validate_app_key(key)
         self.tenants.authorize_request(tenant, self._clock.now)
         namespaced = namespace_key(tenant_id, key)
         result = self.client.get(namespaced)
@@ -75,6 +77,7 @@ class ClusterRouter:
     def invalidate(self, tenant_id: str, key: str) -> bool:
         """Drop a tenant's object (not charged against the rate quota)."""
         self.tenants.tenant(tenant_id)
+        validate_app_key(key)
         namespaced = namespace_key(tenant_id, key)
         existed = self.client.invalidate(namespaced)
         self.tenants.record_gone(namespaced)
@@ -83,20 +86,33 @@ class ClusterRouter:
     def exists(self, tenant_id: str, key: str) -> bool:
         """Whether the responsible proxy still tracks a tenant's key."""
         self.tenants.tenant(tenant_id)
+        validate_app_key(key)
         return self.client.exists(namespace_key(tenant_id, key))
 
     # ------------------------------------------------------------------ internals
+    def _stored_bytes(self, size: int) -> int:
+        """Parity-inclusive bytes the pool stores for a ``size``-byte object.
+
+        Quotas are charged for the full ``(d+p)``-chunk stripe, so a tenant
+        cannot oversubscribe its cap by the erasure-coding overhead.
+        """
+        config = self.deployment.config
+        return descriptor_for(
+            "quota", size, config.data_shards, config.parity_shards
+        ).stored_bytes
+
     def _admit_put(self, tenant_id: str, key: str, size: int) -> tuple[Tenant, str]:
         tenant = self.tenants.tenant(tenant_id)
+        validate_app_key(key)
         namespaced = namespace_key(tenant_id, key)
         self.tenants.authorize_request(tenant, self._clock.now)
-        self.tenants.authorize_put(tenant, namespaced, size)
+        self.tenants.authorize_put(tenant, namespaced, self._stored_bytes(size))
         return tenant, namespaced
 
     def _account_put(
         self, tenant: Tenant, namespaced: str, key: str, size: int, result: PutResult
     ) -> PutResult:
-        self.tenants.record_put(tenant, namespaced, size)
+        self.tenants.record_put(tenant, namespaced, size, self._stored_bytes(size))
         for evicted in result.evicted_keys:
             self.tenants.record_gone(evicted)
         self.metrics.counter("cluster.router.puts").increment()

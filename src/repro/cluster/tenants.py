@@ -10,15 +10,24 @@ single anonymous client.  This module adds the isolation layer:
 * a tenant may carry a :class:`TenantQuota` — a byte cap on what it may keep
   cached and a token-bucket request-rate cap — enforced *before* the request
   reaches the consistent-hash ring;
-* per-tenant counters (gets/puts/hits/misses/throttles/rejections) and a
-  bytes-stored gauge are recorded in the shared
+* per-tenant counters (gets/puts/hits/misses/throttles/rejections) and
+  bytes-stored gauges are recorded in the shared
   :class:`~repro.simulation.metrics.MetricRegistry` under ``tenant.<id>.*``.
 
-Byte accounting tracks *logical* object sizes and is reconciled against the
-cache's own behaviour: CLOCK evictions, invalidations, and
-reclamation-induced object losses all flow back through
+Byte accounting is **parity-inclusive**: a tenant's quota is charged for the
+``(d+p)/d`` stripe bytes the pool actually stores for it, not just the
+logical object bytes (which are kept as a separate gauge).  Usage is
+reconciled against the cache's own behaviour: CLOCK evictions,
+invalidations, and reclamation-induced object losses all flow back through
 :meth:`TenantManager.record_gone`, so a tenant's usage never drifts from
 what the pool actually holds for it.
+
+Chargeback: the billing pipeline tags every Lambda invocation with the
+tenants whose traffic caused it (see
+:meth:`~repro.faas.billing.BillingModel.charge_invocation`);
+:meth:`TenantManager.chargeback` folds that ledger into per-tenant rows —
+GB-seconds, dollars, and share of the bill — whose totals sum to the
+cluster-wide bill by construction.
 """
 
 from __future__ import annotations
@@ -26,23 +35,44 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cache.namespacing import (  # noqa: F401  (re-exported public API)
+    NAMESPACE_SEPARATOR,
+    namespace_key,
+    split_namespaced_key,
+)
 from repro.exceptions import (
     ConfigurationError,
     QuotaExceededError,
     RateLimitedError,
     TenantError,
 )
+from repro.faas.billing import UNATTRIBUTED_TENANT, BillingModel
 from repro.simulation.metrics import MetricRegistry
 
-#: Separator between the tenant namespace and the application key.
-NAMESPACE_SEPARATOR = "::"
+
+def validate_app_key(key: str) -> str:
+    """Reject application keys that could be misread as namespaced keys.
+
+    An app key containing :data:`NAMESPACE_SEPARATOR` would make
+    :func:`split_namespaced_key` attribute the stored object (and its bill)
+    to whatever precedes the separator, so the separator is reserved at
+    request time just as it is in tenant ids at registration time.
+    """
+    if not key:
+        raise TenantError("application key must be non-empty")
+    if NAMESPACE_SEPARATOR in key:
+        raise TenantError(
+            f"application key {key!r} may not contain {NAMESPACE_SEPARATOR!r}"
+        )
+    return key
 
 
 @dataclass(frozen=True)
 class TenantQuota:
     """Resource limits for one tenant; ``None`` leaves a dimension unlimited."""
 
-    #: Cap on the logical bytes the tenant may keep cached at once.
+    #: Cap on the *stored* (parity-inclusive) bytes the tenant may keep
+    #: cached at once — what its objects actually occupy in the Lambda pool.
     max_bytes: Optional[int] = None
     #: Sustained request rate (GETs + PUTs per second, token-bucket refill).
     max_requests_per_s: Optional[float] = None
@@ -89,15 +119,27 @@ class _TokenBucket:
         return False
 
 
+@dataclass(frozen=True)
+class _ObjectUsage:
+    """What one cached object costs its tenant's byte accounting."""
+
+    logical_bytes: int
+    stored_bytes: int
+
+
 class Tenant:
     """One tenant's quota state and live usage."""
 
     def __init__(self, tenant_id: str, quota: TenantQuota):
         self.tenant_id = tenant_id
         self.quota = quota
-        #: namespaced key -> logical object bytes currently cached.
-        self.objects: dict[str, int] = {}
+        #: namespaced key -> (logical, stored) bytes currently cached.
+        self.objects: dict[str, _ObjectUsage] = {}
+        #: Parity-inclusive bytes the pool stores for this tenant (the quota
+        #: basis).
         self.bytes_stored = 0
+        #: Logical object bytes, before erasure-coding overhead.
+        self.logical_bytes = 0
         self.bucket: Optional[_TokenBucket] = None
         if quota.max_requests_per_s is not None:
             self.bucket = _TokenBucket(quota.max_requests_per_s, quota.burst)
@@ -105,21 +147,8 @@ class Tenant:
     def __repr__(self) -> str:
         return (
             f"Tenant({self.tenant_id!r}, objects={len(self.objects)}, "
-            f"bytes={self.bytes_stored})"
+            f"stored_bytes={self.bytes_stored})"
         )
-
-
-def namespace_key(tenant_id: str, key: str) -> str:
-    """The ring key under which a tenant's object is stored."""
-    return f"{tenant_id}{NAMESPACE_SEPARATOR}{key}"
-
-
-def split_namespaced_key(namespaced: str) -> tuple[Optional[str], str]:
-    """Invert :func:`namespace_key`; ``(None, key)`` for un-namespaced keys."""
-    if NAMESPACE_SEPARATOR not in namespaced:
-        return None, namespaced
-    tenant_id, key = namespaced.split(NAMESPACE_SEPARATOR, 1)
-    return tenant_id, key
 
 
 class TenantManager:
@@ -169,30 +198,44 @@ class TenantManager:
             self._counter(tenant, "throttled").increment()
             raise RateLimitedError(tenant.tenant_id, tenant.quota.max_requests_per_s)
 
-    def authorize_put(self, tenant: Tenant, namespaced: str, size: int) -> None:
-        """Check that storing ``size`` bytes would not breach the byte quota.
+    def authorize_put(self, tenant: Tenant, namespaced: str, stored_size: int) -> None:
+        """Check that storing ``stored_size`` (parity-inclusive) bytes would
+        not breach the byte quota.
 
-        Overwrites only charge the delta: the existing object's bytes are
-        credited back before the check.
+        Overwrites only charge the delta: the existing object's stored bytes
+        are credited back before the check.
 
         Raises:
             QuotaExceededError: when the projected usage exceeds the cap.
         """
         if tenant.quota.max_bytes is None:
             return
-        projected = tenant.bytes_stored - tenant.objects.get(namespaced, 0) + size
+        existing = tenant.objects.get(namespaced)
+        credit = existing.stored_bytes if existing is not None else 0
+        projected = tenant.bytes_stored - credit + stored_size
         if projected > tenant.quota.max_bytes:
             self._counter(tenant, "rejected_puts").increment()
             raise QuotaExceededError(tenant.tenant_id, projected, tenant.quota.max_bytes)
 
     # ------------------------------------------------------------------ accounting
-    def record_put(self, tenant: Tenant, namespaced: str, size: int) -> None:
-        """Account a successful PUT of ``size`` logical bytes."""
-        previous = tenant.objects.get(namespaced, 0)
-        tenant.objects[namespaced] = size
-        tenant.bytes_stored += size - previous
+    def record_put(
+        self,
+        tenant: Tenant,
+        namespaced: str,
+        logical_size: int,
+        stored_size: int | None = None,
+    ) -> None:
+        """Account a successful PUT: logical object bytes plus the
+        parity-inclusive stripe bytes the pool stores for them (defaults to
+        the logical size for erasure-free callers)."""
+        if stored_size is None:
+            stored_size = logical_size
+        previous = tenant.objects.get(namespaced)
+        tenant.objects[namespaced] = _ObjectUsage(logical_size, stored_size)
+        tenant.bytes_stored += stored_size - (previous.stored_bytes if previous else 0)
+        tenant.logical_bytes += logical_size - (previous.logical_bytes if previous else 0)
         self._counter(tenant, "puts").increment()
-        self._gauge(tenant).set(tenant.bytes_stored)
+        self._set_byte_gauges(tenant)
 
     def record_get(self, tenant: Tenant, hit: bool) -> None:
         """Account one GET and its outcome."""
@@ -211,11 +254,12 @@ class TenantManager:
         tenant = self._tenants.get(tenant_id)
         if tenant is None:
             return
-        size = tenant.objects.pop(namespaced, None)
-        if size is None:
+        usage = tenant.objects.pop(namespaced, None)
+        if usage is None:
             return
-        tenant.bytes_stored -= size
-        self._gauge(tenant).set(tenant.bytes_stored)
+        tenant.bytes_stored -= usage.stored_bytes
+        tenant.logical_bytes -= usage.logical_bytes
+        self._set_byte_gauges(tenant)
 
     # ------------------------------------------------------------------ reporting
     def report(self) -> dict[str, dict[str, float]]:
@@ -239,12 +283,60 @@ class TenantManager:
                 "throttled": count("throttled"),
                 "rejected_puts": count("rejected_puts"),
                 "bytes_stored": float(tenant.bytes_stored),
+                "logical_bytes": float(tenant.logical_bytes),
                 "objects": float(len(tenant.objects)),
             }
+        return rows
+
+    def chargeback(self, billing: BillingModel) -> dict[str, dict[str, float]]:
+        """Per-tenant chargeback rows from the billing ledger.
+
+        Every registered tenant gets a row (zero if it caused no work), plus
+        a row for each attribution label the billing saw that is not a
+        registered tenant — notably :data:`UNATTRIBUTED_TENANT` for pool
+        maintenance on empty nodes.  The ``cost`` column sums to
+        ``billing.total_cost`` and ``gb_seconds`` to
+        ``billing.total_gb_seconds`` within floating-point tolerance, so the
+        report is a complete decomposition of the cluster-wide bill.  Billed
+        GB-seconds and dollars are also exported as ``tenant.<id>.*`` gauges.
+        """
+        ledger = billing.tenant_breakdown()
+        labels = sorted(set(self.tenant_ids()) | set(ledger))
+        rows: dict[str, dict[str, float]] = {}
+        for label in labels:
+            entry = ledger.get(label, {})
+            cost = entry.get("cost", 0.0)
+            gb_seconds = entry.get("gb_seconds", 0.0)
+            rows[label] = {
+                "gb_seconds": gb_seconds,
+                "cost": cost,
+                "invocations": entry.get("invocations", 0.0),
+                "bill_share": cost / billing.total_cost if billing.total_cost else 0.0,
+            }
+            if label in self._tenants:
+                tenant = self._tenants[label]
+                self._gauge(tenant, "billed_gb_seconds").set(gb_seconds)
+                self._gauge(tenant, "billed_cost").set(cost)
         return rows
 
     def _counter(self, tenant: Tenant, name: str):
         return self.metrics.counter(f"tenant.{tenant.tenant_id}.{name}")
 
-    def _gauge(self, tenant: Tenant):
-        return self.metrics.gauge(f"tenant.{tenant.tenant_id}.bytes_stored")
+    def _gauge(self, tenant: Tenant, name: str):
+        return self.metrics.gauge(f"tenant.{tenant.tenant_id}.{name}")
+
+    def _set_byte_gauges(self, tenant: Tenant) -> None:
+        self._gauge(tenant, "bytes_stored").set(tenant.bytes_stored)
+        self._gauge(tenant, "logical_bytes").set(tenant.logical_bytes)
+
+
+__all__ = [
+    "NAMESPACE_SEPARATOR",
+    "UNATTRIBUTED_TENANT",
+    "Tenant",
+    "TenantManager",
+    "TenantQuota",
+    "namespace_key",
+    "split_namespaced_key",
+    "validate_app_key",
+]

@@ -1,0 +1,105 @@
+"""Autoscaler policy comparison: reactive watermarks vs. predictive EWMA.
+
+The cluster's GB-second bill and its hit ratio both depend on how the pool
+is sized: a pool that grows late serves misses (RESETs through the backing
+store) while one that grows early pays for warm-up and idle cycles.  This
+experiment replays the *same* multi-tenant workload (same seed, same
+request schedule) once per scaling policy and reports, per policy and per
+tenant, the chargeback cost and the miss rate — the trade-off the ROADMAP's
+"reactive watermarks vs. predictive" question asks about.
+
+Both runs reuse :mod:`repro.experiments.cluster_scale`, so the chargeback
+conservation property (per-tenant GB-seconds summing to the cluster bill)
+holds for every row of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import AutoscalerConfig
+from repro.experiments import cluster_scale
+from repro.experiments.report import format_table
+from repro.faas.billing import UNATTRIBUTED_TENANT
+
+#: The compared configurations, by policy name.
+DEFAULT_POLICIES: dict[str, AutoscalerConfig] = {
+    "reactive": AutoscalerConfig(interval_s=30.0, policy="reactive"),
+    "predictive": AutoscalerConfig(
+        interval_s=30.0, policy="predictive", ewma_alpha=0.3,
+        target_requests_per_node=1.0,
+    ),
+}
+
+
+@dataclass
+class PolicyComparisonResult:
+    """One :mod:`cluster_scale` replay per policy, same workload."""
+
+    duration_s: float
+    runs: dict[str, cluster_scale.ClusterScaleResult]
+
+    def policy_names(self) -> list[str]:
+        return list(self.runs)
+
+
+def run(
+    policies: dict[str, AutoscalerConfig] | None = None,
+    tenants: list[cluster_scale.TenantSpec] | None = None,
+    duration_s: float = 600.0,
+    seed: int = 2020,
+) -> PolicyComparisonResult:
+    """Replay the multi-tenant mix once per autoscaling policy."""
+    configs = policies if policies is not None else DEFAULT_POLICIES
+    runs: dict[str, cluster_scale.ClusterScaleResult] = {}
+    for name, autoscaler_config in configs.items():
+        runs[name] = cluster_scale.run(
+            tenants=tenants,
+            duration_s=duration_s,
+            seed=seed,
+            autoscaler_config=autoscaler_config,
+        )
+    return PolicyComparisonResult(duration_s=duration_s, runs=runs)
+
+
+def format_report(result: PolicyComparisonResult) -> str:
+    """Render the cost vs. miss-rate table per policy per tenant."""
+    rows = []
+    for policy in result.policy_names():
+        run_result = result.runs[policy]
+        for tenant_id in sorted(run_result.tenants):
+            outcome = run_result.tenants[tenant_id]
+            rows.append([
+                policy,
+                tenant_id,
+                outcome.requests_issued,
+                outcome.miss_ratio,
+                outcome.billed_gb_seconds,
+                outcome.billed_cost,
+            ])
+        unattributed = run_result.chargeback.get(UNATTRIBUTED_TENANT, {})
+        rows.append([
+            policy,
+            "(cluster)",
+            0,
+            0.0,
+            unattributed.get("gb_seconds", 0.0),
+            unattributed.get("cost", 0.0),
+        ])
+    table = format_table(
+        ["policy", "tenant", "requests", "miss_rate", "gb_seconds", "cost_$"],
+        rows,
+        title="Autoscaler policy comparison (same workload, same seed)",
+    )
+    lines = [table, ""]
+    for policy in result.policy_names():
+        run_result = result.runs[policy]
+        scale_ups = run_result.counters.get("cluster.autoscaler.scale_ups", 0.0)
+        scale_downs = run_result.counters.get("cluster.autoscaler.scale_downs", 0.0)
+        lines.append(
+            f"{policy}: total ${run_result.total_cost:.6f} "
+            f"(chargeback sum ${run_result.chargeback_total_cost:.6f}), "
+            f"pool peak={run_result.peak_pool_size} final={run_result.final_pool_size}, "
+            f"scale-ups={scale_ups:g}, scale-downs={scale_downs:g}"
+        )
+    return "\n".join(lines)

@@ -15,8 +15,10 @@ with different working sets and quotas share one autoscaling cluster:
 The replay interleaves all tenants' requests in timestamp order on the
 shared simulation clock (misses RESET through a simulated backing store,
 as in the paper's replays) and reports, per tenant: hit ratio, latency
-percentiles, throttle/rejection counts, bytes cached, and a request-share
-cost split.  The pool-size timeline shows the autoscaler reacting to the
+percentiles, throttle/rejection counts, bytes cached (stored and logical),
+and the **chargeback** — the GB-seconds and dollars the billing pipeline
+attributed to each tenant's invocations, which sum to the cluster-wide
+bill.  The pool-size timeline shows the autoscaler reacting to the
 aggregate load.
 """
 
@@ -29,6 +31,7 @@ from repro.cache.config import InfiniCacheConfig, StragglerModel
 from repro.cluster import AutoscalerConfig, InfiniCacheCluster, TenantQuota
 from repro.exceptions import QuotaExceededError, RateLimitedError
 from repro.experiments.report import format_table
+from repro.faas.billing import UNATTRIBUTED_TENANT
 from repro.utils.rng import SeededRNG
 from repro.utils.stats import summarize
 from repro.utils.units import MB, MIB
@@ -84,12 +87,22 @@ class TenantOutcome:
     rejected_puts: int = 0
     latencies_s: list[float] = field(default_factory=list)
     bytes_stored: int = 0
-    cost_share: float = 0.0
+    #: GB-seconds of Lambda time the billing pipeline attributed to this
+    #: tenant's invocations (serving, warm-up, backup, rebalance, repair).
+    billed_gb_seconds: float = 0.0
+    #: Dollars charged back to this tenant; all tenants' costs plus the
+    #: unattributed remainder sum to the cluster-wide bill.
+    billed_cost: float = 0.0
 
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
 
     def latency_summary(self) -> dict[str, float]:
         return summarize(self.latencies_s)
@@ -108,12 +121,21 @@ class ClusterScaleResult:
     total_cost: float
     cost_breakdown: dict[str, float]
     counters: dict[str, float]
+    #: Full chargeback decomposition of the bill, including the
+    #: ``UNATTRIBUTED_TENANT`` row for maintenance no tenant caused.
+    chargeback: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def chargeback_total_cost(self) -> float:
+        """Sum of the chargeback rows — equals ``total_cost`` (conservation)."""
+        return sum(row["cost"] for row in self.chargeback.values())
 
 
 def run(
     tenants: list[TenantSpec] | None = None,
     duration_s: float = 600.0,
     seed: int = 2020,
+    autoscaler_config: AutoscalerConfig | None = None,
 ) -> ClusterScaleResult:
     """Replay the multi-tenant mix against an autoscaling cluster."""
     specs = tenants if tenants is not None else default_tenants()
@@ -130,7 +152,7 @@ def run(
     )
     cluster = InfiniCacheCluster(
         config,
-        autoscaler_config=AutoscalerConfig(interval_s=30.0),
+        autoscaler_config=autoscaler_config or AutoscalerConfig(interval_s=30.0),
     )
     cluster.start()
     backing_store = ObjectStore()
@@ -183,12 +205,13 @@ def run(
     cluster.stop()
 
     report = cluster.tenant_report()
-    total_requests = sum(outcome.requests_issued for outcome in outcomes.values())
+    chargeback = cluster.chargeback_report()
     total_cost = cluster.total_cost()
     for outcome in outcomes.values():
         outcome.bytes_stored = int(report[outcome.tenant_id]["bytes_stored"])
-        if total_requests:
-            outcome.cost_share = total_cost * outcome.requests_issued / total_requests
+        row = chargeback.get(outcome.tenant_id, {})
+        outcome.billed_gb_seconds = row.get("gb_seconds", 0.0)
+        outcome.billed_cost = row.get("cost", 0.0)
 
     timeline: list[tuple[float, float]] = []
     for proxy_id in sorted(cluster.pool_sizes()):
@@ -212,6 +235,7 @@ def run(
         total_cost=total_cost,
         cost_breakdown=cluster.cost_breakdown(),
         counters=cluster.metrics.counters(),
+        chargeback=chargeback,
     )
 
 
@@ -230,17 +254,19 @@ def format_report(result: ClusterScaleResult) -> str:
             outcome.throttled,
             outcome.rejected_puts,
             outcome.bytes_stored / MB,
-            outcome.cost_share,
+            outcome.billed_gb_seconds,
+            outcome.billed_cost,
         ])
     table = format_table(
         ["tenant", "requests", "hit_ratio", "p50_ms", "p99_ms",
-         "throttled", "rejected", "cached_MB", "cost_$"],
+         "throttled", "rejected", "stored_MB", "gb_seconds", "cost_$"],
         rows,
         title="Multi-tenant cluster replay (autoscaling InfiniCache)",
     )
     scale_ups = result.counters.get("cluster.autoscaler.scale_ups", 0.0)
     scale_downs = result.counters.get("cluster.autoscaler.scale_downs", 0.0)
     migrated = result.counters.get("cluster.rebalance.chunks_moved", 0.0)
+    unattributed = result.chargeback.get(UNATTRIBUTED_TENANT, {}).get("cost", 0.0)
     lines = [
         table,
         "",
@@ -249,6 +275,9 @@ def format_report(result: ClusterScaleResult) -> str:
         f"(scale-ups={scale_ups:g}, scale-downs={scale_downs:g}, "
         f"chunks migrated={migrated:g})",
         f"total cost: ${result.total_cost:.6f} "
-        f"(rebalance ${result.cost_breakdown.get('rebalance', 0.0):.6f})",
+        f"(rebalance ${result.cost_breakdown.get('rebalance', 0.0):.6f}, "
+        f"unattributed ${unattributed:.6f})",
+        f"chargeback conservation: per-tenant sum ${result.chargeback_total_cost:.6f} "
+        f"== cluster bill ${result.total_cost:.6f}",
     ]
     return "\n".join(lines)

@@ -14,6 +14,7 @@ import time
 from typing import Callable
 
 from repro.experiments import (
+    autoscale_policies,
     availability,
     cluster_scale,
     figure1,
@@ -68,6 +69,9 @@ def _quick_specs() -> dict[str, Callable[[], str]]:
         "availability": lambda: availability.format_report(availability.run()),
         "cluster_scale": lambda: cluster_scale.format_report(
             cluster_scale.run(duration_s=300.0)
+        ),
+        "autoscale_policies": lambda: autoscale_policies.format_report(
+            autoscale_policies.run(duration_s=240.0)
         ),
     }
 

@@ -23,6 +23,12 @@ from repro.utils.units import GIB
 #: Billing cycle granularity in seconds (100 ms).
 BILLING_CYCLE_SECONDS = 0.1
 
+#: Chargeback label for work no tenant caused: single-tenant deployments,
+#: maintenance on empty nodes, and any key outside a tenant namespace.  The
+#: label contains the tenant/key separator, so it can never collide with a
+#: registered tenant id.
+UNATTRIBUTED_TENANT = "::cluster::"
+
 
 @dataclass(frozen=True)
 class LambdaPricing:
@@ -48,6 +54,23 @@ def ceil_to_billing_cycle(duration_s: float) -> float:
     return cycles * BILLING_CYCLE_SECONDS
 
 
+def attribution_shares(attribution: dict[str, float] | None) -> dict[str, float]:
+    """Normalise chargeback weights into per-tenant shares that sum to 1.
+
+    Non-positive weights are dropped; omitted, empty, or zero-sum weights
+    fall back to :data:`UNATTRIBUTED_TENANT`.  This is the single definition
+    of the fallback policy — the billed-session layer splits busy time with
+    the same rules, which is what keeps session-level attribution and
+    invocation-level billing conserving the same totals.
+    """
+    if attribution:
+        weights = {t: w for t, w in attribution.items() if w > 0.0}
+        total = sum(weights.values())
+        if total > 0.0:
+            return {tenant: weight / total for tenant, weight in weights.items()}
+    return {UNATTRIBUTED_TENANT: 1.0}
+
+
 @dataclass(frozen=True)
 class InvocationCharge:
     """The cost breakdown of a single billed invocation."""
@@ -64,21 +87,34 @@ class InvocationCharge:
 
 @dataclass
 class BillingModel:
-    """Accumulates charges for a tenant across many invocations.
+    """Accumulates charges for the account across many invocations.
 
     Charges can be tagged with a free-form category (``"serving"``,
     ``"warmup"``, ``"backup"``) so experiments can reproduce the cost
-    breakdowns of Figure 13 without re-deriving them.
+    breakdowns of Figure 13 without re-deriving them, and with a per-tenant
+    *attribution* — relative weights (busy seconds, bytes synced) naming
+    which tenants caused the invocation.  Each charge's dollars and
+    GB-seconds are split pro-rata over those weights, so the per-tenant
+    ledgers always sum to the account-wide bill (chargeback conservation).
+    Unweighted work lands under :data:`UNATTRIBUTED_TENANT`.
     """
 
     pricing: LambdaPricing = field(default_factory=LambdaPricing)
     total_invocations: int = 0
     total_billed_seconds: float = 0.0
+    total_gb_seconds: float = 0.0
     total_cost: float = 0.0
     cost_by_category: dict[str, float] = field(default_factory=dict)
+    cost_by_tenant: dict[str, float] = field(default_factory=dict)
+    gb_seconds_by_tenant: dict[str, float] = field(default_factory=dict)
+    invocation_share_by_tenant: dict[str, float] = field(default_factory=dict)
 
     def charge_invocation(
-        self, memory_bytes: int, duration_s: float, category: str = "serving"
+        self,
+        memory_bytes: int,
+        duration_s: float,
+        category: str = "serving",
+        attribution: dict[str, float] | None = None,
     ) -> InvocationCharge:
         """Charge one invocation of a function with the given memory size.
 
@@ -88,6 +124,9 @@ class BillingModel:
             duration_s: the execution duration to bill (cold-start time must
                 be excluded by the caller; the platform does this).
             category: accounting bucket for cost breakdowns.
+            attribution: relative per-tenant weights for chargeback; omitted,
+                empty, or zero-sum weights charge the whole invocation to
+                :data:`UNATTRIBUTED_TENANT`.
         """
         billed = ceil_to_billing_cycle(duration_s)
         memory_gb = memory_bytes / GIB
@@ -100,8 +139,19 @@ class BillingModel:
         )
         self.total_invocations += 1
         self.total_billed_seconds += billed
+        self.total_gb_seconds += billed * memory_gb
         self.total_cost += charge.total
         self.cost_by_category[category] = self.cost_by_category.get(category, 0.0) + charge.total
+        for tenant, share in attribution_shares(attribution).items():
+            self.cost_by_tenant[tenant] = (
+                self.cost_by_tenant.get(tenant, 0.0) + share * charge.total
+            )
+            self.gb_seconds_by_tenant[tenant] = (
+                self.gb_seconds_by_tenant.get(tenant, 0.0) + share * billed * memory_gb
+            )
+            self.invocation_share_by_tenant[tenant] = (
+                self.invocation_share_by_tenant.get(tenant, 0.0) + share
+            )
         return charge
 
     def breakdown(self) -> dict[str, float]:
@@ -110,9 +160,28 @@ class BillingModel:
         result["total"] = self.total_cost
         return result
 
+    def tenant_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-tenant chargeback ledger: dollars, GB-seconds, invocation share.
+
+        The rows (including the :data:`UNATTRIBUTED_TENANT` row) sum to the
+        account totals within floating-point tolerance.
+        """
+        rows: dict[str, dict[str, float]] = {}
+        for tenant in sorted(self.cost_by_tenant):
+            rows[tenant] = {
+                "cost": self.cost_by_tenant[tenant],
+                "gb_seconds": self.gb_seconds_by_tenant.get(tenant, 0.0),
+                "invocations": self.invocation_share_by_tenant.get(tenant, 0.0),
+            }
+        return rows
+
     def reset(self) -> None:
         """Clear all accumulated charges (used between experiment phases)."""
         self.total_invocations = 0
         self.total_billed_seconds = 0.0
+        self.total_gb_seconds = 0.0
         self.total_cost = 0.0
         self.cost_by_category.clear()
+        self.cost_by_tenant.clear()
+        self.gb_seconds_by_tenant.clear()
+        self.invocation_share_by_tenant.clear()

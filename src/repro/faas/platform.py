@@ -179,19 +179,31 @@ class FaaSPlatform:
         )
 
     def complete_invocation(
-        self, instance: FunctionInstance, duration_s: float, category: str = "serving"
+        self,
+        instance: FunctionInstance,
+        duration_s: float,
+        category: str = "serving",
+        attribution: dict[str, float] | None = None,
     ) -> None:
-        """Finish an invocation: bill it and return the instance to the warm pool."""
+        """Finish an invocation: bill it and return the instance to the warm pool.
+
+        ``attribution`` carries the caller's per-tenant chargeback weights
+        straight through to :meth:`BillingModel.charge_invocation`.
+        """
         if instance.state is FunctionState.RECLAIMED:
-            # The provider reclaimed the container mid-flight; the tenant is
+            # The provider reclaimed the container mid-flight; the account is
             # still billed for the duration it ran.
-            self.billing.charge_invocation(instance.memory_bytes, duration_s, category)
+            self.billing.charge_invocation(
+                instance.memory_bytes, duration_s, category, attribution=attribution
+            )
             return
         if instance.state is not FunctionState.RUNNING:
             raise InvocationError(
                 f"instance {instance.instance_id} is not running (state={instance.state})"
             )
-        self.billing.charge_invocation(instance.memory_bytes, duration_s, category)
+        self.billing.charge_invocation(
+            instance.memory_bytes, duration_s, category, attribution=attribution
+        )
         instance.state = FunctionState.IDLE
         instance.last_invoked_at = self.simulator.now
 

@@ -115,3 +115,34 @@ class TestBackupNode:
         assert node.backup_peer is not None
         assert node.backup_peer.is_alive
         assert second.delta_chunks == first.delta_chunks
+
+
+class TestBackupChargeback:
+    def test_backup_cost_attributed_to_chunk_owners(self, setup):
+        platform, proxy, manager = setup
+        node = proxy.nodes[0]
+        node.ensure_active(0.0)
+        node.store_chunk(CacheChunk.sized("media::video", 0, 4_000_000))
+        node.store_chunk(CacheChunk.sized("api::item", 0, 1_000_000))
+        manager.backup_node(node, now=10.0)
+        billing = platform.billing
+        # Backup dollars land on the tenants whose chunks were synced —
+        # split 4:1 by delta bytes across both replicas' charges.
+        assert billing.cost_by_tenant["media"] > billing.cost_by_tenant["api"] > 0
+        assert billing.cost_by_tenant["media"] == pytest.approx(
+            0.8 * billing.total_cost
+        )
+        assert sum(billing.cost_by_tenant.values()) == pytest.approx(
+            billing.total_cost
+        )
+
+    def test_delta_free_backup_charged_to_protected_tenants(self, setup):
+        platform, proxy, manager = setup
+        node = proxy.nodes[0]
+        node.ensure_active(0.0)
+        node.store_chunk(CacheChunk.sized("media::video", 0, 4_000_000))
+        manager.backup_node(node, now=10.0)
+        before = platform.billing.cost_by_tenant["media"]
+        # Second round has an empty delta but still keeps media's data safe.
+        manager.backup_node(node, now=20.0)
+        assert platform.billing.cost_by_tenant["media"] > before

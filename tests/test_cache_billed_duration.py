@@ -145,3 +145,40 @@ class TestBillingEconomics:
         spread.flush()
 
         assert batched.total_billed_seconds() < spread.total_billed_seconds()
+
+
+class TestTenantAttribution:
+    def test_busy_time_tagged_per_tenant(self):
+        controller = BilledDurationController()
+        controller.record_request(0.0, 0.02, attribution="media")
+        controller.record_request(0.01, 0.01, attribution="api")
+        controller.record_request(0.02, 0.02, attribution="media")
+        controller.flush()
+        charge = controller.closed_sessions[0]
+        assert charge.busy_by_tenant["media"] == pytest.approx(0.04)
+        assert charge.busy_by_tenant["api"] == pytest.approx(0.01)
+
+    def test_untagged_work_is_unattributed(self):
+        from repro.faas.billing import UNATTRIBUTED_TENANT
+
+        controller = BilledDurationController()
+        controller.record_request(0.0, 0.01)
+        controller.flush()
+        charge = controller.closed_sessions[0]
+        assert charge.busy_by_tenant == {UNATTRIBUTED_TENANT: pytest.approx(0.01)}
+
+    def test_weighted_attribution_splits_busy_time(self):
+        controller = BilledDurationController()
+        controller.record_request(0.0, 0.03, attribution={"a": 2.0, "b": 1.0})
+        controller.flush()
+        charge = controller.closed_sessions[0]
+        assert charge.busy_by_tenant["a"] == pytest.approx(0.02)
+        assert charge.busy_by_tenant["b"] == pytest.approx(0.01)
+
+    def test_attribution_survives_across_sessions(self):
+        controller = BilledDurationController()
+        controller.record_request(0.0, 0.01, attribution="media")
+        controller.record_request(10.0, 0.01, attribution="api")  # new session
+        controller.flush()
+        assert list(controller.closed_sessions[0].busy_by_tenant) == ["media"]
+        assert list(controller.closed_sessions[1].busy_by_tenant) == ["api"]

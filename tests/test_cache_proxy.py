@@ -234,3 +234,115 @@ class TestWarmup:
         proxy.finish_sessions()
         warmup_cost = proxy.platform.billing.cost_by_category.get("warmup", 0.0)
         assert warmup_cost > 0
+
+
+def make_real_chunks(key: str, payload: bytes, d: int = 4, p: int = 2) -> tuple:
+    """Erasure-encode a real payload into cache chunks (as the client does)."""
+    from repro.erasure.codec import ErasureCodec
+
+    codec = ErasureCodec(d, p)
+    descriptor = descriptor_for(key, len(payload), d, p)
+    chunks = [
+        CacheChunk.from_erasure_chunk(chunk) for chunk in codec.encode(key, payload)
+    ]
+    return descriptor, chunks
+
+
+def decode_export(descriptor, chunks) -> bytes:
+    """Rebuild the object bytes from exported payload-carrying chunks."""
+    from repro.erasure.codec import Chunk as ErasureChunk
+    from repro.erasure.codec import ErasureCodec, StripeMetadata
+
+    codec = ErasureCodec(descriptor.data_shards, descriptor.parity_shards)
+    metadata = StripeMetadata(
+        key=descriptor.key,
+        object_size=descriptor.object_size,
+        data_shards=descriptor.data_shards,
+        parity_shards=descriptor.parity_shards,
+        chunk_size=descriptor.chunk_size,
+    )
+    erasure_chunks = [
+        ErasureChunk(key=chunk.key, index=chunk.index, payload=chunk.payload,
+                     metadata=metadata)
+        for chunk in chunks
+        if chunk.payload is not None
+    ]
+    return codec.decode(erasure_chunks)
+
+
+class TestPayloadCarryingRepair:
+    """Lost chunks are EC-decoded back with real bytes, not fabricated."""
+
+    PAYLOAD = bytes(range(256)) * 1000
+
+    def _lose_nodes(self, proxy, node_ids):
+        for node_id in node_ids:
+            node = proxy.node(node_id)
+            for instance in (node.primary, node.backup_peer):
+                if instance is not None and instance.is_alive:
+                    proxy.platform.reclaim_instance(instance)
+
+    def test_audit_repair_restores_real_payloads(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_real_chunks("obj", self.PAYLOAD)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        self._lose_nodes(proxy, put_result.node_ids[:2])
+        repaired, lost = proxy.audit_and_repair(now=1.0)
+        assert (repaired, lost) == (1, 0)
+        exported_descriptor, exported = proxy.export_object("obj")
+        assert all(chunk.payload is not None for chunk in exported)
+        assert decode_export(exported_descriptor, exported) == self.PAYLOAD
+        counters = proxy.metrics.counters()
+        assert counters.get("proxy.payload_repairs", 0.0) == 2
+
+    def test_degraded_get_repair_restores_real_payloads(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_real_chunks("obj", self.PAYLOAD)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        self._lose_nodes(proxy, put_result.node_ids[:1])
+        result = proxy.get("obj", now=1.0)
+        assert result.recovery_performed is True
+        _descriptor, exported = proxy.export_object("obj")
+        assert all(chunk.payload is not None for chunk in exported)
+
+    def test_export_reconstructs_lost_chunks_without_repair(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_real_chunks("obj", self.PAYLOAD)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        self._lose_nodes(proxy, put_result.node_ids[:2])
+        exported_descriptor, exported = proxy.export_object("obj")
+        assert len(exported) == descriptor.total_chunks
+        assert all(chunk.payload is not None for chunk in exported)
+        assert decode_export(exported_descriptor, exported) == self.PAYLOAD
+
+    def test_export_falls_back_to_placeholders_when_unrecoverable(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_real_chunks("obj", self.PAYLOAD)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        # Lose more than p chunks: the stripe is genuinely unrecoverable.
+        self._lose_nodes(proxy, put_result.node_ids[:3])
+        _descriptor, exported = proxy.export_object("obj")
+        assert len(exported) == descriptor.total_chunks
+        assert sum(1 for chunk in exported if chunk.payload is None) == 3
+
+    def test_sized_stripes_still_repair_with_placeholders(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_chunks("obj", 6 * MB)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        self._lose_nodes(proxy, put_result.node_ids[:1])
+        repaired, lost = proxy.audit_and_repair(now=1.0)
+        assert (repaired, lost) == (1, 0)
+        assert proxy.metrics.counters().get("proxy.payload_repairs", 0.0) == 0
+
+    def test_drain_rebuilds_lost_chunk_with_payload(self):
+        proxy = build_proxy()
+        descriptor, chunks = make_real_chunks("obj", self.PAYLOAD)
+        put_result = proxy.put("obj", descriptor, chunks, now=0.0)
+        proxy.warm_up_pool(now=0.5)  # activate the unplaced migration targets
+        victim_id = put_result.node_ids[0]
+        self._lose_nodes(proxy, [victim_id])
+        moved, dropped = proxy.drain_node(victim_id, now=1.0)
+        assert moved == 1 and dropped == 0
+        exported_descriptor, exported = proxy.export_object("obj")
+        assert all(chunk.payload is not None for chunk in exported)
+        assert decode_export(exported_descriptor, exported) == self.PAYLOAD

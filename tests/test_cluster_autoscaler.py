@@ -151,3 +151,115 @@ class TestScheduling:
         deployment.run_until(200.0)
         assert len(series) == 3  # no further ticks after stop
         deployment.stop()
+
+
+class TestPolicyConfig:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(policy="clairvoyant")
+
+    def test_bad_ewma_alpha(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(ewma_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(ewma_alpha=1.5)
+
+    def test_bad_target_rate(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(target_requests_per_node=0.0)
+
+    def test_policy_selection(self):
+        from repro.cluster.autoscaler import (
+            PredictiveEwmaPolicy,
+            ReactiveWatermarkPolicy,
+            make_policy,
+        )
+
+        assert isinstance(make_policy(AutoscalerConfig()), ReactiveWatermarkPolicy)
+        assert isinstance(
+            make_policy(AutoscalerConfig(policy="predictive")), PredictiveEwmaPolicy
+        )
+
+
+class TestPredictivePolicy:
+    def _snapshot(self, **overrides):
+        from repro.cluster.autoscaler import PoolSnapshot
+
+        defaults = dict(
+            proxy_id="proxy-0",
+            pool_size=8,
+            per_node_capacity_bytes=100 * MB,
+            bytes_used=0,
+            memory_pressure=0.0,
+            request_rate=0.0,
+        )
+        defaults.update(overrides)
+        return PoolSnapshot(**defaults)
+
+    def test_sizes_pool_to_forecast_rate(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy
+
+        policy = PredictiveEwmaPolicy(
+            AutoscalerConfig(policy="predictive", target_requests_per_node=1.0)
+        )
+        # A sustained 16 req/s forecast wants 16 nodes: +8 over the pool.
+        assert policy.desired_delta(self._snapshot(request_rate=16.0)) == 8
+
+    def test_forecast_smooths_spikes(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy
+
+        policy = PredictiveEwmaPolicy(
+            AutoscalerConfig(
+                policy="predictive", ewma_alpha=0.2, target_requests_per_node=1.0
+            )
+        )
+        policy.desired_delta(self._snapshot(request_rate=1.0))
+        # One 100 req/s spike moves the EWMA to ~20.8, not to 100.
+        delta = policy.desired_delta(self._snapshot(request_rate=100.0))
+        assert 0 < delta < 92 - 8
+
+    def test_memory_growth_forecast_grows_ahead(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy
+
+        policy = PredictiveEwmaPolicy(
+            AutoscalerConfig(
+                policy="predictive", high_memory_watermark=0.70, ewma_alpha=1.0
+            )
+        )
+        policy.desired_delta(self._snapshot(bytes_used=0))
+        # 400 MB now and growing 400 MB/tick forecasts 800 MB next tick,
+        # needing ceil(800 / 70) = 12 nodes at the 70% watermark: +4 over 8.
+        delta = policy.desired_delta(self._snapshot(bytes_used=400 * MB))
+        assert delta == 4
+
+    def test_idle_forecast_shrinks(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy
+
+        policy = PredictiveEwmaPolicy(AutoscalerConfig(policy="predictive"))
+        assert policy.desired_delta(self._snapshot(request_rate=0.0)) < 0
+
+    def test_predictive_autoscaler_scales_up_before_watermark(self):
+        deployment = make_deployment()
+        config = AutoscalerConfig(
+            interval_s=10.0, policy="predictive", target_requests_per_node=1.0,
+            ewma_alpha=1.0,
+        )
+        autoscaler = PoolAutoscaler(deployment, config)
+        client = deployment.new_client()
+        client.put_sized("hot", 1 * MB)
+        autoscaler.evaluate_once()  # baseline sample
+        # 12 req/s is 1.5 req/s/node — under the reactive high watermark
+        # (2.0), but over the predictive 1.0 req/s/node operating target.
+        for _ in range(120):
+            client.get("hot")
+        deltas = autoscaler.evaluate_once()
+        assert deltas["proxy-0"] > 0
+
+    def test_predictive_autoscaler_shrinks_idle_pool(self):
+        deployment = make_deployment()
+        autoscaler = PoolAutoscaler(
+            deployment, AutoscalerConfig(policy="predictive", scale_down_step=4)
+        )
+        for _ in range(5):
+            autoscaler.evaluate_once()
+        assert deployment.proxies[0].pool_size == autoscaler.min_nodes

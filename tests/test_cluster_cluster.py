@@ -59,7 +59,9 @@ class TestTenantDataPath:
 
     def test_invalidate_frees_tenant_bytes(self):
         cluster = make_cluster()
-        media = cluster.register_tenant("media", TenantQuota(max_bytes=10 * MB))
+        # Quotas are parity-inclusive: an 8 MB object occupies 12 MB of
+        # stored stripe bytes under the (4+2) code.
+        media = cluster.register_tenant("media", TenantQuota(max_bytes=14 * MB))
         media.put_sized("a", 8 * MB)
         with pytest.raises(QuotaExceededError):
             media.put_sized("b", 8 * MB)

@@ -7,6 +7,7 @@ from repro.cluster.tenants import (
     TenantQuota,
     namespace_key,
     split_namespaced_key,
+    validate_app_key,
 )
 from repro.exceptions import (
     ConfigurationError,
@@ -53,6 +54,21 @@ class TestNamespacing:
     def test_key_containing_separator(self):
         namespaced = namespace_key("t", "a::b")
         assert split_namespaced_key(namespaced) == ("t", "a::b")
+
+
+class TestAppKeyValidation:
+    def test_plain_key_accepted(self):
+        assert validate_app_key("photos/cat.jpg") == "photos/cat.jpg"
+
+    def test_separator_in_app_key_rejected(self):
+        # An app key containing "::" would be misattributed by
+        # split_namespaced_key, so it is reserved at request time.
+        with pytest.raises(TenantError):
+            validate_app_key("sneaky::key")
+
+    def test_empty_app_key_rejected(self):
+        with pytest.raises(TenantError):
+            validate_app_key("")
 
 
 class TestRegistry:
@@ -150,6 +166,53 @@ class TestByteQuota:
         manager.record_gone("ghost::key")      # unknown tenant ignored
         manager.record_gone("unqualified")     # un-namespaced ignored
         assert tenant.bytes_stored == 0
+
+
+class TestParityInclusiveAccounting:
+    """Quotas charge stored (parity-inclusive) stripe bytes, not logical bytes."""
+
+    def test_stored_and_logical_bytes_tracked_separately(self):
+        manager = TenantManager()
+        tenant = manager.register("media")
+        # A 100-byte object under RS(4+2) occupies 150 stored bytes.
+        manager.record_put(tenant, "media::a", 100, 150)
+        assert tenant.bytes_stored == 150
+        assert tenant.logical_bytes == 100
+        row = manager.report()["media"]
+        assert row["bytes_stored"] == 150
+        assert row["logical_bytes"] == 100
+
+    def test_quota_enforced_on_stored_bytes(self):
+        manager = TenantManager()
+        tenant = manager.register("batch", TenantQuota(max_bytes=200))
+        manager.record_put(tenant, "batch::a", 100, 150)
+        # 100 more logical bytes would fit a logical-bytes quota (200), but
+        # the 150 stored bytes they occupy must not.
+        with pytest.raises(QuotaExceededError):
+            manager.authorize_put(tenant, "batch::b", 150)
+
+    def test_record_gone_frees_both_gauges(self):
+        manager = TenantManager()
+        tenant = manager.register("media")
+        manager.record_put(tenant, "media::a", 100, 150)
+        manager.record_gone("media::a")
+        assert tenant.bytes_stored == 0
+        assert tenant.logical_bytes == 0
+
+    def test_overwrite_adjusts_both_gauges(self):
+        manager = TenantManager()
+        tenant = manager.register("media")
+        manager.record_put(tenant, "media::a", 100, 150)
+        manager.record_put(tenant, "media::a", 40, 60)
+        assert tenant.bytes_stored == 60
+        assert tenant.logical_bytes == 40
+
+    def test_stored_size_defaults_to_logical(self):
+        manager = TenantManager()
+        tenant = manager.register("plain")
+        manager.record_put(tenant, "plain::a", 100)
+        assert tenant.bytes_stored == 100
+        assert tenant.logical_bytes == 100
 
 
 class TestReporting:
