@@ -13,6 +13,12 @@ injected-failure repair sweep.
 small multi-tenant replay and prints the per-tenant GB-second chargeback
 view: who caused which share of the Lambda bill, with the conservation
 check that the per-tenant totals sum to the cluster-wide bill.
+
+``python -m repro sim-smoke [--clients N]`` runs the closed-loop
+event-driven replay driver twice with a fixed seed and verifies the runs
+are bit-for-bit deterministic (same request intervals, same chunk-flow
+intervals) and that concurrent clients genuinely overlap on the wire; CI
+uses it as the concurrency smoke check.
 """
 
 from __future__ import annotations
@@ -53,7 +59,8 @@ def _chargeback(argv: list[str]) -> int:
         help="requests per tenant (default: 150)",
     )
     parser.add_argument(
-        "--policy", choices=("reactive", "predictive"), default="reactive",
+        "--policy", choices=("reactive", "predictive", "predictive_trend"),
+        default="reactive",
         help="autoscaler policy to run under (default: reactive)",
     )
     args = parser.parse_args(argv)
@@ -86,6 +93,72 @@ def _chargeback(argv: list[str]) -> int:
     return 0 if drift <= 1e-9 + 1e-9 * result.total_cost else 1
 
 
+def _sim_smoke(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sim-smoke",
+        description="Determinism + concurrency smoke test of the event-driven driver.",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=16, metavar="N",
+        help="concurrent closed-loop clients (default: 16)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=4, metavar="N",
+        help="requests per client (default: 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020, help="simulation seed (default: 2020)",
+    )
+    args = parser.parse_args(argv)
+    from repro.cache.config import InfiniCacheConfig, StragglerModel
+    from repro.cache.deployment import InfiniCacheDeployment
+    from repro.utils.units import MB, MIB
+    from repro.workload.replay import ClosedLoopDriver
+
+    def run_once():
+        deployment = InfiniCacheDeployment(InfiniCacheConfig(
+            num_proxies=2,
+            lambdas_per_proxy=10,
+            lambda_memory_bytes=512 * MIB,
+            data_shards=4,
+            parity_shards=2,
+            backup_enabled=False,
+            straggler=StragglerModel(probability=0.1),
+            seed=args.seed,
+        ))
+        seeder = deployment.new_client("smoke-seeder")
+        objects = 4
+        for index in range(args.clients):
+            for obj in range(objects):
+                seeder.put_sized(f"smoke/{index}/obj-{obj}", 4 * MB)
+        plans = [
+            [(f"smoke/{index}/obj-{r % objects}", 4 * MB) for r in range(args.requests)]
+            for index in range(args.clients)
+        ]
+        return ClosedLoopDriver(deployment).run(plans)
+
+    first, second = run_once(), run_once()
+    deterministic = first.fingerprint() == second.fingerprint()
+    overlap = first.overlapping_flow_pairs()
+    print(
+        f"closed-loop smoke: clients={args.clients} requests={first.requests} "
+        f"hits={first.hits} duration={first.duration_s:.3f}s "
+        f"throughput={first.aggregate_throughput_bps / 1e6:.1f} MB/s"
+    )
+    print(
+        f"flow trace: {len(first.flow_intervals)} transfers, "
+        f"peak concurrent={first.max_concurrent_flows()}, overlapping pairs={overlap}"
+    )
+    print(f"deterministic across seeds-fixed runs: {deterministic}")
+    if not deterministic:
+        print("FAIL: two runs with the same seed diverged", file=sys.stderr)
+        return 1
+    if args.clients > 1 and overlap == 0:
+        print("FAIL: concurrent clients produced no overlapping transfers", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch to a cluster subcommand or the experiment runner."""
     if argv is None:
@@ -94,6 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cluster_demo(argv[1:])
     if argv and argv[0] == "chargeback":
         return _chargeback(argv[1:])
+    if argv and argv[0] == "sim-smoke":
+        return _sim_smoke(argv[1:])
     return runner_main(argv)
 
 

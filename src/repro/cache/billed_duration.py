@@ -101,7 +101,15 @@ class BilledDurationController:
         if session is None:
             return
         duration = session.window_end - session.started_at - self.buffer_s
-        duration = max(duration, session.busy_seconds)
+        # Busy time can exceed the window when the caller pushed more service
+        # into it than fits (e.g. concurrent transfers through one node in
+        # the event-driven path); the node cannot be billed for longer than
+        # its session physically existed, so cap at the wall-clock span —
+        # minus the safety buffer the runtime returns early by, as above.
+        duration = max(
+            duration,
+            min(session.busy_seconds, session.active_seconds - self.buffer_s),
+        )
         charge = SessionCharge(
             started_at=session.started_at,
             duration_s=duration,

@@ -219,6 +219,113 @@ class InfiniCacheClient:
             hosts_touched=outcome.hosts_touched,
         )
 
+    # ------------------------------------------------------------------ event-driven path
+    def put_process(self, key: str, value: bytes, env):
+        """Event-driven PUT coroutine (see :meth:`put` for the facade).
+
+        Encode time is spent on the virtual clock before the chunks are
+        handed to the proxy, so a closed-loop client cannot issue its next
+        request until the whole PUT — coding included — has finished.
+        """
+        if not key:
+            raise ConfigurationError("object key must be non-empty")
+        if not value:
+            raise ConfigurationError(f"cannot cache an empty object {key!r}")
+        start = env.now
+        erasure_chunks = self.codec.encode(key, value)
+        descriptor = descriptor_for(
+            key, len(value), self.config.data_shards, self.config.parity_shards
+        )
+        chunks = [CacheChunk.from_erasure_chunk(chunk) for chunk in erasure_chunks]
+        proxy = self._proxy_for(key)
+        encode_s = self._encode_time(len(value))
+        if encode_s > 0:
+            yield encode_s
+        outcome = yield from proxy.put_process(key, descriptor, chunks, env)
+        self.puts += 1
+        return PutResult(
+            key=key,
+            size=len(value),
+            latency_s=env.now - start,
+            proxy_id=proxy.proxy_id,
+            node_ids=outcome.node_ids,
+            evicted_keys=outcome.evicted_keys,
+            hosts_touched=outcome.hosts_touched,
+        )
+
+    def put_sized_process(self, key: str, size: int, env):
+        """Event-driven size-only PUT coroutine (trace-replay mode)."""
+        if not key:
+            raise ConfigurationError("object key must be non-empty")
+        if size <= 0:
+            raise ConfigurationError(f"object size must be positive, got {size}")
+        start = env.now
+        descriptor = descriptor_for(
+            key, size, self.config.data_shards, self.config.parity_shards
+        )
+        chunks = [
+            CacheChunk.sized(key, index, descriptor.chunk_size)
+            for index in range(descriptor.total_chunks)
+        ]
+        proxy = self._proxy_for(key)
+        encode_s = self._encode_time(size)
+        if encode_s > 0:
+            yield encode_s
+        outcome = yield from proxy.put_process(key, descriptor, chunks, env)
+        self.puts += 1
+        return PutResult(
+            key=key,
+            size=size,
+            latency_s=env.now - start,
+            proxy_id=proxy.proxy_id,
+            node_ids=outcome.node_ids,
+            evicted_keys=outcome.evicted_keys,
+            hosts_touched=outcome.hosts_touched,
+        )
+
+    def get_process(self, key: str, env):
+        """Event-driven GET coroutine: chunk fetches race on the event loop.
+
+        Decode time (charged when parity chunks were needed) is likewise
+        spent on the clock before the result is returned to the caller.
+        """
+        if not key:
+            raise ConfigurationError("object key must be non-empty")
+        start = env.now
+        proxy = self._proxy_for(key)
+        outcome = yield from proxy.get_process(key, env)
+        self.gets += 1
+        if outcome.is_miss:
+            self.misses += 1
+            return GetResult(
+                key=key,
+                hit=False,
+                size=outcome.descriptor.object_size if outcome.descriptor else 0,
+                latency_s=env.now - start,
+                proxy_id=proxy.proxy_id,
+                chunks_lost=outcome.chunks_lost,
+                data_lost=outcome.found and not outcome.recoverable,
+            )
+        self.hits += 1
+        descriptor = outcome.descriptor
+        value, decoded = self._reconstruct(descriptor, outcome)
+        if decoded:
+            decode_s = self._decode_time(descriptor.object_size)
+            if decode_s > 0:
+                yield decode_s
+        return GetResult(
+            key=key,
+            hit=True,
+            size=descriptor.object_size,
+            latency_s=env.now - start,
+            proxy_id=proxy.proxy_id,
+            value=value,
+            decoded=decoded,
+            chunks_lost=outcome.chunks_lost,
+            recovery_performed=outcome.recovery_performed,
+            hosts_touched=outcome.hosts_touched,
+        )
+
     def get_or_raise(self, key: str) -> GetResult:
         """Like :meth:`get`, but raises :class:`CacheMissError` on a miss."""
         result = self.get(key)

@@ -71,6 +71,11 @@ class InfiniCacheConfig:
     # --- performance model --------------------------------------------------------------
     straggler: StragglerModel = field(default_factory=StragglerModel)
     base_network_latency_s: float = 1 * MILLISECOND
+    #: Uniform per-chunk transfer-time jitter in ``[1, 1 + fraction]`` applied
+    #: by the :class:`~repro.network.transfer.TransferModel` from a stream
+    #: seeded off :attr:`seed` (deterministic per seed).  Distinct from the
+    #: heavier-tailed :attr:`straggler` model, which fires with a probability.
+    transfer_jitter_fraction: float = 0.0
 
     # --- recovery behaviour ----------------------------------------------------------------
     #: Re-insert chunks lost to reclamation when the object is still
@@ -118,6 +123,8 @@ class InfiniCacheConfig:
             raise ConfigurationError("warm-up and backup intervals must be positive")
         if self.encode_bandwidth_bps <= 0 or self.decode_bandwidth_bps <= 0:
             raise ConfigurationError("coding bandwidths must be positive")
+        if self.transfer_jitter_fraction < 0:
+            raise ConfigurationError("transfer jitter fraction must be non-negative")
 
     @property
     def total_chunks(self) -> int:

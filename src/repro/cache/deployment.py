@@ -24,12 +24,14 @@ from repro.cache.backup import BackupManager
 from repro.cache.client import InfiniCacheClient
 from repro.cache.config import InfiniCacheConfig
 from repro.cache.proxy import Proxy
+from repro.cache.runtime import RequestEnv
 from repro.faas.billing import BillingModel
 from repro.faas.platform import FaaSPlatform
 from repro.faas.reclamation import ReclamationPolicy
+from repro.network.flows import FlowNetwork
 from repro.network.transfer import TransferModel
 from repro.exceptions import ConfigurationError
-from repro.simulation.events import Simulator
+from repro.sim.loop import PeriodicTask, Simulator
 from repro.simulation.metrics import MetricRegistry
 from repro.utils.rng import SeededRNG
 from repro.utils.units import MINUTE
@@ -60,8 +62,15 @@ class InfiniCacheDeployment:
             metrics=self.metrics,
         )
         self.transfer_model = TransferModel(
-            base_latency_s=self.config.base_network_latency_s
+            base_latency_s=self.config.base_network_latency_s,
+            jitter_fraction=self.config.transfer_jitter_fraction,
+            rng=self.rng.child("transfer"),
         )
+        #: Flow-level network arbitration + the context the event-driven
+        #: (process-based) request path runs in; the synchronous facade
+        #: ignores both and uses the static-snapshot estimates instead.
+        self.flows = FlowNetwork(self.simulator, self.transfer_model.fabric)
+        self.request_env = RequestEnv(self.simulator, self.flows)
         self._next_proxy_index = 0
         self.proxies: list[Proxy] = []
         self.backup_managers: list[BackupManager] = []
@@ -71,6 +80,7 @@ class InfiniCacheDeployment:
             self._create_proxy()
         self._clients_created = 0
         self._started = False
+        self._timers: list[PeriodicTask] = []
 
     def _create_proxy(self) -> Proxy:
         index = self._next_proxy_index
@@ -139,38 +149,43 @@ class InfiniCacheDeployment:
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
-        """Begin warm-up, backup, reclamation sweeps, and cost sampling."""
+        """Begin warm-up, backup, reclamation sweeps, and cost sampling.
+
+        Every periodic activity is a :class:`~repro.sim.loop.PeriodicTask`
+        timer on the shared event loop, so maintenance interleaves with
+        in-flight requests in deterministic timestamp order.
+        """
         if self._started:
             return
         self._started = True
         self.platform.start_reclamation_sweeps()
-        self.simulator.schedule(
-            self.config.warmup_interval_s, self._warmup_tick, label="cache.warmup"
-        )
+        self._timers = [
+            PeriodicTask(
+                self.simulator, self.config.warmup_interval_s,
+                self._warmup_tick, label="cache.warmup",
+            ),
+            PeriodicTask(
+                self.simulator, 1 * MINUTE, self._sample_costs, label="cache.cost_sample",
+            ),
+        ]
         if self.config.backup_enabled:
-            self.simulator.schedule(
-                self.config.backup_interval_s, self._backup_tick, label="cache.backup"
-            )
-        self.simulator.schedule(1 * MINUTE, self._sample_costs, label="cache.cost_sample")
+            self._timers.append(PeriodicTask(
+                self.simulator, self.config.backup_interval_s,
+                self._backup_tick, label="cache.backup",
+            ))
+        for timer in self._timers:
+            timer.start()
 
     def _warmup_tick(self) -> None:
         now = self.simulator.now
         for proxy in self.proxies:
             proxy.warm_up_pool(now)
         self.metrics.series("cache.warmup_rounds").record(now, 1.0)
-        if self._started:
-            self.simulator.schedule(
-                self.config.warmup_interval_s, self._warmup_tick, label="cache.warmup"
-            )
 
     def _backup_tick(self) -> None:
         now = self.simulator.now
         for manager in self.backup_managers:
             manager.backup_all(now)
-        if self._started:
-            self.simulator.schedule(
-                self.config.backup_interval_s, self._backup_tick, label="cache.backup"
-            )
 
     def _sample_costs(self) -> None:
         now = self.simulator.now
@@ -182,8 +197,6 @@ class InfiniCacheDeployment:
         self.metrics.series("cache.bytes_used").record(
             now, float(sum(proxy.pool_bytes_used() for proxy in self.proxies))
         )
-        if self._started:
-            self.simulator.schedule(1 * MINUTE, self._sample_costs, label="cache.cost_sample")
 
     def run_until(self, time_s: float) -> None:
         """Advance the simulation (warm-ups, backups, reclamations) to ``time_s``."""
@@ -192,6 +205,9 @@ class InfiniCacheDeployment:
     def stop(self) -> None:
         """Stop periodic activities and flush any open billing sessions."""
         self._started = False
+        for timer in self._timers:
+            timer.stop()
+        self._timers = []
         self.platform.stop_reclamation_sweeps()
         for proxy in self.proxies:
             proxy.finish_sessions()

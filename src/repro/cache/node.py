@@ -30,7 +30,7 @@ from repro.cache.chunk import CacheChunk
 from repro.cache.clock_lru import ClockLRU
 from repro.cache.connection import LambdaSideConnection, ProxyConnection
 from repro.exceptions import CacheError
-from repro.faas.function import FunctionInstance
+from repro.faas.function import FunctionInstance, FunctionState
 from repro.faas.limits import bandwidth_for_memory, usable_cache_bytes
 from repro.faas.platform import FaaSPlatform
 
@@ -157,6 +157,20 @@ class LambdaCacheNode:
         self.duration_controller.expire_if_due(now)
         if self.duration_controller.is_active(now) and self._session_instance is not None:
             # Preflight PING/PONG on the already-running instance.
+            self.proxy_connection.send_ping()
+            self.lambda_connection.ping()
+            self.proxy_connection.pong_received()
+            return NodeAccess(overhead_s=0.001, invoked=False, cold_start=False)
+
+        if (
+            self._session_instance is not None
+            and self._session_instance.is_alive
+            and self._session_instance.state is FunctionState.RUNNING
+        ):
+            # Event-driven path: the instance is already mid-invocation
+            # serving a concurrent request and its session has not been
+            # opened yet (that happens when the first transfer completes);
+            # piggyback on the running invocation instead of re-invoking.
             self.proxy_connection.send_ping()
             self.lambda_connection.ping()
             self.proxy_connection.pong_received()

@@ -29,11 +29,13 @@ from repro.cache.clock_lru import ClockLRU
 from repro.cache.config import InfiniCacheConfig
 from repro.cache.namespacing import owner_of
 from repro.cache.node import LambdaCacheNode
+from repro.cache.runtime import RequestEnv
 from repro.erasure.codec import Chunk as ErasureChunk
 from repro.erasure.codec import ErasureCodec, StripeMetadata
 from repro.exceptions import CacheError, DecodingError, ObjectTooLargeError
 from repro.faas.platform import FaaSPlatform
 from repro.network.transfer import TransferModel
+from repro.sim.process import all_of, first_n
 from repro.simulation.metrics import MetricRegistry
 from repro.utils.rng import SeededRNG
 
@@ -47,6 +49,9 @@ class ChunkFetch:
     chunk: Optional[CacheChunk]
     time_s: float
     lost: bool
+    #: Event-driven path only: the fetch was cancelled after the fastest
+    #: ``d`` chunks completed (``time_s`` is then the partial transfer).
+    abandoned: bool = False
 
 
 @dataclass
@@ -457,12 +462,16 @@ class Proxy:
             flows_on_host=flows_per_host.get(host_id, 1),
             concurrent_request_streams=concurrent_streams,
         )
-        transfer_s = timing.transfer_s
-        straggler = self.config.straggler
-        if straggler.probability > 0 and self.rng.random() < straggler.probability:
-            transfer_s *= self.rng.uniform(straggler.min_factor, straggler.max_factor)
+        transfer_s = timing.transfer_s * self._straggler_factor()
         node.record_service(now, timing.latency_s + transfer_s, category, tenant)
         return access.overhead_s + timing.latency_s + transfer_s
+
+    def _straggler_factor(self) -> float:
+        """One multiplicative straggler draw from the proxy's seeded stream."""
+        straggler = self.config.straggler
+        if straggler.probability > 0 and self.rng.random() < straggler.probability:
+            return self.rng.uniform(straggler.min_factor, straggler.max_factor)
+        return 1.0
 
     def _flows_per_host(self, nodes: list[LambdaCacheNode]) -> dict[str, int]:
         flows: dict[str, int] = {}
@@ -667,6 +676,246 @@ class Proxy:
             chunks_lost=lost_count,
             recovery_performed=recovery_performed,
             hosts_touched=hosts_touched,
+        )
+
+    # ------------------------------------------------------------------ event-driven path
+    def _chunk_transfer_process(
+        self,
+        key: str,
+        chunk_index: int,
+        chunk: CacheChunk,
+        effective_bytes: float,
+        node: LambdaCacheNode,
+        env: RequestEnv,
+        owner: Optional[str],
+        category: str,
+        fetch: Optional[ChunkFetch] = None,
+        store: bool = False,
+    ):
+        """Coroutine moving one chunk between a node and this proxy.
+
+        Invokes the node (opening its billed session), waits out the
+        invocation overhead and network latency, then streams the bytes as a
+        flow whose bandwidth share is recomputed as other flows come and go.
+        If the process is cancelled mid-flow (an abandoned straggler fetch),
+        the ``finally`` block still bills the partial transfer the Lambda
+        actually performed.
+        """
+        arrival = env.now
+        access = node.ensure_active(arrival, category)
+        if store:
+            node.store_chunk(chunk)
+        env.begin_transfer(node)
+        env.watch_session(node)
+        latency = self.transfer_model.base_latency_s
+        preamble = access.overhead_s + latency
+        flow = None
+        try:
+            if preamble > 0:
+                yield preamble
+            host_id = node.primary.host_id if node.primary is not None else node.node_id
+            flow = env.flows.transfer(
+                size_bytes=effective_bytes,
+                function_bandwidth_bps=node.bandwidth_bps,
+                host_id=host_id,
+                host_capacity_bps=self.platform.limits.host_nic_bandwidth,
+                proxy_id=self.proxy_id,
+                label=f"{self.proxy_id}:{category}:{key}#{chunk_index}",
+            )
+            yield flow.future
+        finally:
+            # Runs on completion *and* on abandonment (generator close): the
+            # node is billed for the work it actually performed either way.
+            # The busy interval is anchored to *end now* — anchoring it at
+            # arrival would let the billing window lapse mid-flight when the
+            # preamble includes a cold start.
+            if flow is not None:
+                service = latency + (env.now - flow.started_at)
+            else:
+                service = env.now - arrival
+            env.end_transfer(node)
+            node.record_service(env.now - service, service, category, owner)
+            env.watch_session(node)
+            if fetch is not None:
+                fetch.time_s = env.now - arrival
+        return fetch
+
+    def get_process(self, key: str, env: RequestEnv):
+        """Event-driven GET coroutine: the d-of-n chunk fetches genuinely race.
+
+        Matches :meth:`get` for hits, misses, and degraded reads, with two
+        refinements only the event engine can express: concurrent chunk
+        flows share bandwidth dynamically while in flight, and once the
+        fastest ``data_shards`` chunks have landed the stragglers are
+        *abandoned* (billed for their partial transfer), as in the paper's
+        first-d streaming.
+        """
+        start = env.now
+        self.requests_served += 1
+        entry = self._objects.get(key)
+        if entry is None:
+            self.metrics.counter("proxy.misses").increment()
+            return ProxyGetResult(key=key, found=False, recoverable=False, descriptor=None)
+
+        self._lru.touch(key)
+        descriptor = entry.descriptor
+        involved_nodes = [self.node(node_id) for node_id in entry.placement.values()]
+        owner = owner_of(key)
+        fetches: list[ChunkFetch] = []
+        pending: list[tuple[ChunkFetch, LambdaCacheNode]] = []
+        for chunk_index, node_id in sorted(entry.placement.items()):
+            node = self.node(node_id)
+            chunk = node.fetch_chunk(f"{key}#{chunk_index}") if node.is_alive else None
+            if chunk is None:
+                fetches.append(
+                    ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=None,
+                               time_s=float("inf"), lost=True)
+                )
+                continue
+            fetch = ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=chunk,
+                               time_s=0.0, lost=False)
+            fetches.append(fetch)
+            pending.append((fetch, node))
+
+        lost_count = descriptor.total_chunks - len(pending)
+        hosts_touched = self._hosts_touched(involved_nodes)
+
+        if len(pending) < descriptor.data_shards:
+            # Unrecoverable: no transfer is even attempted (the mapping table
+            # already knows); the caller must RESET from the backing store.
+            self._remove_object(key)
+            self.metrics.counter("proxy.object_losses").increment()
+            self.metrics.counter("proxy.misses").increment()
+            return ProxyGetResult(
+                key=key,
+                found=True,
+                recoverable=False,
+                descriptor=descriptor,
+                fetches=fetches,
+                chunks_lost=lost_count,
+                hosts_touched=hosts_touched,
+            )
+
+        tasks = []
+        for fetch, node in pending:
+            effective = (
+                fetch.chunk.size
+                * self._straggler_factor()
+                * self.transfer_model.draw_jitter()
+            )
+            tasks.append(env.loop.spawn(
+                self._chunk_transfer_process(
+                    key, fetch.chunk_index, fetch.chunk, effective, node, env,
+                    owner, "serving", fetch=fetch,
+                ),
+                label=f"{self.proxy_id}:fetch:{key}#{fetch.chunk_index}",
+            ))
+
+        # First-d: the request completes when the fastest d chunks are in.
+        winners = yield first_n(
+            descriptor.data_shards, [task.future for task in tasks],
+            label=f"{self.proxy_id}:first_d:{key}",
+        )
+        latency = env.now - start
+        for (fetch, _node), task in zip(pending, tasks):
+            if not task.done:
+                fetch.abandoned = True
+                task.cancel()
+        used_chunks = [fetch.chunk for fetch in winners]
+
+        recovery_performed = False
+        if lost_count > 0:
+            self.metrics.counter("proxy.degraded_reads").increment()
+            if self.config.repair_degraded_objects:
+                recovery_performed = self._repair_object(key, entry, fetches, env.now)
+
+        self.metrics.counter("proxy.hits").increment()
+        return ProxyGetResult(
+            key=key,
+            found=True,
+            recoverable=True,
+            descriptor=descriptor,
+            fetches=fetches,
+            used_chunks=used_chunks,
+            latency_s=latency,
+            chunks_lost=lost_count,
+            recovery_performed=recovery_performed,
+            hosts_touched=hosts_touched,
+        )
+
+    def put_process(
+        self,
+        key: str,
+        descriptor: ObjectDescriptor,
+        chunks: list[CacheChunk],
+        env: RequestEnv,
+        placement: Optional[list[str]] = None,
+        category: str = "serving",
+    ):
+        """Event-driven PUT coroutine: all chunk uploads stream concurrently.
+
+        Chunks are reserved on their nodes at arrival (so racing requests
+        cannot oversubscribe a node's memory) and the coroutine completes
+        when the slowest upload lands.
+        """
+        if len(chunks) != descriptor.total_chunks:
+            raise CacheError(
+                f"object {key!r} descriptor expects {descriptor.total_chunks} chunks, "
+                f"got {len(chunks)}"
+            )
+        if placement is None:
+            placement = self.choose_placement(descriptor.total_chunks)
+        if len(placement) != descriptor.total_chunks:
+            raise CacheError("placement vector length does not match the chunk count")
+        if len(set(placement)) != len(placement):
+            raise CacheError("placement vector must name distinct nodes")
+
+        start = env.now
+        # Overwrite: drop the previous version first (write-through semantics).
+        self._remove_object(key)
+        needed_by_node = {
+            node_id: chunk.size for node_id, chunk in zip(placement, chunks)
+        }
+        evicted = self._evict_until_fits(needed_by_node, sum(needed_by_node.values()))
+
+        target_nodes = [self.node(node_id) for node_id in placement]
+        owner = owner_of(key)
+        tasks = []
+        for chunk, node in zip(chunks, target_nodes):
+            effective = (
+                chunk.size * self._straggler_factor() * self.transfer_model.draw_jitter()
+            )
+            tasks.append(env.loop.spawn(
+                self._chunk_transfer_process(
+                    key, chunk.index, chunk, effective, node, env,
+                    owner, category, store=True,
+                ),
+                label=f"{self.proxy_id}:store:{key}#{chunk.index}",
+            ))
+
+        entry = _ObjectEntry(
+            descriptor=descriptor,
+            placement={chunk.index: node_id for chunk, node_id in zip(chunks, placement)},
+            inserted_at=start,
+        )
+        self._objects[key] = entry
+        self._lru.insert(key, descriptor.stored_bytes)
+
+        yield all_of([task.future for task in tasks], label=f"{self.proxy_id}:put:{key}")
+
+        if category == "serving":
+            self.requests_served += 1
+            self.metrics.counter("proxy.puts").increment()
+        else:
+            self.metrics.counter(f"proxy.{category}_puts").increment()
+        self.metrics.gauge("proxy.bytes_used").set(self.pool_bytes_used())
+
+        return ProxyPutResult(
+            key=key,
+            latency_s=env.now - start,
+            node_ids=list(placement),
+            evicted_keys=evicted,
+            hosts_touched=self._hosts_touched(target_nodes),
         )
 
     # ------------------------------------------------------------------ recovery

@@ -1,0 +1,126 @@
+"""Shared context for the event-driven (process-based) request path.
+
+A :class:`RequestEnv` bundles what a request coroutine needs to run on the
+discrete-event engine: the :class:`~repro.sim.loop.EventLoop`, the
+:class:`~repro.network.flows.FlowNetwork` its chunk transfers share, and the
+billing-session watchdog that closes a node's anticipatory billed-duration
+window *by a scheduled event* when it expires — instead of lazily on the
+node's next touch, which is how the synchronous facade does it.
+
+The watchdog also honours the paper's "the PONG handshake delays the
+timeout": while a node has transfers in flight (tracked through
+:meth:`RequestEnv.begin_transfer` / :meth:`RequestEnv.end_transfer`), an
+expiring window is *extended* by a billing cycle instead of closed, so a
+session is never billed out from under a running transfer only to be
+reopened in the past when that transfer completes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faas.billing import BILLING_CYCLE_SECONDS
+from repro.network.flows import FlowNetwork
+from repro.sim.loop import Event, EventLoop
+from repro.sim.process import SimFuture
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (node -> platform -> ...)
+    from repro.cache.node import LambdaCacheNode
+
+
+class RequestEnv:
+    """Event-loop, flow network, and session watchdog for request coroutines."""
+
+    def __init__(self, loop: EventLoop, flows: FlowNetwork):
+        self.loop = loop
+        self.flows = flows
+        #: node_id -> (pending close event, the window end it was aimed at).
+        self._session_watches: dict[str, tuple[Event, float]] = {}
+        #: node_id -> number of chunk transfers currently in flight.
+        self._inflight: dict[str, int] = {}
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.loop.now
+
+    def sleep(self, delay: float, label: str = "request.sleep") -> SimFuture:
+        """A future resolving after ``delay`` virtual seconds."""
+        return self.loop.timeout(delay, label=label)
+
+    # ------------------------------------------------------------------ in-flight tracking
+    def begin_transfer(self, node: "LambdaCacheNode") -> None:
+        """Mark a chunk transfer as in flight on ``node`` (keep-alive signal)."""
+        self._inflight[node.node_id] = self._inflight.get(node.node_id, 0) + 1
+
+    def end_transfer(self, node: "LambdaCacheNode") -> None:
+        """Mark a chunk transfer as finished (or abandoned) on ``node``."""
+        remaining = self._inflight.get(node.node_id, 0) - 1
+        if remaining > 0:
+            self._inflight[node.node_id] = remaining
+        else:
+            self._inflight.pop(node.node_id, None)
+
+    def keep_alive(self, node: "LambdaCacheNode") -> bool:
+        """Whether in-flight transfers must keep the node's session open.
+
+        While this holds, an expiring billing window is extended by one
+        cycle (the PONG handshake "delays the timeout" in the paper) so the
+        session outlives every transfer it is serving.
+        """
+        if not self._inflight.get(node.node_id):
+            return False
+        session = node.duration_controller.current
+        if session is None:
+            return False
+        # Align to the end of the *next* billing cycle, strictly in the
+        # future — float floor-division can land exactly on `now` (e.g.
+        # 0.5 // 0.1 == 4.0), which would re-arm the watchdog at the
+        # current instant forever.
+        end = (int(self.loop.now // BILLING_CYCLE_SECONDS) + 1) * BILLING_CYCLE_SECONDS
+        while end <= self.loop.now + 1e-9:
+            end += BILLING_CYCLE_SECONDS
+        session.window_end = max(session.window_end, end)
+        return True
+
+    # ------------------------------------------------------------------ session close
+    def watch_session(self, node: "LambdaCacheNode") -> None:
+        """Arm (or re-aim) the close event for a node's open billed session.
+
+        Called after every operation that may open or extend the node's
+        billing window.  When the window later expires the event closes the
+        session through the normal ``expire_if_due`` path; if the window was
+        extended in the meantime the event re-aims itself at the new end.
+        """
+        session = node.duration_controller.current
+        if session is None:
+            return
+        watched = self._session_watches.get(node.node_id)
+        if watched is not None:
+            event, aimed_at = watched
+            if aimed_at >= session.window_end and not event.cancelled:
+                return
+            event.cancel()
+        self._arm(node, session.window_end)
+
+    def _arm(self, node: "LambdaCacheNode", window_end: float) -> None:
+        event = self.loop.schedule_at(
+            window_end,
+            lambda: self._session_check(node),
+            label=f"billing.session_close:{node.node_id}",
+        )
+        self._session_watches[node.node_id] = (event, window_end)
+
+    def _session_check(self, node: "LambdaCacheNode") -> None:
+        self._session_watches.pop(node.node_id, None)
+        controller = node.duration_controller
+        if self.keep_alive(node):
+            # Transfers still in flight: the window was just extended; the
+            # session must not be billed out from under a running request.
+            self._arm(node, controller.current.window_end)
+            return
+        controller.expire_if_due(self.loop.now)
+        session = controller.current
+        if session is not None and session.window_end > self.loop.now:
+            # The window was extended after this event was armed; re-aim.
+            self._arm(node, session.window_end)

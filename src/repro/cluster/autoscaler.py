@@ -16,7 +16,9 @@ Two scaling *policies* turn those signals into node deltas:
 * :class:`PredictiveEwmaPolicy` — keeps an exponentially weighted moving
   average of each proxy's request rate and byte growth, forecasts the next
   interval, and sizes the pool to the forecast *before* the watermarks
-  would trip.  The cost/miss-rate trade-off between the two is measured by
+  would trip.  As ``predictive_trend`` it additionally smooths a Holt trend
+  term, extrapolating ramp-shaped load one interval ahead.  The
+  cost/miss-rate trade-offs between the policies are measured by
   :mod:`repro.experiments.autoscale_policies`.
 
 Scaling is bounded by ``InfiniCacheConfig.min_lambdas_per_proxy`` /
@@ -40,7 +42,7 @@ from repro.simulation.events import PeriodicTask
 from repro.simulation.metrics import MetricRegistry
 
 #: Names accepted by :attr:`AutoscalerConfig.policy`.
-SCALING_POLICIES = ("reactive", "predictive")
+SCALING_POLICIES = ("reactive", "predictive", "predictive_trend")
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,11 @@ class AutoscalerConfig:
     #: operating point (its sizing divisor; keep under the high watermark so
     #: the forecast leaves headroom).
     target_requests_per_node: float = 1.0
+    #: Holt trend-smoothing factor used by the ``predictive_trend`` policy:
+    #: the forecast becomes *level + trend*, so a steadily building surge is
+    #: extrapolated one interval ahead instead of merely smoothed.  Ignored
+    #: (treated as 0) by the plain ``predictive`` policy.
+    trend_beta: float = 0.3
 
     def __post_init__(self):
         if self.interval_s <= 0:
@@ -91,6 +98,8 @@ class AutoscalerConfig:
             raise ConfigurationError("ewma_alpha must be in (0, 1]")
         if self.target_requests_per_node <= 0:
             raise ConfigurationError("target_requests_per_node must be positive")
+        if not 0.0 <= self.trend_beta <= 1.0:
+            raise ConfigurationError("trend_beta must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -129,46 +138,70 @@ class ReactiveWatermarkPolicy:
 
 
 class PredictiveEwmaPolicy:
-    """Size each pool to an EWMA forecast of its next-interval load.
+    """Size each pool to a smoothed forecast of its next-interval load.
 
     Per proxy, the policy smooths the observed request rate and byte growth
-    with an EWMA and sizes the pool so the *forecast* rate lands at
+    and sizes the pool so the *forecast* rate lands at
     ``target_requests_per_node`` and the forecast footprint stays under the
     high memory watermark — growing ahead of a building surge instead of
     after the watermarks trip, and shrinking gradually as the forecast
     decays.
+
+    With ``trend_beta = 0`` (the plain ``predictive`` policy) the smoothing
+    is a simple EWMA of the level.  With ``trend_beta > 0`` (the
+    ``predictive_trend`` policy) it is Holt's double exponential smoothing:
+    a trend component tracks how fast the level itself is moving and the
+    forecast becomes ``level + trend``, so a monotone ramp is extrapolated
+    one interval ahead rather than perpetually lagged — the ROADMAP's
+    "seasonality/trend" item for ramp-shaped load.
     """
 
-    def __init__(self, config: AutoscalerConfig):
+    def __init__(self, config: AutoscalerConfig, trend_beta: float = 0.0):
         self.config = config
-        self._rate_forecast: dict[str, float] = {}
-        self._growth_forecast: dict[str, float] = {}
+        self.trend_beta = trend_beta
+        self._rate_level: dict[str, float] = {}
+        self._rate_trend: dict[str, float] = {}
+        self._growth_level: dict[str, float] = {}
+        self._growth_trend: dict[str, float] = {}
         self._last_bytes: dict[str, int] = {}
 
-    def _ewma(self, store: dict[str, float], proxy_id: str, observed: float) -> float:
-        previous = store.get(proxy_id)
+    def _forecast(
+        self,
+        levels: dict[str, float],
+        trends: dict[str, float],
+        proxy_id: str,
+        observed: float,
+    ) -> float:
+        previous = levels.get(proxy_id)
         if previous is None:
-            forecast = observed
-        else:
-            alpha = self.config.ewma_alpha
-            forecast = alpha * observed + (1.0 - alpha) * previous
-        store[proxy_id] = forecast
-        return forecast
+            levels[proxy_id] = observed
+            trends[proxy_id] = 0.0
+            return observed
+        alpha = self.config.ewma_alpha
+        beta = self.trend_beta
+        prior_trend = trends.get(proxy_id, 0.0)
+        level = alpha * observed + (1.0 - alpha) * (previous + prior_trend)
+        trend = beta * (level - previous) + (1.0 - beta) * prior_trend
+        levels[proxy_id] = level
+        trends[proxy_id] = trend
+        return level + trend
 
     def desired_delta(self, snapshot: PoolSnapshot) -> int:
         """Forecast-sized pool minus the current pool."""
-        rate_forecast = self._ewma(
-            self._rate_forecast, snapshot.proxy_id, snapshot.request_rate
+        rate_forecast = self._forecast(
+            self._rate_level, self._rate_trend, snapshot.proxy_id, snapshot.request_rate
         )
         growth = snapshot.bytes_used - self._last_bytes.get(
             snapshot.proxy_id, snapshot.bytes_used
         )
         self._last_bytes[snapshot.proxy_id] = snapshot.bytes_used
-        growth_forecast = self._ewma(
-            self._growth_forecast, snapshot.proxy_id, float(growth)
+        growth_forecast = self._forecast(
+            self._growth_level, self._growth_trend, snapshot.proxy_id, float(growth)
         )
 
-        nodes_for_rate = math.ceil(rate_forecast / self.config.target_requests_per_node)
+        nodes_for_rate = math.ceil(
+            max(0.0, rate_forecast) / self.config.target_requests_per_node
+        )
         projected_bytes = snapshot.bytes_used + max(0.0, growth_forecast)
         headroom = self.config.high_memory_watermark * snapshot.per_node_capacity_bytes
         nodes_for_memory = math.ceil(projected_bytes / headroom) if headroom > 0 else 0
@@ -180,6 +213,8 @@ def make_policy(config: AutoscalerConfig):
     """Instantiate the scaling policy the config names."""
     if config.policy == "predictive":
         return PredictiveEwmaPolicy(config)
+    if config.policy == "predictive_trend":
+        return PredictiveEwmaPolicy(config, trend_beta=config.trend_beta)
     return ReactiveWatermarkPolicy(config)
 
 

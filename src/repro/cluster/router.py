@@ -62,6 +62,30 @@ class ClusterRouter:
         self.metrics.counter("cluster.router.gets").increment()
         return dataclasses.replace(result, key=key)
 
+    def get_process(self, tenant_id: str, key: str, env):
+        """Event-driven GET coroutine within a tenant's namespace.
+
+        Quota admission happens synchronously at arrival (before the first
+        chunk moves), so a throttled request consumes no pool bandwidth;
+        the transfer itself runs as an overlapping process.
+        """
+        tenant = self.tenants.tenant(tenant_id)
+        validate_app_key(key)
+        self.tenants.authorize_request(tenant, self._clock.now)
+        namespaced = namespace_key(tenant_id, key)
+        result = yield from self.client.get_process(namespaced, env)
+        self.tenants.record_get(tenant, result.hit)
+        if not result.hit:
+            self.tenants.record_gone(namespaced)
+        self.metrics.counter("cluster.router.gets").increment()
+        return dataclasses.replace(result, key=key)
+
+    def put_sized_process(self, tenant_id: str, key: str, size: int, env):
+        """Event-driven size-only PUT coroutine within a tenant's namespace."""
+        tenant, namespaced = self._admit_put(tenant_id, key, size)
+        result = yield from self.client.put_sized_process(namespaced, size, env)
+        return self._account_put(tenant, namespaced, key, size, result)
+
     def put(self, tenant_id: str, key: str, value: bytes) -> PutResult:
         """PUT real bytes within a tenant's namespace, subject to both quotas."""
         tenant, namespaced = self._admit_put(tenant_id, key, len(value))
@@ -132,11 +156,19 @@ class TenantClient:
     def get(self, key: str) -> GetResult:
         return self.router.get(self.tenant_id, key)
 
+    def get_process(self, key: str, env):
+        """Event-driven GET coroutine bound to this tenant."""
+        return self.router.get_process(self.tenant_id, key, env)
+
     def put(self, key: str, value: bytes) -> PutResult:
         return self.router.put(self.tenant_id, key, value)
 
     def put_sized(self, key: str, size: int) -> PutResult:
         return self.router.put_sized(self.tenant_id, key, size)
+
+    def put_sized_process(self, key: str, size: int, env):
+        """Event-driven size-only PUT coroutine bound to this tenant."""
+        return self.router.put_sized_process(self.tenant_id, key, size, env)
 
     def invalidate(self, key: str) -> bool:
         return self.router.invalidate(self.tenant_id, key)

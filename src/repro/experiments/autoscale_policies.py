@@ -1,4 +1,5 @@
-"""Autoscaler policy comparison: reactive watermarks vs. predictive EWMA.
+"""Autoscaler policy comparison: reactive watermarks vs. predictive EWMA
+(with and without a Holt trend term).
 
 The cluster's GB-second bill and its hit ratio both depend on how the pool
 is sized: a pool that grows late serves misses (RESETs through the backing
@@ -28,6 +29,10 @@ DEFAULT_POLICIES: dict[str, AutoscalerConfig] = {
     "predictive": AutoscalerConfig(
         interval_s=30.0, policy="predictive", ewma_alpha=0.3,
         target_requests_per_node=1.0,
+    ),
+    "predictive_trend": AutoscalerConfig(
+        interval_s=30.0, policy="predictive_trend", ewma_alpha=0.3,
+        trend_beta=0.3, target_requests_per_node=1.0,
     ),
 }
 

@@ -12,9 +12,13 @@ with different working sets and quotas share one autoscaling cluster:
 * ``batch`` — a bulk tenant with a byte quota well under its working set,
   so its PUTs are rejected once it reaches its cap.
 
-The replay interleaves all tenants' requests in timestamp order on the
-shared simulation clock (misses RESET through a simulated backing store,
-as in the paper's replays) and reports, per tenant: hit ratio, latency
+The replay injects all tenants' requests **open-loop** at their arrival
+timestamps on the shared event loop: each request runs as a coroutine
+process, so a slow RESET (backing-store fetch plus re-insert) is still in
+flight while later arrivals — this tenant's or another's — proceed
+concurrently through the flow-level network model.  Misses RESET through a
+simulated backing store, as in the paper's replays.  Reported per tenant:
+hit ratio, latency
 percentiles, throttle/rejection counts, bytes cached (stored and logical),
 and the **chargeback** — the GB-seconds and dollars the billing pipeline
 attributed to each tenant's invocations, which sum to the cluster-wide
@@ -32,6 +36,7 @@ from repro.cluster import AutoscalerConfig, InfiniCacheCluster, TenantQuota
 from repro.exceptions import QuotaExceededError, RateLimitedError
 from repro.experiments.report import format_table
 from repro.faas.billing import UNATTRIBUTED_TENANT
+from repro.sim.process import CountdownLatch
 from repro.utils.rng import SeededRNG
 from repro.utils.stats import summarize
 from repro.utils.units import MB, MIB
@@ -162,46 +167,64 @@ def run(
                for spec in specs}
     outcomes = {spec.tenant_id: TenantOutcome(spec.tenant_id) for spec in specs}
 
-    # Interleave all tenants' requests in timestamp order on one clock.
+    # All tenants' requests interleave in timestamp order on one event loop;
+    # keys are pre-drawn in arrival order so the schedule (and the RNG
+    # stream) is identical however the in-flight requests overlap.
     schedule: list[tuple[float, TenantSpec]] = []
     for spec in specs:
         tenant_rng = rng.child(spec.tenant_id)
         times = sorted(tenant_rng.uniform(0.0, duration_s) for _ in range(spec.requests))
         schedule.extend((time, spec) for time in times)
     schedule.sort(key=lambda item: item[0])
-
     key_rngs = {spec.tenant_id: rng.child(spec.tenant_id, "keys") for spec in specs}
+    keyed_schedule: list[tuple[float, TenantSpec, str]] = []
     for timestamp, spec in schedule:
-        cluster.run_until(timestamp)
+        rank = key_rngs[spec.tenant_id].bounded_zipf(spec.num_objects, spec.zipf_exponent)
+        keyed_schedule.append((timestamp, spec, f"obj-{rank:05d}"))
+
+    env = cluster.deployment.request_env
+    loop = cluster.simulator
+    latch = CountdownLatch(len(keyed_schedule), label="cluster_scale.complete")
+
+    def request_process(spec: TenantSpec, key: str):
         outcome = outcomes[spec.tenant_id]
         client = clients[spec.tenant_id]
-        rank = key_rngs[spec.tenant_id].bounded_zipf(spec.num_objects, spec.zipf_exponent)
-        key = f"obj-{rank:05d}"
+        start = env.now
         outcome.requests_issued += 1
         try:
-            result = client.get(key)
+            result = yield from client.get_process(key, env)
         except RateLimitedError:
             outcome.throttled += 1
-            continue
+            return
         if result.hit:
             outcome.hits += 1
             outcome.latencies_s.append(result.latency_s)
-            continue
+            return
         outcome.misses += 1
         # RESET: fetch from the backing store and re-insert (quota permitting).
         backing_store.put(f"{spec.tenant_id}/{key}", spec.object_size)
         _size, store_latency = backing_store.get(f"{spec.tenant_id}/{key}")
-        latency = store_latency
+        yield store_latency
         try:
-            put_result = client.put_sized(key, spec.object_size)
-            latency += put_result.latency_s
+            yield from client.put_sized_process(key, spec.object_size, env)
         except QuotaExceededError:
             outcome.rejected_puts += 1
         except RateLimitedError:
             outcome.throttled += 1
-        outcome.latencies_s.append(latency)
+        outcome.latencies_s.append(env.now - start)
 
-    cluster.run_until(duration_s)
+    def inject(spec: TenantSpec, key: str) -> None:
+        process = loop.spawn(
+            request_process(spec, key), label=f"cluster_scale.{spec.tenant_id}"
+        )
+        process.future.add_done_callback(latch.count_down)
+
+    for timestamp, spec, key in keyed_schedule:
+        loop.schedule_at(
+            timestamp, lambda s=spec, k=key: inject(s, k), label="cluster_scale.arrival"
+        )
+    loop.run_until_complete(latch.future)
+    cluster.run_until(max(duration_s, loop.now))
     cluster.stop()
 
     report = cluster.tenant_report()

@@ -28,7 +28,7 @@ from repro.faas.function import FunctionInstance, FunctionState
 from repro.faas.host import HostManager
 from repro.faas.limits import LambdaLimits, validate_memory_bytes
 from repro.faas.reclamation import NoReclamationPolicy, ReclamationPolicy
-from repro.simulation.events import Simulator
+from repro.sim.loop import PeriodicTask, Simulator
 from repro.simulation.metrics import MetricRegistry
 from repro.utils.units import MINUTE
 
@@ -87,7 +87,9 @@ class FaaSPlatform:
         self.sweep_interval_s = sweep_interval_s
         self._functions: dict[str, _RegisteredFunction] = {}
         self._reclaim_listeners: list[Callable[[FunctionInstance], None]] = []
-        self._sweeping = False
+        self._sweep_task = PeriodicTask(
+            simulator, sweep_interval_s, self._sweep, label="faas.reclaim_sweep"
+        )
 
     # --- deployment -------------------------------------------------------------
     def register_function(self, name: str, memory_bytes: int) -> FunctionConfig:
@@ -252,13 +254,11 @@ class FaaSPlatform:
     def start_reclamation_sweeps(self) -> None:
         """Begin periodic reclamation sweeps on the simulator.
 
-        Each sweep asks the policy which alive instances to reclaim.  Sweeps
-        reschedule themselves, so this should be called once per simulation.
+        Each sweep asks the policy which alive instances to reclaim.  The
+        sweeps run as a :class:`~repro.sim.loop.PeriodicTask` timer, so
+        starting is idempotent and stopping cancels the pending firing.
         """
-        if self._sweeping:
-            return
-        self._sweeping = True
-        self.simulator.schedule(self.sweep_interval_s, self._sweep, label="faas.reclaim_sweep")
+        self._sweep_task.start()
 
     def _sweep(self) -> None:
         now = self.simulator.now
@@ -267,12 +267,10 @@ class FaaSPlatform:
         for instance in to_reclaim:
             self.reclaim_instance(instance)
         self.metrics.series("faas.reclaims_per_sweep").record(now, float(len(to_reclaim)))
-        if self._sweeping:
-            self.simulator.schedule(self.sweep_interval_s, self._sweep, label="faas.reclaim_sweep")
 
     def stop_reclamation_sweeps(self) -> None:
-        """Stop scheduling further sweeps (pending ones become no-ops)."""
-        self._sweeping = False
+        """Cancel the pending sweep and stop rescheduling."""
+        self._sweep_task.stop()
 
     def reclaim_instance(self, instance: FunctionInstance) -> None:
         """Forcibly reclaim a specific instance (also used by tests)."""

@@ -1,0 +1,294 @@
+"""Flow-level network model: transfers as intervals on the virtual clock.
+
+The synchronous request path estimates a chunk's transfer time once, from a
+static snapshot of how many flows share each NIC (``flows_on_host`` /
+``concurrent_request_streams``).  That cannot express the paper's headline
+phenomena — throughput scaling with concurrent clients, first-d-of-n
+straggler abandonment — because those are effects of flows *joining and
+leaving while other flows are still in progress*.
+
+:class:`FlowNetwork` models exactly that.  A transfer is an *interval* on
+the shared :class:`~repro.sim.loop.EventLoop` clock: it starts, progresses
+at the current fair-share rate, and finishes when its bytes run out.  Every
+time a flow starts, finishes, or is cancelled, the network
+
+1. **settles** every active flow's progress at the rates that held since the
+   last change,
+2. **recomputes** each flow's rate as the bottleneck of its three caps —
+   the function's own bandwidth, its VM host's NIC fair share, and its
+   proxy's uplink fair share — and
+3. **reschedules** each flow's completion event for the new finish time.
+
+Host-NIC sharing uses the same :class:`~repro.network.topology.HostNic`
+registry as the static model — ``acquire``/``release`` now track live flow
+membership, so the shared-NIC accounting responds to flows that join and
+leave mid-transfer.
+
+Every finished or abandoned flow leaves a :class:`FlowInterval` in
+:attr:`FlowNetwork.trace`; the drivers surface that trace so experiments
+(and tests) can assert genuine overlap between concurrent transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import SimulationError
+from repro.network.topology import HostNic, NetworkFabric
+from repro.sim.loop import Event, EventLoop
+from repro.sim.process import SimFuture
+
+
+def peak_concurrency(intervals: list[tuple[float, float]]) -> int:
+    """Peak number of ``(start, end)`` intervals alive at one instant.
+
+    Boundary sweep with departures ordered before arrivals at equal
+    timestamps, so back-to-back intervals do not count as overlapping.
+    """
+    boundaries: list[tuple[float, int]] = []
+    for started_at, ended_at in intervals:
+        boundaries.append((started_at, 1))
+        boundaries.append((ended_at, -1))
+    boundaries.sort(key=lambda item: (item[0], item[1]))
+    live = peak = 0
+    for _time, delta in boundaries:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+@dataclass(frozen=True)
+class FlowInterval:
+    """One completed (or abandoned) transfer, as recorded in the trace."""
+
+    flow_id: int
+    label: str
+    host_id: str
+    proxy_id: str
+    size_bytes: int
+    started_at: float
+    ended_at: float
+    #: ``False`` when the flow was cancelled mid-transfer (an abandoned
+    #: straggler); ``bytes_moved`` then reports the partial progress.
+    completed: bool
+    bytes_moved: float
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock span of the transfer."""
+        return self.ended_at - self.started_at
+
+    def overlaps(self, other: "FlowInterval") -> bool:
+        """Whether two transfer intervals were in flight at the same instant."""
+        return self.started_at < other.ended_at and other.started_at < self.ended_at
+
+
+class Flow:
+    """One in-flight transfer between a Lambda node and its proxy."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        label: str,
+        size_bytes: float,
+        function_bandwidth_bps: float,
+        nic: HostNic,
+        proxy_id: str,
+        started_at: float,
+    ):
+        self.flow_id = flow_id
+        self.label = label
+        self.size_bytes = size_bytes
+        self.function_bandwidth_bps = function_bandwidth_bps
+        self.nic = nic
+        self.proxy_id = proxy_id
+        self.started_at = started_at
+        self.remaining = float(size_bytes)
+        self.rate_bps = 0.0
+        self.last_progress_at = started_at
+        #: Resolves with this flow when the last byte lands; cancelling it
+        #: (directly or through a process abandoning the fetch) tears the
+        #: flow down and releases its bandwidth shares.
+        self.future: SimFuture = SimFuture(label=f"flow:{label}")
+        self._completion: Optional[Event] = None
+
+    @property
+    def bytes_moved(self) -> float:
+        """Bytes transferred so far (after the last settlement)."""
+        return self.size_bytes - self.remaining
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow({self.label!r}, host={self.nic.host_id}, proxy={self.proxy_id}, "
+            f"remaining={self.remaining:.0f}B at {self.rate_bps / 1e6:.1f} MB/s)"
+        )
+
+
+class FlowNetwork:
+    """Processor-sharing bandwidth arbitration over the event loop."""
+
+    def __init__(self, loop: EventLoop, fabric: NetworkFabric):
+        self.loop = loop
+        self.fabric = fabric
+        self._active: dict[int, Flow] = {}
+        self._next_flow_id = 0
+        self._proxy_streams: dict[str, int] = {}
+        #: Chronological record of every finished/abandoned transfer.
+        self.trace: list[FlowInterval] = []
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def active_count(self) -> int:
+        """Number of flows currently in progress."""
+        return len(self._active)
+
+    def flows_on_host(self, host_id: str) -> int:
+        """Live flow count through one host NIC (the dynamic accounting)."""
+        nic = self.fabric.hosts.get(host_id)
+        return nic.concurrent_flows if nic is not None else 0
+
+    def streams_on_proxy(self, proxy_id: str) -> int:
+        """Live flow count through one proxy's uplink."""
+        return self._proxy_streams.get(proxy_id, 0)
+
+    def max_concurrent(self) -> int:
+        """Peak number of simultaneously in-flight transfers in the trace.
+
+        Computed by sweeping the recorded intervals (plus the flows still
+        active right now), so it reflects the whole run.
+        """
+        intervals = [(i.started_at, i.ended_at) for i in self.trace]
+        intervals.extend(
+            (flow.started_at, self.loop.now) for flow in self._active.values()
+        )
+        return peak_concurrency(intervals)
+
+    # ------------------------------------------------------------------ flow lifecycle
+    def transfer(
+        self,
+        *,
+        size_bytes: float,
+        function_bandwidth_bps: float,
+        host_id: str,
+        host_capacity_bps: float,
+        proxy_id: str,
+        label: str = "",
+    ) -> Flow:
+        """Start a transfer now; returns the flow whose future resolves on finish."""
+        if size_bytes <= 0:
+            raise SimulationError(f"flow {label!r} must move a positive byte count")
+        if function_bandwidth_bps <= 0:
+            raise SimulationError(f"flow {label!r} needs a positive bandwidth cap")
+        now = self.loop.now
+        self._settle(now)
+        nic = self.fabric.host(host_id, host_capacity_bps)
+        nic.acquire()
+        self._proxy_streams[proxy_id] = self._proxy_streams.get(proxy_id, 0) + 1
+        flow = Flow(
+            flow_id=self._next_flow_id,
+            label=label,
+            size_bytes=size_bytes,
+            function_bandwidth_bps=function_bandwidth_bps,
+            nic=nic,
+            proxy_id=proxy_id,
+            started_at=now,
+        )
+        self._next_flow_id += 1
+        self._active[flow.flow_id] = flow
+        flow.future.on_cancel(lambda: self.cancel(flow))
+        self._reschedule()
+        return flow
+
+    def cancel(self, flow: Flow) -> bool:
+        """Abandon an in-flight transfer (the first-d straggler path).
+
+        Settles its partial progress into the trace, releases its NIC and
+        uplink shares (speeding up the surviving flows), and cancels its
+        future if the caller has not already done so.
+        """
+        if flow.flow_id not in self._active:
+            return False
+        now = self.loop.now
+        self._settle(now)
+        self._retire(flow, now, completed=False)
+        if not flow.future.done:
+            flow.future.cancel()
+        self._reschedule()
+        return True
+
+    # ------------------------------------------------------------------ internals
+    def _settle(self, now: float) -> None:
+        """Advance every active flow's byte count at the rates held so far."""
+        for flow in self._active.values():
+            elapsed = now - flow.last_progress_at
+            if elapsed > 0 and flow.rate_bps > 0:
+                flow.remaining = max(0.0, flow.remaining - flow.rate_bps * elapsed)
+            flow.last_progress_at = now
+
+    def _rate_for(self, flow: Flow) -> float:
+        host_share = flow.nic.effective_bandwidth()
+        proxy_share = self.fabric.proxy_share(self._proxy_streams.get(flow.proxy_id, 1))
+        return min(flow.function_bandwidth_bps, host_share, proxy_share)
+
+    def _reschedule(self) -> None:
+        """Recompute every rate and re-aim the affected completion events.
+
+        A flow whose bottleneck did not change (different host NIC *and*
+        different proxy uplink than the flow that just started or left)
+        keeps its already-scheduled completion event: progress is linear, so
+        the old finish time is still exact.  This keeps the heap churn
+        proportional to the flows actually affected by a transition.
+        """
+        now = self.loop.now
+        for flow in self._active.values():
+            rate = self._rate_for(flow)
+            if (
+                flow._completion is not None
+                and not flow._completion.cancelled
+                and rate == flow.rate_bps
+            ):
+                continue
+            flow.rate_bps = rate
+            finish = now + flow.remaining / flow.rate_bps
+            if flow._completion is not None:
+                flow._completion.cancel()
+            flow._completion = self.loop.schedule_at(
+                finish, lambda f=flow: self._complete(f), label=f"flow.finish:{flow.label}"
+            )
+
+    def _complete(self, flow: Flow) -> None:
+        if flow.flow_id not in self._active:
+            return
+        now = self.loop.now
+        self._settle(now)
+        self._retire(flow, now, completed=True)
+        flow.future.resolve(flow)
+        self._reschedule()
+
+    def _retire(self, flow: Flow, now: float, completed: bool) -> None:
+        del self._active[flow.flow_id]
+        if flow._completion is not None:
+            flow._completion.cancel()
+            flow._completion = None
+        flow.nic.release()
+        streams = self._proxy_streams.get(flow.proxy_id, 0) - 1
+        if streams > 0:
+            self._proxy_streams[flow.proxy_id] = streams
+        else:
+            self._proxy_streams.pop(flow.proxy_id, None)
+        if completed:
+            flow.remaining = 0.0
+        self.trace.append(
+            FlowInterval(
+                flow_id=flow.flow_id,
+                label=flow.label,
+                host_id=flow.nic.host_id,
+                proxy_id=flow.proxy_id,
+                size_bytes=int(flow.size_bytes),
+                started_at=flow.started_at,
+                ended_at=now,
+                completed=completed,
+                bytes_moved=flow.bytes_moved,
+            )
+        )

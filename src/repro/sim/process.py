@@ -1,0 +1,289 @@
+"""Futures and coroutine processes for the discrete-event engine.
+
+A :class:`Process` expresses a multi-step simulated operation — "invoke the
+Lambda, wait for the chunk flow, then decode" — as an ordinary Python
+generator.  The generator *yields* the things it wants to wait on and the
+event loop resumes it when they are ready:
+
+* a ``float``/``int`` — sleep that many virtual seconds;
+* a :class:`SimFuture` — resume when the future resolves (e.g. a network
+  flow completing);
+* another :class:`Process` — resume when that process finishes (its return
+  value is sent back in).
+
+Sequential composition uses plain ``yield from`` delegation (the client GET
+coroutine delegates to the proxy GET coroutine); *concurrent* composition
+spawns child processes with :meth:`~repro.sim.loop.EventLoop.spawn` and
+waits on combinators such as :func:`first_n` (first-d-of-n chunk racing) or
+:func:`all_of` (a PUT waiting for every chunk to land).
+
+Cancellation is cooperative: cancelling a process closes its generator —
+running any ``finally`` blocks at the *current* virtual time, which is how
+an abandoned straggler fetch bills the partial transfer it performed — and
+then cancels whatever the process was waiting on, which releases resources
+such as in-flight network flows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.exceptions import SimulationError
+
+
+class SimFuture:
+    """A single-assignment result that callbacks (and processes) can await."""
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self._done = False
+        self._cancelled = False
+        self._result: object = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+        self._cancel_hooks: list[Callable[[], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether the future has resolved (or been cancelled)."""
+        return self._done
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the future was cancelled rather than resolved."""
+        return self._cancelled
+
+    @property
+    def result(self) -> object:
+        """The resolved value (``None`` for a cancelled future).
+
+        Raises:
+            SimulationError: if the future is still pending.
+        """
+        if not self._done:
+            raise SimulationError(f"future {self.label!r} has not resolved yet")
+        return self._result
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Run ``callback(self)`` when the future settles (now, if already done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def on_cancel(self, hook: Callable[[], None]) -> None:
+        """Register a resource-release hook run if the future is cancelled."""
+        if not self._done:
+            self._cancel_hooks.append(hook)
+
+    def _settle(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        self._cancel_hooks = []
+        for callback in callbacks:
+            callback(self)
+
+    def resolve(self, result: object = None) -> None:
+        """Resolve the future with ``result`` and fire the callbacks."""
+        if self._done:
+            raise SimulationError(f"future {self.label!r} resolved twice")
+        self._done = True
+        self._result = result
+        self._settle()
+
+    def cancel(self) -> bool:
+        """Cancel the future; returns ``False`` if it had already settled.
+
+        Cancel hooks run first (releasing e.g. the network flow backing the
+        future), then done-callbacks fire with ``cancelled=True``.
+        """
+        if self._done:
+            return False
+        self._done = True
+        self._cancelled = True
+        hooks, self._cancel_hooks = self._cancel_hooks, []
+        for hook in hooks:
+            hook()
+        self._settle()
+        return True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else ("done" if self._done else "pending")
+        return f"SimFuture({self.label!r}, {state})"
+
+
+def resolved(result: object = None, label: str = "sim.resolved") -> SimFuture:
+    """A future that is already resolved (for degenerate combinator cases)."""
+    future = SimFuture(label=label)
+    future.resolve(result)
+    return future
+
+
+def all_of(futures: Iterable[SimFuture], label: str = "sim.all_of") -> SimFuture:
+    """A future resolving when *every* input future has settled.
+
+    The result is the list of input results in input order; cancelled inputs
+    contribute ``None``.
+    """
+    pending = list(futures)
+    gate = SimFuture(label=label)
+    remaining = len(pending)
+    if remaining == 0:
+        gate.resolve([])
+        return gate
+
+    def on_done(_future: SimFuture) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not gate.done:
+            gate.resolve([f.result if not f.cancelled else None for f in pending])
+
+    for future in pending:
+        future.add_done_callback(on_done)
+    return gate
+
+
+def first_n(count: int, futures: Iterable[SimFuture], label: str = "sim.first_n") -> SimFuture:
+    """A future resolving when ``count`` inputs have *resolved* (not cancelled).
+
+    The result is the list of those first ``count`` results in completion
+    order — the first-d-of-n primitive behind the proxy's straggler-tolerant
+    GET.  Cancelled inputs never count toward the quorum.
+    """
+    pending = list(futures)
+    if count > len(pending):
+        raise SimulationError(
+            f"first_n({count}) cannot be satisfied by {len(pending)} futures"
+        )
+    gate = SimFuture(label=label)
+    if count <= 0:
+        gate.resolve([])
+        return gate
+    winners: list[object] = []
+
+    def on_done(future: SimFuture) -> None:
+        if gate.done or future.cancelled:
+            return
+        winners.append(future.result)
+        if len(winners) == count:
+            gate.resolve(list(winners))
+
+    for future in pending:
+        future.add_done_callback(on_done)
+    return gate
+
+
+class CountdownLatch:
+    """A future that resolves after a known number of completions.
+
+    The open-loop injectors (trace replay, the cluster-scale experiment)
+    schedule all their arrivals up front and need to run the loop "until
+    every injected request has finished"; the latch is that completion
+    signal.  :meth:`count_down` is also usable directly as a future
+    done-callback.
+    """
+
+    def __init__(self, count: int, label: str = "sim.latch"):
+        if count < 0:
+            raise SimulationError(f"latch count must be non-negative, got {count}")
+        self._remaining = count
+        self.future = SimFuture(label=label)
+        if count == 0:
+            self.future.resolve(None)
+
+    @property
+    def remaining(self) -> int:
+        """Completions still outstanding."""
+        return self._remaining
+
+    def count_down(self, _future: "SimFuture | None" = None) -> None:
+        """Record one completion; resolves the latch future at zero."""
+        if self._remaining <= 0:
+            raise SimulationError(f"latch {self.future.label!r} counted below zero")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.future.resolve(None)
+
+
+#: What a process generator may yield: a delay, a future, or a child process.
+Waitable = object
+ProcessGenerator = Generator[Waitable, object, object]
+
+
+class Process:
+    """Drives one coroutine generator over the event loop.
+
+    ``process.future`` resolves with the generator's ``return`` value when it
+    finishes; waiting on a :class:`Process` (by yielding it) therefore hands
+    the return value back to the waiter.
+    """
+
+    def __init__(self, loop, generator: ProcessGenerator, label: str = ""):
+        self.loop = loop
+        self.generator = generator
+        self.label = label or getattr(generator, "__name__", "process")
+        self.future = SimFuture(label=f"process:{self.label}")
+        self._waiting_on: Optional[SimFuture] = None
+        self._started = False
+        self._cancelling = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the process has finished (or been cancelled)."""
+        return self.future.done
+
+    def start(self) -> None:
+        """Run the coroutine up to its first wait (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._step(None)
+
+    def cancel(self) -> bool:
+        """Abort the process at the current virtual time.
+
+        Closes the generator (running its ``finally`` blocks) and cancels
+        whatever it was waiting on, so held resources — pending timers,
+        in-flight network flows — are released.  Returns ``False`` if the
+        process had already finished.
+        """
+        if self.future.done:
+            return False
+        self._cancelling = True
+        waiting, self._waiting_on = self._waiting_on, None
+        self.generator.close()
+        if waiting is not None:
+            waiting.cancel()
+        self.future.cancel()
+        return True
+
+    # ------------------------------------------------------------------ driving
+    def _step(self, value: object) -> None:
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.future.resolve(getattr(stop, "value", None))
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Waitable) -> None:
+        if isinstance(target, Process):
+            future = target.future
+        elif isinstance(target, SimFuture):
+            future = target
+        elif isinstance(target, (int, float)):
+            future = self.loop.timeout(float(target), label=f"sleep:{self.label}")
+        else:
+            raise SimulationError(
+                f"process {self.label!r} yielded unsupported waitable {target!r}"
+            )
+        self._waiting_on = future
+        future.add_done_callback(self._resume)
+
+    def _resume(self, future: SimFuture) -> None:
+        if self.future.done or self._cancelling:
+            return
+        self._waiting_on = None
+        self._step(future.result if not future.cancelled else None)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else ("running" if self._started else "new")
+        return f"Process({self.label!r}, {state})"

@@ -1,30 +1,21 @@
-"""Discrete-event simulation engine.
+"""Backwards-compatible facade over the :mod:`repro.sim` engine plus metrics.
 
-The InfiniCache reproduction runs on a simulated AWS substrate rather than a
-real cloud, so everything time-dependent (invocation latency, chunk
-transfers, warm-up timers, function reclamation) is driven by a shared
-virtual clock and event queue defined here.
-
-Design notes
-------------
-* The engine is a classic event-list simulator: callbacks are scheduled at
-  absolute virtual times and executed in time order.  Components never sleep;
-  they schedule.
-* For request/response paths that are easier to express sequentially (e.g.
-  "invoke the Lambda, wait for the chunk, then decode"), the cache layer uses
-  :class:`~repro.simulation.clock.SimClock.advance` style accounting instead
-  of full coroutine processes.  Both styles share the same clock so costs,
-  timelines, and reclamation events line up.
+The discrete-event engine (clock, event queue, loop, timers, processes)
+lives in :mod:`repro.sim`; metric primitives stay here.  This package
+re-exports both sets of names so code written against the original
+``repro.simulation`` layout keeps working unchanged.
 """
 
-from repro.simulation.clock import SimClock
-from repro.simulation.events import Event, EventQueue, Simulator
+from repro.sim.clock import SimClock
+from repro.sim.loop import Event, EventLoop, EventQueue, PeriodicTask, Simulator
 from repro.simulation.metrics import Counter, Gauge, MetricRegistry, TimeSeries
 
 __all__ = [
     "SimClock",
     "Event",
+    "EventLoop",
     "EventQueue",
+    "PeriodicTask",
     "Simulator",
     "Counter",
     "Gauge",

@@ -1,206 +1,11 @@
-"""Event queue and simulator loop.
+"""Backwards-compatible location of the event queue and loop.
 
-The simulator owns a :class:`~repro.simulation.clock.SimClock` and a priority
-queue of :class:`Event` records.  Components schedule callbacks with
-:meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.schedule_at`
-(absolute time) and the loop runs them in timestamp order, breaking ties by
-insertion order so runs are fully deterministic.
+The engine moved to :mod:`repro.sim` (which adds coroutine processes,
+futures, and the flow-level network hooks); this module re-exports the
+original names — including ``Simulator``, which is the same class as
+:class:`repro.sim.loop.EventLoop` — so existing imports keep working.
 """
 
-from __future__ import annotations
+from repro.sim.loop import Event, EventLoop, EventQueue, PeriodicTask, Simulator
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
-
-from repro.exceptions import SimulationError
-from repro.simulation.clock import SimClock
-
-
-@dataclass(order=True)
-class Event:
-    """A scheduled callback.
-
-    Events compare by ``(time, sequence)`` so the heap pops them in
-    deterministic order.  ``cancelled`` events stay in the heap but are
-    skipped when popped, which is cheaper than heap removal and matches how
-    the billed-duration timers are frequently rescheduled.
-    """
-
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-    def cancel(self) -> None:
-        """Mark the event so the simulator skips it when its time arrives."""
-        self.cancelled = True
-
-
-class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
-
-    def __init__(self):
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
-
-    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Insert a callback to run at absolute virtual ``time``."""
-        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
-        heapq.heappush(self._heap, event)
-        return event
-
-    def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
-        return None
-
-    def peek_time(self) -> Optional[float]:
-        """Return the timestamp of the earliest pending event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
-
-    def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
-
-    def __bool__(self) -> bool:
-        return len(self) > 0
-
-
-class Simulator:
-    """Drives a virtual clock through a queue of scheduled events.
-
-    A single :class:`Simulator` instance is shared by the FaaS platform, the
-    cache components, and the workload replayer so that warm-up timers,
-    reclamation sweeps, and request arrivals interleave consistently.
-    """
-
-    def __init__(self, clock: SimClock | None = None):
-        self.clock = clock or SimClock()
-        self.queue = EventQueue()
-        self._events_processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current virtual time (seconds)."""
-        return self.clock.now
-
-    @property
-    def events_processed(self) -> int:
-        """Number of events dispatched so far (useful in tests)."""
-        return self._events_processed
-
-    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
-        return self.queue.push(self.clock.now + delay, callback, label)
-
-    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` to run at absolute virtual ``time``."""
-        if time < self.clock.now - 1e-12:
-            raise SimulationError(
-                f"cannot schedule an event at {time}, which is before now={self.clock.now}"
-            )
-        return self.queue.push(max(time, self.clock.now), callback, label)
-
-    def run_until(self, end_time: float) -> None:
-        """Dispatch events in order until the queue is empty or ``end_time``.
-
-        The clock ends exactly at ``end_time`` even if the last event fires
-        earlier, so periodic reports (hourly cost buckets, for example) cover
-        the full requested window.
-        """
-        if end_time < self.clock.now:
-            raise SimulationError(
-                f"run_until({end_time}) is before current time {self.clock.now}"
-            )
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            event = self.queue.pop()
-            if event is None:
-                break
-            self.clock.advance_to(event.time)
-            self._events_processed += 1
-            event.callback()
-        self.clock.advance_to(end_time)
-
-    def run_all(self, max_events: int = 10_000_000) -> None:
-        """Dispatch every pending event (bounded by ``max_events``).
-
-        Raises:
-            SimulationError: if the bound is hit, which almost always means a
-                component is rescheduling itself unconditionally.
-        """
-        dispatched = 0
-        while True:
-            event = self.queue.pop()
-            if event is None:
-                return
-            self.clock.advance_to(event.time)
-            self._events_processed += 1
-            event.callback()
-            dispatched += 1
-            if dispatched >= max_events:
-                raise SimulationError(
-                    f"run_all dispatched {max_events} events without draining the queue; "
-                    "a component is likely rescheduling itself forever"
-                )
-
-
-class PeriodicTask:
-    """A callback rescheduled every ``interval_s`` until stopped.
-
-    Wraps the schedule-yourself-again idiom the periodic maintenance actors
-    (autoscaler, failure detector) share, including cancellation of the
-    pending event on :meth:`stop` so a stopped task never fires late.
-    """
-
-    def __init__(
-        self,
-        simulator: Simulator,
-        interval_s: float,
-        callback: Callable[[], object],
-        label: str = "",
-    ):
-        if interval_s <= 0:
-            raise SimulationError(f"periodic interval must be positive, got {interval_s}")
-        self.simulator = simulator
-        self.interval_s = interval_s
-        self.callback = callback
-        self.label = label
-        self._started = False
-        self._pending: Optional[Event] = None
-
-    @property
-    def is_running(self) -> bool:
-        """Whether the task is currently scheduled to keep firing."""
-        return self._started
-
-    def start(self) -> None:
-        """Schedule the first firing (idempotent)."""
-        if self._started:
-            return
-        self._started = True
-        self._pending = self.simulator.schedule(self.interval_s, self._fire, self.label)
-
-    def stop(self) -> None:
-        """Cancel the pending firing and stop rescheduling."""
-        self._started = False
-        if self._pending is not None:
-            self._pending.cancel()
-            self._pending = None
-
-    def _fire(self) -> None:
-        if not self._started:
-            return
-        self.callback()
-        self._pending = self.simulator.schedule(self.interval_s, self._fire, self.label)
+__all__ = ["Event", "EventLoop", "EventQueue", "PeriodicTask", "Simulator"]

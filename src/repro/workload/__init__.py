@@ -19,7 +19,14 @@ from repro.workload.trace import TraceRecord, Trace
 from repro.workload.distributions import ObjectSizeDistribution, ZipfPopularity
 from repro.workload.docker_registry import DockerRegistryTraceGenerator, RegistryTraceConfig
 from repro.workload.microbenchmark import MicrobenchmarkWorkload
-from repro.workload.replay import ReplayReport, TraceReplayer
+from repro.workload.replay import (
+    ClosedLoopDriver,
+    ConcurrentReplayReport,
+    OpenLoopDriver,
+    ReplayReport,
+    RequestSample,
+    TraceReplayer,
+)
 
 __all__ = [
     "TraceRecord",
@@ -31,4 +38,8 @@ __all__ = [
     "MicrobenchmarkWorkload",
     "ReplayReport",
     "TraceReplayer",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "ConcurrentReplayReport",
+    "RequestSample",
 ]

@@ -1,31 +1,46 @@
-"""Trace replayer: drives a cache (InfiniCache, ElastiCache, or none) with a
-workload trace and records everything the Section 5.2 figures need.
+"""Trace replayers: sequential facade plus event-driven request drivers.
 
-Semantics follow the paper's evaluation:
+Three ways to drive a cache with a workload:
 
-* the trace is replayed in (virtual) real time — the simulator is advanced to
-  each request's timestamp so warm-ups, backups, and reclamations interleave
-  with the requests exactly as they would in wall-clock time;
+* :class:`TraceReplayer` — the original **sequential facade**: one implicit
+  client, strictly one request at a time, replayed in (virtual) real time by
+  advancing the simulator to each record's timestamp.  Sufficient for the
+  single-client figures (13-16, Table 1) and kept as the stable API.
+* :class:`OpenLoopDriver` — **arrival-timestamped injection**: every trace
+  record is scheduled as an event at its timestamp and runs as a coroutine
+  process, so a slow request is still in flight when the next one arrives.
+* :class:`ClosedLoopDriver` — **N concurrent clients**: each client is a
+  coroutine issuing its next request the moment the previous one completes;
+  this is the driver behind the Figure 12-style concurrent-throughput
+  scaling measurements.
+
+Common semantics follow the paper's evaluation:
+
 * the cache is **read-only and write-through**: a GET miss triggers a RESET —
   fetch the object from the backing store and insert it into the cache —
   whose latency includes the backing-store fetch;
 * every object in the trace is assumed to exist in the backing store (it is
   pre-populated before the replay starts).
 
-The replayer produces a :class:`ReplayReport` containing latency samples,
-hit/miss/RESET/recovery counts, and per-hour activity series, which the
-Figure 13-16 and Table 1 reproductions consume directly.
+The sequential facade produces a :class:`ReplayReport`; the event-driven
+drivers produce a :class:`ConcurrentReplayReport`, which additionally
+carries per-request intervals and the flow-level transfer trace so genuine
+request overlap is assertable (and the run fingerprintable for determinism
+checks).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.baselines.elasticache import ElastiCacheCluster
 from repro.baselines.s3 import ObjectStore
 from repro.cache.deployment import InfiniCacheDeployment
 from repro.exceptions import WorkloadError
+from repro.network.flows import FlowInterval, peak_concurrency
+from repro.sim.process import CountdownLatch, all_of
 from repro.simulation.metrics import TimeSeries
 from repro.utils.stats import summarize
 from repro.utils.units import HOUR
@@ -231,3 +246,270 @@ class TraceReplayer:
         report.total_cost = self.backing_store.request_cost()
         report.cost_breakdown = {"requests": report.total_cost, "total": report.total_cost}
         return report
+
+
+# ---------------------------------------------------------------------- event-driven drivers
+@dataclass(frozen=True)
+class RequestSample:
+    """One request's interval on the virtual clock, as a driver recorded it."""
+
+    client_id: str
+    key: str
+    size: int
+    started_at: float
+    finished_at: float
+    hit: bool
+    reset: bool = False
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency, RESET handling included."""
+        return self.finished_at - self.started_at
+
+    def overlaps(self, other: "RequestSample") -> bool:
+        """Whether two requests were in flight at the same instant."""
+        return self.started_at < other.finished_at and other.started_at < self.finished_at
+
+
+@dataclass
+class ConcurrentReplayReport:
+    """Everything measured by an event-driven (overlapping-request) replay."""
+
+    system: str
+    #: ``"closed-loop"`` or ``"open-loop"``.
+    mode: str
+    clients: int
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    resets: int = 0
+    recoveries: int = 0
+    samples: list[RequestSample] = field(default_factory=list)
+    #: Chunk-transfer intervals recorded by the flow network during the run.
+    flow_intervals: list[FlowInterval] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: Object bytes delivered to clients (hits plus RESET fetches).
+    total_bytes: int = 0
+    total_cost: float = 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of GETs served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Virtual seconds between the first request start and the last finish."""
+        return self.finished_at - self.started_at
+
+    @property
+    def aggregate_throughput_bps(self) -> float:
+        """Object bytes per second of simulated wall-clock time."""
+        return self.total_bytes / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_values(self) -> list[float]:
+        """All request latency samples in seconds."""
+        return [sample.latency_s for sample in self.samples]
+
+    def latency_summary(self) -> dict[str, float]:
+        """Percentile summary of the latency samples."""
+        return summarize(self.latency_values())
+
+    def max_concurrent_flows(self) -> int:
+        """Peak number of simultaneously in-flight chunk transfers."""
+        return peak_concurrency(
+            [(i.started_at, i.ended_at) for i in self.flow_intervals]
+        )
+
+    def overlapping_flow_pairs(self) -> int:
+        """Number of chunk-transfer interval pairs that overlap in time.
+
+        Strictly zero for the sequential facade (one transfer's interval is
+        collapsed to a point before the next starts); positive as soon as
+        two transfers — of one request or of two concurrent requests —
+        genuinely share the wire.
+        """
+        intervals = sorted(self.flow_intervals, key=lambda i: i.started_at)
+        pairs = 0
+        for index, interval in enumerate(intervals):
+            for other in intervals[index + 1:]:
+                if other.started_at >= interval.ended_at:
+                    break
+                pairs += 1
+        return pairs
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the run (for seeds-fixed determinism checks).
+
+        Covers every request interval and every flow interval, rounded to
+        nanoseconds so the digest is stable across platforms.
+        """
+        hasher = hashlib.sha256()
+        for sample in self.samples:
+            hasher.update(
+                f"{sample.client_id}|{sample.key}|{sample.size}|"
+                f"{sample.started_at:.9f}|{sample.finished_at:.9f}|"
+                f"{int(sample.hit)}|{int(sample.reset)}\n".encode()
+            )
+        for interval in self.flow_intervals:
+            hasher.update(
+                f"{interval.label}|{interval.host_id}|{interval.size_bytes}|"
+                f"{interval.started_at:.9f}|{interval.ended_at:.9f}|"
+                f"{int(interval.completed)}\n".encode()
+            )
+        return hasher.hexdigest()
+
+
+class _EventDriver:
+    """Shared machinery of the open- and closed-loop drivers."""
+
+    def __init__(
+        self,
+        deployment: InfiniCacheDeployment,
+        backing_store: Optional[ObjectStore] = None,
+        insert_on_miss: bool = True,
+    ):
+        self.deployment = deployment
+        self.backing_store = backing_store or ObjectStore()
+        self.insert_on_miss = insert_on_miss
+
+    def _request_process(self, client, client_id: str, key: str, size: int,
+                         report: ConcurrentReplayReport):
+        """Coroutine for one GET, including the RESET path on a miss."""
+        env = self.deployment.request_env
+        started = env.now
+        report.requests += 1
+        result = yield from client.get_process(key, env)
+        reset = False
+        if result.hit:
+            report.hits += 1
+            report.total_bytes += result.size
+            if result.recovery_performed:
+                report.recoveries += 1
+        else:
+            report.misses += 1
+            reset = result.data_lost
+            if reset:
+                report.resets += 1
+            fetched = self.backing_store.get(key)
+            if fetched is None:
+                raise WorkloadError(f"object {key!r} is missing from the backing store")
+            _size, store_latency = fetched
+            yield store_latency
+            if self.insert_on_miss:
+                yield from client.put_sized_process(key, size, env)
+            report.total_bytes += size
+        report.samples.append(RequestSample(
+            client_id=client_id, key=key, size=size,
+            started_at=started, finished_at=env.now,
+            hit=result.hit, reset=reset,
+        ))
+
+    def _finish(self, report: ConcurrentReplayReport, trace_start: int) -> ConcurrentReplayReport:
+        report.flow_intervals = list(self.deployment.flows.trace[trace_start:])
+        if report.samples:
+            report.started_at = min(s.started_at for s in report.samples)
+            report.finished_at = max(s.finished_at for s in report.samples)
+        self.deployment.stop()
+        report.total_cost = self.deployment.total_cost()
+        return report
+
+
+class ClosedLoopDriver(_EventDriver):
+    """N concurrent clients, each issuing back-to-back requests.
+
+    Every client is a coroutine process: it waits for its own previous
+    request (decode included) before issuing the next one, so offered load
+    rises with the client count exactly as in the paper's Figure 12 setup.
+    """
+
+    def _client_process(self, client, client_id: str,
+                        requests: Sequence[tuple[str, int]],
+                        report: ConcurrentReplayReport):
+        for key, size in requests:
+            yield from self._request_process(client, client_id, key, size, report)
+        return client_id
+
+    def run(self, requests_by_client: Sequence[Sequence[tuple[str, int]]]) -> ConcurrentReplayReport:
+        """Drive one coroutine client per request list until all complete.
+
+        Args:
+            requests_by_client: per client, the ``(key, size)`` GETs it
+                issues in order; sizes are used to pre-populate the backing
+                store and to re-insert on miss.
+        """
+        if not requests_by_client:
+            raise WorkloadError("the closed-loop driver needs at least one client")
+        for requests in requests_by_client:
+            for key, size in requests:
+                self.backing_store.put(key, size)
+        report = ConcurrentReplayReport(
+            system="infinicache", mode="closed-loop", clients=len(requests_by_client),
+        )
+        trace_start = len(self.deployment.flows.trace)
+        self.deployment.start()
+        loop = self.deployment.simulator
+        processes = [
+            loop.spawn(
+                self._client_process(
+                    self.deployment.new_client(f"closed-loop-{index}"),
+                    f"closed-loop-{index}", list(requests), report,
+                ),
+                label=f"driver.client.{index}",
+            )
+            for index, requests in enumerate(requests_by_client)
+        ]
+        loop.run_until_complete(all_of([process.future for process in processes]))
+        return self._finish(report, trace_start)
+
+
+class OpenLoopDriver(_EventDriver):
+    """Arrival-timestamped request injection from a trace.
+
+    Every record is scheduled at its trace timestamp and spawned as a
+    process when the clock reaches it — the offered load follows the trace
+    regardless of how long individual requests take, so slow requests
+    overlap with later arrivals instead of delaying them (which is what the
+    sequential facade does).
+    """
+
+    def run(self, trace: Trace) -> ConcurrentReplayReport:
+        """Inject every trace record at its timestamp; returns when all finish."""
+        if not trace.records:
+            raise WorkloadError("cannot replay an empty trace")
+        for key, size in trace.unique_objects().items():
+            self.backing_store.put(key, size)
+        report = ConcurrentReplayReport(
+            system="infinicache", mode="open-loop", clients=1,
+        )
+        trace_start = len(self.deployment.flows.trace)
+        self.deployment.start()
+        loop = self.deployment.simulator
+        client = self.deployment.new_client("open-loop")
+        latch = CountdownLatch(len(trace.records), label="open_loop.complete")
+
+        def inject(record) -> None:
+            if record.operation == "PUT":
+                def put_process():
+                    client.invalidate(record.key)
+                    yield from client.put_sized_process(
+                        record.key, record.size, self.deployment.request_env
+                    )
+                process = loop.spawn(put_process(), label=f"driver.put.{record.key}")
+            else:
+                process = loop.spawn(
+                    self._request_process(
+                        client, "open-loop", record.key, record.size, report
+                    ),
+                    label=f"driver.get.{record.key}",
+                )
+            process.future.add_done_callback(latch.count_down)
+
+        for record in trace.records:
+            loop.schedule_at(
+                record.timestamp, lambda r=record: inject(r), label="driver.arrival"
+            )
+        loop.run_until_complete(latch.future)
+        return self._finish(report, trace_start)

@@ -263,3 +263,74 @@ class TestPredictivePolicy:
         for _ in range(5):
             autoscaler.evaluate_once()
         assert deployment.proxies[0].pool_size == autoscaler.min_nodes
+
+
+class TestPredictiveTrendPolicy:
+    def _snapshot(self, **overrides):
+        from repro.cluster.autoscaler import PoolSnapshot
+
+        defaults = dict(
+            proxy_id="proxy-0",
+            pool_size=8,
+            per_node_capacity_bytes=100 * MB,
+            bytes_used=0,
+            memory_pressure=0.0,
+            request_rate=0.0,
+        )
+        defaults.update(overrides)
+        return PoolSnapshot(**defaults)
+
+    def test_policy_selection_and_validation(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy, make_policy
+
+        policy = make_policy(AutoscalerConfig(policy="predictive_trend", trend_beta=0.4))
+        assert isinstance(policy, PredictiveEwmaPolicy)
+        assert policy.trend_beta == 0.4
+        # The plain predictive policy stays trendless.
+        assert make_policy(AutoscalerConfig(policy="predictive")).trend_beta == 0.0
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(trend_beta=1.5)
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(trend_beta=-0.1)
+
+    def test_trend_extrapolates_a_ramp_ahead_of_plain_ewma(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy
+
+        config = AutoscalerConfig(
+            policy="predictive_trend", ewma_alpha=0.5, trend_beta=0.5,
+            target_requests_per_node=1.0,
+        )
+        trended = PredictiveEwmaPolicy(config, trend_beta=config.trend_beta)
+        plain = PredictiveEwmaPolicy(config)
+        ramp = [4.0, 8.0, 12.0, 16.0, 20.0]
+        for rate in ramp[:-1]:
+            trended.desired_delta(self._snapshot(request_rate=rate))
+            plain.desired_delta(self._snapshot(request_rate=rate))
+        with_trend = trended.desired_delta(self._snapshot(request_rate=ramp[-1]))
+        without = plain.desired_delta(self._snapshot(request_rate=ramp[-1]))
+        # On a steady ramp the trend term forecasts beyond the last level.
+        assert with_trend > without
+
+    def test_zero_beta_matches_plain_ewma_exactly(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy
+
+        config = AutoscalerConfig(policy="predictive", ewma_alpha=0.3)
+        a = PredictiveEwmaPolicy(config)
+        b = PredictiveEwmaPolicy(config, trend_beta=0.0)
+        rates = [2.0, 9.0, 4.0, 17.0, 1.0]
+        deltas_a = [a.desired_delta(self._snapshot(request_rate=r)) for r in rates]
+        deltas_b = [b.desired_delta(self._snapshot(request_rate=r)) for r in rates]
+        assert deltas_a == deltas_b
+
+    def test_trend_forecast_never_goes_negative(self):
+        from repro.cluster.autoscaler import PredictiveEwmaPolicy
+
+        policy = PredictiveEwmaPolicy(
+            AutoscalerConfig(policy="predictive_trend", ewma_alpha=1.0, trend_beta=1.0),
+            trend_beta=1.0,
+        )
+        # A crash from 50 req/s to zero drives level + trend below zero; the
+        # sizing must clamp at the minimum pool, not explode on ceil(<0).
+        policy.desired_delta(self._snapshot(request_rate=50.0))
+        delta = policy.desired_delta(self._snapshot(request_rate=0.0))
+        assert delta == 1 - 8

@@ -160,7 +160,7 @@ class TestChargebackExperiments:
         result = autoscale_policies.run(
             tenants=cluster_scale.default_tenants(30), duration_s=60.0
         )
-        assert set(result.runs) == {"reactive", "predictive"}
+        assert set(result.runs) == {"reactive", "predictive", "predictive_trend"}
         for run_result in result.runs.values():
             assert run_result.chargeback_total_cost == pytest.approx(
                 run_result.total_cost

@@ -1,0 +1,187 @@
+"""Tests for the flow-level network model: dynamic bandwidth sharing.
+
+Satellite coverage for ``NetworkFabric`` shared-NIC accounting under flows
+that join and leave mid-transfer — the dynamic path the event-driven
+request drivers exercise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.flows import FlowNetwork
+from repro.network.topology import NetworkFabric
+from repro.sim import EventLoop
+
+MB = 1_000_000.0
+
+
+def make_network(proxy_uplink_bps: float = 10_000 * MB) -> tuple[EventLoop, FlowNetwork]:
+    loop = EventLoop()
+    fabric = NetworkFabric(proxy_uplink_bps=proxy_uplink_bps)
+    return loop, FlowNetwork(loop, fabric)
+
+
+def start(net: FlowNetwork, *, size: float, host: str = "h0", cap: float = 100 * MB,
+          fn_cap: float = 1_000 * MB, proxy: str = "p0", label: str = ""):
+    return net.transfer(
+        size_bytes=size, function_bandwidth_bps=fn_cap, host_id=host,
+        host_capacity_bps=cap, proxy_id=proxy, label=label,
+    )
+
+
+class TestSoloFlow:
+    def test_completes_at_size_over_bottleneck(self):
+        loop, net = make_network()
+        flow = start(net, size=100 * MB)  # host NIC 100 MB/s is the bottleneck
+        done = []
+        flow.future.add_done_callback(lambda f: done.append(loop.now))
+        loop.run_all()
+        assert done == [pytest.approx(1.0)]
+        assert net.active_count == 0
+        [interval] = net.trace
+        assert interval.completed
+        assert interval.started_at == 0.0
+        assert interval.ended_at == pytest.approx(1.0)
+        assert interval.bytes_moved == pytest.approx(100 * MB)
+
+    def test_function_cap_binds_when_smaller(self):
+        loop, net = make_network()
+        flow = start(net, size=50 * MB, fn_cap=50 * MB)
+        loop.run_all()
+        assert flow.future.done
+        assert net.trace[0].ended_at == pytest.approx(1.0)
+
+    def test_rejects_degenerate_flows(self):
+        loop, net = make_network()
+        with pytest.raises(SimulationError):
+            start(net, size=0)
+        with pytest.raises(SimulationError):
+            start(net, size=1.0, fn_cap=0)
+
+
+class TestJoinAndLeaveMidTransfer:
+    def test_joiner_slows_the_incumbent_and_departure_speeds_it_up(self):
+        loop, net = make_network()
+        nic_capacity = 100 * MB
+        incumbent = start(net, size=100 * MB, cap=nic_capacity, label="incumbent")
+        ends: dict[str, float] = {}
+        incumbent.future.add_done_callback(lambda f: ends.setdefault("incumbent", loop.now))
+
+        # At t=0.5 the incumbent has moved 50 MB; a joiner halves its share.
+        loop.run_until(0.5)
+        joiner = start(net, size=25 * MB, cap=nic_capacity, label="joiner")
+        joiner.future.add_done_callback(lambda f: ends.setdefault("joiner", loop.now))
+        nic = net.fabric.hosts["h0"]
+        assert nic.concurrent_flows == 2
+        assert incumbent.rate_bps == pytest.approx(nic_capacity / 2)
+
+        loop.run_all()
+        # Joiner: 25 MB at 50 MB/s -> finishes at t=1.0; incumbent then has
+        # 25 MB left and the full NIC again -> finishes at t=1.25 (instead
+        # of t=1.0 solo or t=1.5 under a static halved share).
+        assert ends["joiner"] == pytest.approx(1.0)
+        assert ends["incumbent"] == pytest.approx(1.25)
+        assert nic.concurrent_flows == 0
+
+    def test_nic_accounting_tracks_live_membership(self):
+        loop, net = make_network()
+        first = start(net, size=100 * MB)
+        assert net.flows_on_host("h0") == 1
+        loop.run_until(0.2)
+        second = start(net, size=100 * MB)
+        assert net.flows_on_host("h0") == 2
+        # Per-flow share is capacity / live flows, straight from the NIC.
+        assert net.fabric.hosts["h0"].effective_bandwidth() == pytest.approx(50 * MB)
+        loop.run_all()
+        assert net.flows_on_host("h0") == 0
+        assert first.future.done and second.future.done
+
+    def test_byte_conservation_across_rate_changes(self):
+        loop, net = make_network()
+        sizes = [80 * MB, 50 * MB, 20 * MB]
+        flows = []
+        for index, size in enumerate(sizes):
+            loop.run_until(0.1 * index)
+            flows.append(start(net, size=size, label=f"f{index}"))
+        loop.run_all()
+        assert len(net.trace) == 3
+        for interval, size in zip(sorted(net.trace, key=lambda i: i.flow_id), sizes):
+            assert interval.completed
+            assert interval.bytes_moved == pytest.approx(size)
+
+
+class TestCancellation:
+    def test_cancel_releases_share_and_records_partial_progress(self):
+        loop, net = make_network()
+        survivor = start(net, size=100 * MB, label="survivor")
+        straggler = start(net, size=100 * MB, label="straggler")
+        loop.run_until(0.5)  # each has moved 25 MB at 50 MB/s
+        assert net.cancel(straggler) is True
+        assert straggler.future.cancelled
+        partial = [i for i in net.trace if not i.completed]
+        assert len(partial) == 1
+        assert partial[0].label == "straggler"
+        assert partial[0].bytes_moved == pytest.approx(25 * MB)
+        loop.run_all()
+        # Survivor gets the full NIC back: 75 MB at 100 MB/s from t=0.5.
+        done = [i for i in net.trace if i.completed]
+        assert done[0].ended_at == pytest.approx(1.25)
+        assert net.fabric.hosts["h0"].concurrent_flows == 0
+
+    def test_cancelling_the_future_tears_down_the_flow(self):
+        loop, net = make_network()
+        flow = start(net, size=100 * MB)
+        loop.run_until(0.25)
+        flow.future.cancel()
+        assert net.active_count == 0
+        assert not net.trace[0].completed
+        loop.run_all()  # the stale completion event must not fire
+        assert len(net.trace) == 1
+
+    def test_double_cancel_is_a_noop(self):
+        loop, net = make_network()
+        flow = start(net, size=10 * MB)
+        assert net.cancel(flow) is True
+        assert net.cancel(flow) is False
+
+
+class TestProxyUplinkSharing:
+    def test_same_proxy_flows_split_the_uplink(self):
+        loop, net = make_network(proxy_uplink_bps=100 * MB)
+        a = start(net, size=50 * MB, host="h0", cap=1_000 * MB, proxy="p0")
+        b = start(net, size=50 * MB, host="h1", cap=1_000 * MB, proxy="p0")
+        assert a.rate_bps == pytest.approx(50 * MB)
+        assert b.rate_bps == pytest.approx(50 * MB)
+        assert net.streams_on_proxy("p0") == 2
+        loop.run_all()
+        assert net.trace[0].ended_at == pytest.approx(1.0)
+
+    def test_distinct_proxies_do_not_contend(self):
+        loop, net = make_network(proxy_uplink_bps=100 * MB)
+        a = start(net, size=50 * MB, host="h0", cap=1_000 * MB, proxy="p0")
+        b = start(net, size=50 * MB, host="h1", cap=1_000 * MB, proxy="p1")
+        assert a.rate_bps == pytest.approx(100 * MB)
+        assert b.rate_bps == pytest.approx(100 * MB)
+        loop.run_all()
+        assert all(i.ended_at == pytest.approx(0.5) for i in net.trace)
+
+
+class TestTraceIntrospection:
+    def test_max_concurrent_counts_overlapping_intervals(self):
+        loop, net = make_network()
+        start(net, size=100 * MB, host="h0")
+        start(net, size=100 * MB, host="h1")
+        loop.run_until(0.5)
+        start(net, size=10 * MB, host="h2")
+        loop.run_all()
+        assert net.max_concurrent() == 3
+
+    def test_intervals_overlap_predicate(self):
+        loop, net = make_network()
+        start(net, size=100 * MB, host="h0")
+        start(net, size=50 * MB, host="h1")
+        loop.run_all()
+        first, second = net.trace
+        assert first.overlaps(second) and second.overlaps(first)

@@ -1,0 +1,216 @@
+"""Tests for the repro.sim engine: futures, combinators, and processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import EventLoop, Process, SimFuture, all_of, first_n, resolved
+
+
+class TestSimFuture:
+    def test_resolve_fires_callbacks_once(self):
+        future = SimFuture("t")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result))
+        future.resolve(42)
+        assert seen == [42]
+        # A late callback runs immediately with the stored result.
+        future.add_done_callback(lambda f: seen.append(f.result))
+        assert seen == [42, 42]
+
+    def test_double_resolve_is_an_error(self):
+        future = SimFuture("t")
+        future.resolve(1)
+        with pytest.raises(SimulationError):
+            future.resolve(2)
+
+    def test_pending_result_is_an_error(self):
+        with pytest.raises(SimulationError):
+            SimFuture("t").result
+
+    def test_cancel_runs_hooks_then_callbacks(self):
+        order = []
+        future = SimFuture("t")
+        future.on_cancel(lambda: order.append("hook"))
+        future.add_done_callback(lambda f: order.append(("done", f.cancelled)))
+        assert future.cancel() is True
+        assert order == ["hook", ("done", True)]
+        # Cancelling a settled future is a no-op.
+        assert future.cancel() is False
+
+    def test_resolved_helper(self):
+        assert resolved("x").result == "x"
+
+
+class TestCombinators:
+    def test_all_of_preserves_input_order(self):
+        a, b = SimFuture("a"), SimFuture("b")
+        gate = all_of([a, b])
+        b.resolve("B")
+        assert not gate.done
+        a.resolve("A")
+        assert gate.result == ["A", "B"]
+
+    def test_all_of_empty_resolves_immediately(self):
+        assert all_of([]).result == []
+
+    def test_all_of_counts_cancelled_inputs_as_none(self):
+        a, b = SimFuture("a"), SimFuture("b")
+        gate = all_of([a, b])
+        a.resolve("A")
+        b.cancel()
+        assert gate.result == ["A", None]
+
+    def test_first_n_resolves_in_completion_order(self):
+        futures = [SimFuture(str(i)) for i in range(4)]
+        gate = first_n(2, futures)
+        futures[3].resolve("late-3")
+        assert not gate.done
+        futures[1].resolve("late-1")
+        assert gate.result == ["late-3", "late-1"]
+        # Further completions do not disturb the resolved gate.
+        futures[0].resolve("x")
+        assert gate.result == ["late-3", "late-1"]
+
+    def test_first_n_ignores_cancelled_futures(self):
+        futures = [SimFuture(str(i)) for i in range(3)]
+        gate = first_n(2, futures)
+        futures[0].cancel()
+        futures[1].resolve(1)
+        assert not gate.done
+        futures[2].resolve(2)
+        assert gate.result == [1, 2]
+
+    def test_first_n_rejects_impossible_quorum(self):
+        with pytest.raises(SimulationError):
+            first_n(3, [SimFuture("a")])
+
+
+class TestProcesses:
+    def test_sleep_advances_virtual_time(self):
+        loop = EventLoop()
+        log = []
+
+        def proc():
+            yield 1.5
+            log.append(loop.now)
+            yield 2.5
+            log.append(loop.now)
+            return "done"
+
+        process = loop.spawn(proc())
+        result = loop.run_until_complete(process.future)
+        assert result == "done"
+        assert log == [1.5, 4.0]
+
+    def test_yield_from_delegation_and_process_waiting(self):
+        loop = EventLoop()
+
+        def inner():
+            yield 1.0
+            return "inner-value"
+
+        def outer():
+            value = yield from inner()
+            child = loop.spawn(inner())
+            other = yield child
+            return (value, other)
+
+        process = loop.spawn(outer())
+        assert loop.run_until_complete(process.future) == ("inner-value", "inner-value")
+        assert loop.now == 2.0
+
+    def test_concurrent_processes_interleave(self):
+        loop = EventLoop()
+        log = []
+
+        def proc(name, delay):
+            yield delay
+            log.append((name, loop.now))
+
+        a = loop.spawn(proc("a", 2.0))
+        b = loop.spawn(proc("b", 1.0))
+        loop.run_until_complete(all_of([a.future, b.future]))
+        assert log == [("b", 1.0), ("a", 2.0)]
+
+    def test_cancel_runs_finally_at_current_time(self):
+        loop = EventLoop()
+        cleanup = []
+
+        def proc():
+            try:
+                yield 10.0
+            finally:
+                cleanup.append(loop.now)
+
+        process = loop.spawn(proc())
+        loop.run_until(3.0)
+        assert process.cancel() is True
+        assert process.future.cancelled
+        assert cleanup == [3.0]
+        # The pending wake-up was cancelled along with the process.
+        loop.run_all()
+        assert loop.now == 3.0
+
+    def test_first_n_with_processes_and_loser_cancellation(self):
+        loop = EventLoop()
+
+        def proc(delay, name):
+            yield delay
+            return name
+
+        tasks = [loop.spawn(proc(d, n)) for d, n in ((3.0, "slow"), (1.0, "fast"), (2.0, "mid"))]
+        gate = first_n(2, [t.future for t in tasks])
+        winners = loop.run_until_complete(gate)
+        assert winners == ["fast", "mid"]
+        for task in tasks:
+            if not task.done:
+                task.cancel()
+        assert tasks[0].future.cancelled
+
+    def test_run_until_complete_detects_deadlock(self):
+        loop = EventLoop()
+
+        def proc():
+            yield SimFuture("never")
+
+        process = loop.spawn(proc())
+        with pytest.raises(SimulationError):
+            loop.run_until_complete(process.future)
+
+    def test_unsupported_waitable_is_an_error(self):
+        loop = EventLoop()
+
+        def proc():
+            yield "nonsense"
+
+        with pytest.raises(SimulationError):
+            loop.spawn(proc())
+
+    def test_timeout_future_cancellation_cancels_event(self):
+        loop = EventLoop()
+        future = loop.timeout(5.0)
+        future.cancel()
+        loop.run_all()
+        assert loop.now == 0.0
+
+
+class TestBackwardsCompatibility:
+    def test_simulation_package_reexports_the_engine(self):
+        from repro.simulation import Simulator as OldSimulator
+        from repro.simulation.events import Simulator as EventsSimulator
+
+        assert OldSimulator is EventLoop
+        assert EventsSimulator is EventLoop
+
+    def test_simulator_alias_supports_processes(self):
+        from repro.simulation.events import Simulator
+
+        loop = Simulator()
+
+        def proc():
+            yield 1.0
+            return "ok"
+
+        assert loop.run_until_complete(loop.spawn(proc()).future) == "ok"
