@@ -19,6 +19,13 @@ event-driven replay driver twice with a fixed seed and verifies the runs
 are bit-for-bit deterministic (same request intervals, same chunk-flow
 intervals) and that concurrent clients genuinely overlap on the wire; CI
 uses it as the concurrency smoke check.
+
+``python -m repro perf [--quick] [--output BENCH_perf.json]`` runs the
+simulator performance harness (micro event-queue/flow-churn benchmarks
+plus the closed-loop fleet sweep), writes ``BENCH_perf.json``, and exits
+non-zero if the incremental flow arbiter's replay fingerprint drifts from
+the global-recompute reference — a correctness gate immune to timing
+noise.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -159,6 +166,64 @@ def _sim_smoke(argv: list[str]) -> int:
     return 0
 
 
+def _perf(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Simulator performance harness: events/sec, fleet sweep, "
+        "and the incremental-vs-reference arbiter comparison.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: small fleets only, seconds-fast",
+    )
+    parser.add_argument(
+        "--clients", type=int, nargs="+", default=None, metavar="N",
+        help="fleet sizes for the closed-loop sweep (default: 8 64 256 1024, "
+        "or 8 64 under --quick; explicit values are honored as given)",
+    )
+    parser.add_argument(
+        "--compare-clients", type=int, default=None, metavar="N",
+        help="fleet size for the arbiter comparison (default: 256, or the "
+        "largest swept fleet under --quick)",
+    )
+    parser.add_argument(
+        "--skip-compare", action="store_true",
+        help="skip the incremental-vs-reference comparison",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_perf.json", metavar="PATH",
+        help="where to write the JSON payload (default: BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+    import json
+
+    from repro.experiments import perf
+
+    if args.compare_clients is not None and args.compare_clients < 1:
+        parser.error("--compare-clients must be a positive client count")
+    if args.clients is not None and any(count < 1 for count in args.clients):
+        parser.error("--clients values must be positive client counts")
+    payload = perf.run_suite(
+        client_counts=tuple(args.clients) if args.clients else None,
+        compare_clients=args.compare_clients,
+        quick=args.quick,
+        skip_compare=args.skip_compare,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(perf.format_report(payload))
+    print(f"\n(wrote {args.output})")
+    comparison = payload.get("arbiter_comparison")
+    if comparison and not comparison["fingerprints_identical"]:
+        print(
+            "FAIL: the incremental arbiter's replay fingerprint diverged from "
+            "the global-recompute reference",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch to a cluster subcommand or the experiment runner."""
     if argv is None:
@@ -169,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         return _chargeback(argv[1:])
     if argv and argv[0] == "sim-smoke":
         return _sim_smoke(argv[1:])
+    if argv and argv[0] == "perf":
+        return _perf(argv[1:])
     return runner_main(argv)
 
 

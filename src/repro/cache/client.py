@@ -86,8 +86,7 @@ class InfiniCacheClient:
         self.client_id = client_id
         self.codec = ErasureCodec(config.data_shards, config.parity_shards)
         self.ring: ConsistentHashRing[Proxy] = ConsistentHashRing()
-        for proxy in proxies:
-            self.ring.add(proxy.proxy_id, proxy)
+        self.ring.add_many([(proxy.proxy_id, proxy) for proxy in proxies])
         self.gets = 0
         self.puts = 0
         self.hits = 0

@@ -76,6 +76,16 @@ class InfiniCacheConfig:
     #: seeded off :attr:`seed` (deterministic per seed).  Distinct from the
     #: heavier-tailed :attr:`straggler` model, which fires with a probability.
     transfer_jitter_fraction: float = 0.0
+    #: Which flow arbiter backs the event-driven request path:
+    #: ``"incremental"`` (bottleneck-group arbitration, the default) or
+    #: ``"reference"`` (the global-recompute sweep, numerically identical but
+    #: O(active flows) per transition — kept for differential testing and as
+    #: the perf-harness baseline).
+    flow_arbiter: str = "incremental"
+    #: If set, the flow network retains at most this many finished/abandoned
+    #: transfer intervals (aggregate flow statistics are unaffected).  Long
+    #: open-loop replays use it to keep memory flat; ``None`` retains all.
+    flow_trace_limit: int | None = None
 
     # --- recovery behaviour ----------------------------------------------------------------
     #: Re-insert chunks lost to reclamation when the object is still
@@ -125,6 +135,12 @@ class InfiniCacheConfig:
             raise ConfigurationError("coding bandwidths must be positive")
         if self.transfer_jitter_fraction < 0:
             raise ConfigurationError("transfer jitter fraction must be non-negative")
+        if self.flow_arbiter not in ("incremental", "reference"):
+            raise ConfigurationError(
+                f"flow_arbiter must be 'incremental' or 'reference', got {self.flow_arbiter!r}"
+            )
+        if self.flow_trace_limit is not None and self.flow_trace_limit < 0:
+            raise ConfigurationError("flow_trace_limit must be >= 0 when set")
 
     @property
     def total_chunks(self) -> int:

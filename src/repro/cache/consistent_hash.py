@@ -26,6 +26,34 @@ def stable_hash(value: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+#: Virtual-node hash points per ``(member_id, virtual_nodes)``.  Every client
+#: ring hashes the same proxies to the same points, so at fleet scale (one
+#: ring per closed-loop client) the cache turns ring construction from
+#: millions of blake2b calls into tuple reuse.  Bounded by an occasional
+#: wholesale clear — it is a pure cache, correctness never depends on it.
+_POINT_CACHE: dict[tuple[str, int], tuple[int, ...]] = {}
+_POINT_CACHE_MAX = 65536
+
+#: Fully-sorted rings per ``(virtual_nodes, member ids)``.  Every closed-loop
+#: client builds the same ring over the same proxies; copying a cached sorted
+#: list is O(n) against an O(n log n) sort per client.
+_RING_CACHE: dict[tuple[int, tuple[str, ...]], tuple[tuple[int, str], ...]] = {}
+_RING_CACHE_MAX = 256
+
+
+def _virtual_points(member_id: str, virtual_nodes: int) -> tuple[int, ...]:
+    key = (member_id, virtual_nodes)
+    points = _POINT_CACHE.get(key)
+    if points is None:
+        if len(_POINT_CACHE) >= _POINT_CACHE_MAX:
+            _POINT_CACHE.clear()
+        points = tuple(
+            stable_hash(f"{member_id}::{replica}") for replica in range(virtual_nodes)
+        )
+        _POINT_CACHE[key] = points
+    return points
+
+
 class ConsistentHashRing(Generic[T]):
     """Maps string keys onto a set of member objects via consistent hashing."""
 
@@ -54,10 +82,41 @@ class ConsistentHashRing(Generic[T]):
         """Add a member under a unique identifier."""
         if member_id in self._members:
             raise ConfigurationError(f"member {member_id!r} is already on the ring")
-        self._members[member_id] = member
-        for replica in range(self.virtual_nodes):
-            point = stable_hash(f"{member_id}::{replica}")
-            bisect.insort(self._ring, (point, member_id))
+        self.add_many([(member_id, member)])
+
+    def add_many(self, members: list[tuple[str, T]]) -> None:
+        """Add several members with a single ring rebuild.
+
+        Equivalent to calling :meth:`add` per member (the ring is a sorted
+        multiset, insertion order is immaterial) but sorts once, which is
+        what makes constructing thousands of per-client rings over a large
+        proxy fleet affordable.
+        """
+        batch_ids = set()
+        for member_id, _member in members:
+            if member_id in self._members or member_id in batch_ids:
+                raise ConfigurationError(f"member {member_id!r} is already on the ring")
+            batch_ids.add(member_id)
+        building_fresh = not self._ring
+        cache_key = (
+            (self.virtual_nodes, tuple(member_id for member_id, _member in members))
+            if building_fresh
+            else None
+        )
+        cached = _RING_CACHE.get(cache_key) if cache_key is not None else None
+        for member_id, member in members:
+            self._members[member_id] = member
+            if cached is None:
+                points = _virtual_points(member_id, self.virtual_nodes)
+                self._ring.extend(zip(points, (member_id,) * len(points)))
+        if cached is not None:
+            self._ring = list(cached)
+            return
+        self._ring.sort()
+        if cache_key is not None:
+            if len(_RING_CACHE) >= _RING_CACHE_MAX:
+                _RING_CACHE.clear()
+            _RING_CACHE[cache_key] = tuple(self._ring)
 
     def remove(self, member_id: str) -> None:
         """Remove a member and all of its virtual nodes."""

@@ -28,7 +28,7 @@ from repro.cache.runtime import RequestEnv
 from repro.faas.billing import BillingModel
 from repro.faas.platform import FaaSPlatform
 from repro.faas.reclamation import ReclamationPolicy
-from repro.network.flows import FlowNetwork
+from repro.network.flows import FlowNetwork, ReferenceFlowNetwork
 from repro.network.transfer import TransferModel
 from repro.exceptions import ConfigurationError
 from repro.sim.loop import PeriodicTask, Simulator
@@ -69,7 +69,16 @@ class InfiniCacheDeployment:
         #: Flow-level network arbitration + the context the event-driven
         #: (process-based) request path runs in; the synchronous facade
         #: ignores both and uses the static-snapshot estimates instead.
-        self.flows = FlowNetwork(self.simulator, self.transfer_model.fabric)
+        #: ``config.flow_arbiter`` selects the incremental bottleneck-group
+        #: arbiter (default) or the global-recompute reference sweep.
+        arbiter_cls = (
+            ReferenceFlowNetwork if self.config.flow_arbiter == "reference" else FlowNetwork
+        )
+        self.flows = arbiter_cls(
+            self.simulator,
+            self.transfer_model.fabric,
+            trace_limit=self.config.flow_trace_limit,
+        )
         self.request_env = RequestEnv(self.simulator, self.flows)
         self._next_proxy_index = 0
         self.proxies: list[Proxy] = []

@@ -66,7 +66,11 @@ class ErasureCodec:
     """Encode objects into chunks and decode chunks back into objects."""
 
     def __init__(self, data_shards: int, parity_shards: int):
-        self.rs = ReedSolomon(data_shards, parity_shards)
+        # Codecs with the same geometry share one ReedSolomon instance —
+        # one encoding matrix and one decode-matrix LRU across every client,
+        # proxy, and repair path (there is one codec per client at fleet
+        # scale, so per-instance matrices would be pure duplication).
+        self.rs = ReedSolomon.shared(data_shards, parity_shards)
         self.data_shards = data_shards
         self.parity_shards = parity_shards
 

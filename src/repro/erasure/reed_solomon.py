@@ -13,6 +13,8 @@ stripe math.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.erasure.matrix import GFMatrix
@@ -22,6 +24,12 @@ from repro.exceptions import ConfigurationError, DecodingError, EncodingError
 #: codes are safe well beyond this, but the paper never exceeds 24 shards
 #: (its "aggressive" example is RS(20+4)).
 MAX_TOTAL_SHARDS = 256
+
+#: Per-instance bound on cached decode matrices.  There are at most
+#: C(total, data) missing-shard patterns; in practice a handful recur
+#: (reclamation takes out the same nodes for many objects), so a small LRU
+#: captures nearly all repeat inversions.
+DECODE_MATRIX_CACHE_SIZE = 128
 
 
 class ReedSolomon:
@@ -53,6 +61,10 @@ class ReedSolomon:
         else:
             self._matrix = GFMatrix.identity(data_shards)
             self._parity_matrix = None
+        #: LRU of inverted decode submatrices keyed by the surviving-shard
+        #: pattern; every request that lost the same shards reuses the same
+        #: inversion instead of re-running the GF(2^8) Gaussian elimination.
+        self._decode_matrices: OrderedDict[tuple[int, ...], GFMatrix] = OrderedDict()
 
     def __repr__(self) -> str:
         return f"ReedSolomon(d={self.data_shards}, p={self.parity_shards})"
@@ -133,13 +145,24 @@ class ReedSolomon:
             )
 
         selected_indices = sorted(shards)[: self.data_shards]
-        sub = self._matrix.submatrix_rows(selected_indices)
-        decode_matrix = sub.inverse()
+        decode_matrix = self._decode_matrix(tuple(selected_indices))
         stacked = np.frombuffer(
             b"".join(shards[i] for i in selected_indices), dtype=np.uint8
         ).reshape(self.data_shards, shard_len)
         reconstructed = decode_matrix.multiply_rows_into(stacked)
         return [reconstructed[i].tobytes() for i in range(self.data_shards)]
+
+    def _decode_matrix(self, selected_indices: tuple[int, ...]) -> GFMatrix:
+        """The inverted decode submatrix for one surviving-shard pattern (LRU)."""
+        cached = self._decode_matrices.get(selected_indices)
+        if cached is not None:
+            self._decode_matrices.move_to_end(selected_indices)
+            return cached
+        matrix = self._matrix.submatrix_rows(list(selected_indices)).inverse()
+        self._decode_matrices[selected_indices] = matrix
+        if len(self._decode_matrices) > DECODE_MATRIX_CACHE_SIZE:
+            self._decode_matrices.popitem(last=False)
+        return matrix
 
     def reconstruct_all(self, shards: dict[int, bytes]) -> list[bytes]:
         """Reconstruct the *entire* stripe (data + parity) from any d shards.
@@ -149,6 +172,21 @@ class ReedSolomon:
         """
         data = self.decode(shards)
         return self.encode(data)
+
+    @classmethod
+    def shared(cls, data_shards: int, parity_shards: int) -> "ReedSolomon":
+        """A process-wide shared instance for ``(data_shards, parity_shards)``.
+
+        Instances are stateless apart from their caches, so every codec with
+        the same geometry can reuse one — sharing the encoding matrix *and*
+        the decode-matrix LRU across all proxies, clients, and repair paths.
+        """
+        key = (data_shards, parity_shards)
+        instance = _SHARED_CODES.get(key)
+        if instance is None:
+            instance = cls(data_shards, parity_shards)
+            _SHARED_CODES[key] = instance
+        return instance
 
     def verify(self, shards: list[bytes]) -> bool:
         """Check that a full stripe is internally consistent.
@@ -165,3 +203,8 @@ class ReedSolomon:
             recomputed[i] == shards[i]
             for i in range(self.data_shards, self.total_shards)
         )
+
+
+#: Registry behind :meth:`ReedSolomon.shared`; geometries are few (the paper
+#: uses a handful of (d, p) pairs), so this never needs eviction.
+_SHARED_CODES: dict[tuple[int, int], ReedSolomon] = {}

@@ -16,8 +16,17 @@ The paper's performance results hinge on a few network facts:
 timings used by the cache simulation.
 """
 
+from repro.network.flows import FlowInterval, FlowNetwork, ReferenceFlowNetwork
 from repro.network.link import Link
 from repro.network.topology import HostNic, NetworkFabric
 from repro.network.transfer import TransferModel
 
-__all__ = ["Link", "HostNic", "NetworkFabric", "TransferModel"]
+__all__ = [
+    "FlowInterval",
+    "FlowNetwork",
+    "HostNic",
+    "Link",
+    "NetworkFabric",
+    "ReferenceFlowNetwork",
+    "TransferModel",
+]

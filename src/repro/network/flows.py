@@ -9,24 +9,39 @@ leaving while other flows are still in progress*.
 
 :class:`FlowNetwork` models exactly that.  A transfer is an *interval* on
 the shared :class:`~repro.sim.loop.EventLoop` clock: it starts, progresses
-at the current fair-share rate, and finishes when its bytes run out.  Every
-time a flow starts, finishes, or is cancelled, the network
+at the current fair-share rate, and finishes when its bytes run out.
 
-1. **settles** every active flow's progress at the rates that held since the
-   last change,
-2. **recomputes** each flow's rate as the bottleneck of its three caps —
-   the function's own bandwidth, its VM host's NIC fair share, and its
-   proxy's uplink fair share — and
-3. **reschedules** each flow's completion event for the new finish time.
+A flow's rate is the bottleneck of three caps — the function's own
+bandwidth, its VM host's NIC fair share, and its proxy's uplink fair share.
+The two shared caps depend only on *how many* flows currently occupy that
+NIC or that uplink, so a flow start/finish/abandon can change the rate of
+exactly two **bottleneck groups**: the flows on the touched host NIC and
+the flows on the touched proxy uplink.  The arbiter therefore indexes
+active flows by NIC and by uplink and, on each transition,
+
+1. **settles** the progress of the affected flows whose rate actually
+   changes (progress between rate changes is linear, so settlement is lazy
+   — a flow is only brought up to date when its rate flips or it retires),
+2. **recomputes** rates for the two touched groups only, and
+3. **re-aims** completion events only for flows whose bottleneck flipped.
+
+This makes a transition O(group size) instead of O(total active flows),
+which is what lets the closed-loop drivers scale to thousand-client fleets
+(see ``docs/performance.md``).  :class:`ReferenceFlowNetwork` keeps the
+original global-recompute sweep — with identical numeric semantics — as the
+differential-testing and perf-baseline reference.
 
 Host-NIC sharing uses the same :class:`~repro.network.topology.HostNic`
-registry as the static model — ``acquire``/``release`` now track live flow
-membership, so the shared-NIC accounting responds to flows that join and
-leave mid-transfer.
+registry as the static model — ``acquire``/``release`` still track live
+flow membership, so the shared-NIC accounting responds to flows that join
+and leave mid-transfer.
 
 Every finished or abandoned flow leaves a :class:`FlowInterval` in
 :attr:`FlowNetwork.trace`; the drivers surface that trace so experiments
-(and tests) can assert genuine overlap between concurrent transfers.
+(and tests) can assert genuine overlap between concurrent transfers.  Long
+open-loop runs can cap the retained intervals with ``trace_limit`` —
+aggregate statistics (counts, bytes, the running concurrency peak) are kept
+independently of the retained window and do not change.
 """
 
 from __future__ import annotations
@@ -126,22 +141,71 @@ class Flow:
 
 
 class FlowNetwork:
-    """Processor-sharing bandwidth arbitration over the event loop."""
+    """Incremental processor-sharing bandwidth arbitration over the event loop.
 
-    def __init__(self, loop: EventLoop, fabric: NetworkFabric):
+    Args:
+        loop: the shared event loop flows are scheduled on.
+        fabric: NIC registry plus proxy-side uplink capacity.
+        trace_limit: if given, retain at most this many finished/abandoned
+            :class:`FlowInterval` records (the oldest are evicted; eviction
+            costs O(trace_limit) per retirement, so keep limits modest).
+            The aggregate statistics (``completed_flows``,
+            ``abandoned_flows``, byte totals, ``max_concurrent``) are
+            unaffected by eviction.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        fabric: NetworkFabric,
+        trace_limit: Optional[int] = None,
+    ):
+        if trace_limit is not None and trace_limit < 0:
+            raise SimulationError(f"trace_limit must be >= 0, got {trace_limit}")
         self.loop = loop
         self.fabric = fabric
+        self.trace_limit = trace_limit
         self._active: dict[int, Flow] = {}
         self._next_flow_id = 0
-        self._proxy_streams: dict[str, int] = {}
-        #: Chronological record of every finished/abandoned transfer.
+        #: Bottleneck-group indexes: the live flows sharing each host NIC and
+        #: each proxy uplink.  Values are insertion-ordered by flow id.
+        self._by_host: dict[str, dict[int, Flow]] = {}
+        self._by_proxy: dict[str, dict[int, Flow]] = {}
+        #: Groups whose occupancy changed but whose re-aim has not run yet.
+        #: Retiring a flow releases its shares *before* its future settles,
+        #: and settling the future synchronously resumes processes that can
+        #: start or cancel other transfers — those nested transitions must
+        #: also repair the still-dirty groups, or flows in them would be
+        #: re-aimed later than under the global-recompute reference (same
+        #: rates, different event order at equal timestamps).
+        self._dirty_hosts: set[str] = set()
+        self._dirty_proxies: set[str] = set()
+        #: Chronological record of finished/abandoned transfers (the newest
+        #: ``trace_limit`` of them when a limit is set).
         self.trace: list[FlowInterval] = []
+        self._trace_dropped = 0
+        self._peak_active = 0
+        #: Aggregate retirement statistics, independent of trace eviction.
+        self.completed_flows = 0
+        self.abandoned_flows = 0
+        self.bytes_completed = 0.0
+        self.bytes_abandoned = 0.0
 
     # ------------------------------------------------------------------ introspection
     @property
     def active_count(self) -> int:
         """Number of flows currently in progress."""
         return len(self._active)
+
+    @property
+    def retired_flows(self) -> int:
+        """Total number of flows that have finished or been abandoned."""
+        return self.completed_flows + self.abandoned_flows
+
+    @property
+    def trace_dropped(self) -> int:
+        """Number of trace intervals evicted under ``trace_limit``."""
+        return self._trace_dropped
 
     def flows_on_host(self, host_id: str) -> int:
         """Live flow count through one host NIC (the dynamic accounting)."""
@@ -150,19 +214,41 @@ class FlowNetwork:
 
     def streams_on_proxy(self, proxy_id: str) -> int:
         """Live flow count through one proxy's uplink."""
-        return self._proxy_streams.get(proxy_id, 0)
+        return len(self._by_proxy.get(proxy_id, ()))
 
     def max_concurrent(self) -> int:
-        """Peak number of simultaneously in-flight transfers in the trace.
+        """Peak number of simultaneously in-flight transfers so far.
 
-        Computed by sweeping the recorded intervals (plus the flows still
-        active right now), so it reflects the whole run.
+        Maintained as a running high-water mark of the live flow count, so
+        the call is O(1) regardless of how long the run (or its trace) is.
         """
-        intervals = [(i.started_at, i.ended_at) for i in self.trace]
-        intervals.extend(
-            (flow.started_at, self.loop.now) for flow in self._active.values()
-        )
-        return peak_concurrency(intervals)
+        return self._peak_active
+
+    def flow_stats(self) -> dict[str, float]:
+        """Aggregate transfer statistics (stable under ``trace_limit`` eviction)."""
+        return {
+            "completed_flows": float(self.completed_flows),
+            "abandoned_flows": float(self.abandoned_flows),
+            "bytes_completed": self.bytes_completed,
+            "bytes_abandoned": self.bytes_abandoned,
+            "peak_concurrent_flows": float(self._peak_active),
+            "trace_retained": float(len(self.trace)),
+            "trace_dropped": float(self._trace_dropped),
+        }
+
+    # ------------------------------------------------------------------ trace windows
+    def trace_marker(self) -> int:
+        """Opaque position marker: the number of flows retired so far.
+
+        Take one before a run and pass it to :meth:`trace_since` afterwards
+        to get the intervals retired in between — stable even when
+        ``trace_limit`` eviction shifts list indexes.
+        """
+        return self.retired_flows
+
+    def trace_since(self, marker: int) -> list[FlowInterval]:
+        """The retained intervals retired after ``marker`` was taken."""
+        return list(self.trace[max(0, marker - self._trace_dropped):])
 
     # ------------------------------------------------------------------ flow lifecycle
     def transfer(
@@ -181,10 +267,8 @@ class FlowNetwork:
         if function_bandwidth_bps <= 0:
             raise SimulationError(f"flow {label!r} needs a positive bandwidth cap")
         now = self.loop.now
-        self._settle(now)
         nic = self.fabric.host(host_id, host_capacity_bps)
         nic.acquire()
-        self._proxy_streams[proxy_id] = self._proxy_streams.get(proxy_id, 0) + 1
         flow = Flow(
             flow_id=self._next_flow_id,
             label=label,
@@ -196,8 +280,12 @@ class FlowNetwork:
         )
         self._next_flow_id += 1
         self._active[flow.flow_id] = flow
+        self._by_host.setdefault(nic.host_id, {})[flow.flow_id] = flow
+        self._by_proxy.setdefault(proxy_id, {})[flow.flow_id] = flow
+        if len(self._active) > self._peak_active:
+            self._peak_active = len(self._active)
         flow.future.on_cancel(lambda: self.cancel(flow))
-        self._reschedule()
+        self._transition(nic.host_id, proxy_id)
         return flow
 
     def cancel(self, flow: Flow) -> bool:
@@ -210,45 +298,86 @@ class FlowNetwork:
         if flow.flow_id not in self._active:
             return False
         now = self.loop.now
-        self._settle(now)
+        self._settle_flow(flow, now)
         self._retire(flow, now, completed=False)
         if not flow.future.done:
             flow.future.cancel()
-        self._reschedule()
+        self._transition(flow.nic.host_id, flow.proxy_id)
         return True
 
     # ------------------------------------------------------------------ internals
-    def _settle(self, now: float) -> None:
-        """Advance every active flow's byte count at the rates held so far."""
-        for flow in self._active.values():
-            elapsed = now - flow.last_progress_at
-            if elapsed > 0 and flow.rate_bps > 0:
-                flow.remaining = max(0.0, flow.remaining - flow.rate_bps * elapsed)
-            flow.last_progress_at = now
+    def _settle_flow(self, flow: Flow, now: float) -> None:
+        """Advance one flow's byte count at the rate held since its last settle."""
+        elapsed = now - flow.last_progress_at
+        if elapsed > 0 and flow.rate_bps > 0:
+            flow.remaining = max(0.0, flow.remaining - flow.rate_bps * elapsed)
+        flow.last_progress_at = now
 
-    def _rate_for(self, flow: Flow) -> float:
-        host_share = flow.nic.effective_bandwidth()
-        proxy_share = self.fabric.proxy_share(self._proxy_streams.get(flow.proxy_id, 1))
-        return min(flow.function_bandwidth_bps, host_share, proxy_share)
+    def _affected_flows(self, hosts: set[str], proxies: set[str]) -> list[Flow]:
+        """Flows whose fair share a transition on the given groups can touch.
 
-    def _reschedule(self) -> None:
-        """Recompute every rate and re-aim the affected completion events.
+        A flow's rate depends only on its own caps and on the occupancy of
+        its NIC and its uplink, so the union of the touched groups is exact
+        — no other flow's bottleneck can flip.  Returned in flow-id order so
+        event scheduling matches the global-recompute reference.
+        """
+        groups = [
+            group
+            for group in (
+                *(self._by_host.get(host_id) for host_id in hosts),
+                *(self._by_proxy.get(proxy_id) for proxy_id in proxies),
+            )
+            if group
+        ]
+        if not groups:
+            return []
+        if len(groups) == 1:
+            return list(groups[0].values())
+        merged: dict[int, Flow] = {}
+        for group in groups:
+            merged.update(group)
+        return [merged[flow_id] for flow_id in sorted(merged)]
 
-        A flow whose bottleneck did not change (different host NIC *and*
-        different proxy uplink than the flow that just started or left)
-        keeps its already-scheduled completion event: progress is linear, so
-        the old finish time is still exact.  This keeps the heap churn
-        proportional to the flows actually affected by a transition.
+    def _transition(self, host_id: str, proxy_id: str) -> None:
+        """Settle + re-aim completion events for the touched bottleneck groups.
+
+        A flow whose bottleneck did not change keeps its already-scheduled
+        completion event *and* its last settlement point: progress is
+        linear between rate changes, so both remain exact.  Heap churn and
+        settlement work stay proportional to the flows actually affected.
         """
         now = self.loop.now
-        for flow in self._active.values():
-            rate = self._rate_for(flow)
+        hosts = {host_id}
+        proxies = {proxy_id}
+        if self._dirty_hosts:
+            hosts |= self._dirty_hosts
+            self._dirty_hosts.clear()
+        if self._dirty_proxies:
+            proxies |= self._dirty_proxies
+            self._dirty_proxies.clear()
+        # Fair shares are group properties; compute each touched NIC's and
+        # uplink's share once per transition instead of once per flow.
+        host_shares: dict[str, float] = {}
+        proxy_shares: dict[str, float] = {}
+        for flow in self._affected_flows(hosts, proxies):
+            nic = flow.nic
+            host_share = host_shares.get(nic.host_id)
+            if host_share is None:
+                host_share = nic.effective_bandwidth()
+                host_shares[nic.host_id] = host_share
+            proxy_share = proxy_shares.get(flow.proxy_id)
+            if proxy_share is None:
+                streams = len(self._by_proxy.get(flow.proxy_id, ()))
+                proxy_share = self.fabric.proxy_share(streams)
+                proxy_shares[flow.proxy_id] = proxy_share
+            rate = min(flow.function_bandwidth_bps, host_share, proxy_share)
             if (
                 flow._completion is not None
                 and not flow._completion.cancelled
                 and rate == flow.rate_bps
             ):
                 continue
+            self._settle_flow(flow, now)
             flow.rate_bps = rate
             finish = now + flow.remaining / flow.rate_bps
             if flow._completion is not None:
@@ -261,24 +390,36 @@ class FlowNetwork:
         if flow.flow_id not in self._active:
             return
         now = self.loop.now
-        self._settle(now)
+        self._settle_flow(flow, now)
         self._retire(flow, now, completed=True)
         flow.future.resolve(flow)
-        self._reschedule()
+        self._transition(flow.nic.host_id, flow.proxy_id)
 
     def _retire(self, flow: Flow, now: float, completed: bool) -> None:
         del self._active[flow.flow_id]
+        host_group = self._by_host.get(flow.nic.host_id)
+        if host_group is not None:
+            host_group.pop(flow.flow_id, None)
+            if not host_group:
+                del self._by_host[flow.nic.host_id]
+        proxy_group = self._by_proxy.get(flow.proxy_id)
+        if proxy_group is not None:
+            proxy_group.pop(flow.flow_id, None)
+            if not proxy_group:
+                del self._by_proxy[flow.proxy_id]
         if flow._completion is not None:
             flow._completion.cancel()
             flow._completion = None
         flow.nic.release()
-        streams = self._proxy_streams.get(flow.proxy_id, 0) - 1
-        if streams > 0:
-            self._proxy_streams[flow.proxy_id] = streams
-        else:
-            self._proxy_streams.pop(flow.proxy_id, None)
+        self._dirty_hosts.add(flow.nic.host_id)
+        self._dirty_proxies.add(flow.proxy_id)
         if completed:
             flow.remaining = 0.0
+            self.completed_flows += 1
+            self.bytes_completed += flow.bytes_moved
+        else:
+            self.abandoned_flows += 1
+            self.bytes_abandoned += flow.bytes_moved
         self.trace.append(
             FlowInterval(
                 flow_id=flow.flow_id,
@@ -292,3 +433,22 @@ class FlowNetwork:
                 bytes_moved=flow.bytes_moved,
             )
         )
+        if self.trace_limit is not None and len(self.trace) > self.trace_limit:
+            overflow = len(self.trace) - self.trace_limit
+            del self.trace[:overflow]
+            self._trace_dropped += overflow
+
+
+class ReferenceFlowNetwork(FlowNetwork):
+    """Global-recompute arbiter: the pre-incremental O(active²) sweep.
+
+    Numerically identical to :class:`FlowNetwork` — every transition visits
+    *all* active flows, but a flow outside the touched groups recomputes the
+    same rate and is skipped without settling, exactly as the incremental
+    arbiter skips it without visiting.  Kept as the byte-for-byte reference
+    for the differential tests and as the baseline the perf harness measures
+    the incremental arbiter against.
+    """
+
+    def _affected_flows(self, hosts: set[str], proxies: set[str]) -> list[Flow]:
+        return list(self._active.values())

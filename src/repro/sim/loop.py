@@ -39,7 +39,9 @@ class Event:
     Events compare by ``(time, sequence)`` so the heap pops them in
     deterministic order.  ``cancelled`` events stay in the heap but are
     skipped when popped, which is cheaper than heap removal and matches how
-    the billed-duration timers are frequently rescheduled.
+    the billed-duration timers are frequently rescheduled.  Cancelling
+    notifies the owning queue so its live count stays O(1) and heavily
+    tombstoned heaps get compacted.
     """
 
     time: float
@@ -47,23 +49,45 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning queue while the event sits in its heap; cleared on pop so a
+    #: late ``cancel()`` of an already-dispatched event cannot skew counts.
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when its time arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue, self._queue = self._queue, None
+        if queue is not None:
+            queue._note_cancel()
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    The queue keeps a running count of non-cancelled entries so ``len()``
+    and truth-testing are O(1), and rebuilds the heap whenever cancelled
+    tombstones outnumber live events (bounding memory and pop cost under
+    cancel-heavy workloads such as flow rescheduling).
+    """
+
+    #: Never bother compacting heaps smaller than this.
+    COMPACT_MIN_SIZE = 64
 
     def __init__(self):
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Insert a callback to run at absolute virtual ``time``."""
-        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
+        event = Event(
+            time=time, sequence=next(self._counter), callback=callback, label=label,
+            _queue=self,
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -71,6 +95,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 
@@ -80,11 +106,18 @@ class EventQueue:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        heap_size = len(self._heap)
+        if heap_size >= self.COMPACT_MIN_SIZE and (heap_size - self._live) * 2 > heap_size:
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
 
 
 class EventLoop:

@@ -287,6 +287,17 @@ class ConcurrentReplayReport:
     samples: list[RequestSample] = field(default_factory=list)
     #: Chunk-transfer intervals recorded by the flow network during the run.
     flow_intervals: list[FlowInterval] = field(default_factory=list)
+    #: High-water mark of simultaneously-active transfers on the underlying
+    #: flow network up to the end of this run (O(1) to maintain, available
+    #: even under trace limits).  Equals this run's peak whenever the run is
+    #: the deployment's first replay — the usual pattern; a later run on a
+    #: reused deployment inherits any higher earlier peak.
+    peak_active_flows: int = 0
+    #: Transfers retired during the run but evicted from ``flow_intervals``
+    #: by a ``flow_trace_limit``.  Non-zero means the interval-derived views
+    #: (``fingerprint()``, ``max_concurrent_flows()``, overlap counts) cover
+    #: only the retained tail of the run.
+    flow_intervals_dropped: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
     #: Object bytes delivered to clients (hits plus RESET fetches).
@@ -407,8 +418,12 @@ class _EventDriver:
             hit=result.hit, reset=reset,
         ))
 
-    def _finish(self, report: ConcurrentReplayReport, trace_start: int) -> ConcurrentReplayReport:
-        report.flow_intervals = list(self.deployment.flows.trace[trace_start:])
+    def _finish(self, report: ConcurrentReplayReport, trace_marker: int) -> ConcurrentReplayReport:
+        flows = self.deployment.flows
+        report.flow_intervals = flows.trace_since(trace_marker)
+        report.peak_active_flows = flows.max_concurrent()
+        retired_during_run = flows.trace_marker() - trace_marker
+        report.flow_intervals_dropped = retired_during_run - len(report.flow_intervals)
         if report.samples:
             report.started_at = min(s.started_at for s in report.samples)
             report.finished_at = max(s.finished_at for s in report.samples)
@@ -448,7 +463,7 @@ class ClosedLoopDriver(_EventDriver):
         report = ConcurrentReplayReport(
             system="infinicache", mode="closed-loop", clients=len(requests_by_client),
         )
-        trace_start = len(self.deployment.flows.trace)
+        trace_marker = self.deployment.flows.trace_marker()
         self.deployment.start()
         loop = self.deployment.simulator
         processes = [
@@ -462,7 +477,7 @@ class ClosedLoopDriver(_EventDriver):
             for index, requests in enumerate(requests_by_client)
         ]
         loop.run_until_complete(all_of([process.future for process in processes]))
-        return self._finish(report, trace_start)
+        return self._finish(report, trace_marker)
 
 
 class OpenLoopDriver(_EventDriver):
@@ -484,7 +499,7 @@ class OpenLoopDriver(_EventDriver):
         report = ConcurrentReplayReport(
             system="infinicache", mode="open-loop", clients=1,
         )
-        trace_start = len(self.deployment.flows.trace)
+        trace_marker = self.deployment.flows.trace_marker()
         self.deployment.start()
         loop = self.deployment.simulator
         client = self.deployment.new_client("open-loop")
@@ -512,4 +527,4 @@ class OpenLoopDriver(_EventDriver):
                 record.timestamp, lambda r=record: inject(r), label="driver.arrival"
             )
         loop.run_until_complete(latch.future)
-        return self._finish(report, trace_start)
+        return self._finish(report, trace_marker)

@@ -103,3 +103,55 @@ class TestConsistentHashRing:
     def test_invalid_virtual_nodes(self):
         with pytest.raises(ConfigurationError):
             ConsistentHashRing(virtual_nodes=0)
+
+
+class TestBulkConstruction:
+    """Fleet-scale ring building: add_many and the shared point/ring caches."""
+
+    def test_add_many_matches_incremental_adds(self):
+        from repro.cache.consistent_hash import ConsistentHashRing
+
+        one_by_one = ConsistentHashRing(virtual_nodes=16)
+        for index in range(8):
+            one_by_one.add(f"proxy-{index}", index)
+        bulk = ConsistentHashRing(virtual_nodes=16)
+        bulk.add_many([(f"proxy-{index}", index) for index in range(8)])
+        assert bulk._ring == one_by_one._ring
+        for key in ("a", "b", "photo/123", "video/9"):
+            assert bulk.lookup(key) == one_by_one.lookup(key)
+
+    def test_add_many_rejects_duplicates_atomically(self):
+        from repro.cache.consistent_hash import ConsistentHashRing
+        from repro.exceptions import ConfigurationError
+
+        ring = ConsistentHashRing(virtual_nodes=4)
+        ring.add("p0", 0)
+        with pytest.raises(ConfigurationError):
+            ring.add_many([("p1", 1), ("p0", 0)])
+        assert "p1" not in ring
+
+    def test_identical_fresh_rings_share_lookups(self):
+        from repro.cache.consistent_hash import ConsistentHashRing
+
+        members = [(f"proxy-{index}", index) for index in range(12)]
+        first = ConsistentHashRing()
+        first.add_many(list(members))
+        second = ConsistentHashRing()
+        second.add_many(list(members))
+        assert first._ring == second._ring
+        # The cached ring is copied per instance: mutating one must not
+        # leak into the other (or into future cache hits).
+        second.remove("proxy-3")
+        assert "proxy-3" in first
+        third = ConsistentHashRing()
+        third.add_many(list(members))
+        assert third._ring == first._ring
+
+    def test_add_many_rejects_in_batch_duplicates(self):
+        from repro.cache.consistent_hash import ConsistentHashRing
+        from repro.exceptions import ConfigurationError
+
+        ring = ConsistentHashRing(virtual_nodes=4)
+        with pytest.raises(ConfigurationError):
+            ring.add_many([("p0", 0), ("p0", 1)])
+        assert len(ring) == 0

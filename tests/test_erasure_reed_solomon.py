@@ -168,3 +168,56 @@ class TestReconstructAndVerify:
         stripe = rs.encode(payloads)
         survivors = {i: stripe[i] for i in range(parity, data + parity)}
         assert rs.decode(survivors) == payloads
+
+
+class TestDecodeMatrixCache:
+    """The decode-submatrix LRU and shared-instance satellites."""
+
+    def test_repeated_missing_pattern_reuses_the_inversion(self):
+        rs = ReedSolomon(4, 2)
+        shards = rs.encode([bytes([i] * 8) for i in range(4)])
+        available = {i: shards[i] for i in (1, 2, 3, 4)}  # shard 0 lost
+        first = rs.decode(dict(available))
+        assert len(rs._decode_matrices) == 1
+        second = rs.decode(dict(available))
+        assert second == first
+        assert len(rs._decode_matrices) == 1
+
+    def test_distinct_patterns_get_distinct_entries(self):
+        rs = ReedSolomon(4, 2)
+        shards = rs.encode([bytes([i] * 8) for i in range(4)])
+        rs.decode({i: shards[i] for i in (1, 2, 3, 4)})
+        rs.decode({i: shards[i] for i in (0, 2, 3, 5)})
+        assert len(rs._decode_matrices) == 2
+
+    def test_cache_is_bounded(self):
+        from repro.erasure import reed_solomon as module
+
+        rs = ReedSolomon(2, 14)
+        shards = rs.encode([b"ab", b"cd"])
+        patterns = 0
+        for i in range(2, 16):
+            for j in range(i + 1, 16):
+                rs.decode({i: shards[i], j: shards[j]})
+                patterns += 1
+        assert patterns > module.DECODE_MATRIX_CACHE_SIZE / 2
+        assert len(rs._decode_matrices) <= module.DECODE_MATRIX_CACHE_SIZE
+
+    def test_cached_decode_still_correct_after_eviction_churn(self):
+        rs = ReedSolomon(3, 3)
+        payloads = [b"abcd", b"efgh", b"ijkl"]
+        shards = rs.encode(payloads)
+        for survivors in ((0, 1, 3), (1, 2, 4), (0, 2, 5), (3, 4, 5), (0, 1, 3)):
+            decoded = rs.decode({i: shards[i] for i in survivors})
+            assert decoded == payloads
+
+
+class TestSharedInstances:
+    def test_shared_returns_the_same_instance_per_geometry(self):
+        assert ReedSolomon.shared(10, 2) is ReedSolomon.shared(10, 2)
+        assert ReedSolomon.shared(10, 2) is not ReedSolomon.shared(10, 0)
+
+    def test_codecs_share_the_stripe_code(self):
+        from repro.erasure.codec import ErasureCodec
+
+        assert ErasureCodec(4, 2).rs is ErasureCodec(4, 2).rs

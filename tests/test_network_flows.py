@@ -2,15 +2,19 @@
 
 Satellite coverage for ``NetworkFabric`` shared-NIC accounting under flows
 that join and leave mid-transfer — the dynamic path the event-driven
-request drivers exercise.
+request drivers exercise — plus the differential property test pinning the
+incremental bottleneck-group arbiter byte-for-byte against the
+global-recompute reference.
 """
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.network.flows import FlowNetwork
+from repro.network.flows import FlowNetwork, ReferenceFlowNetwork
 from repro.network.topology import NetworkFabric
 from repro.sim import EventLoop
 
@@ -185,3 +189,177 @@ class TestTraceIntrospection:
         loop.run_all()
         first, second = net.trace
         assert first.overlaps(second) and second.overlaps(first)
+
+
+# ---------------------------------------------------------------------- incremental arbiter
+def _random_schedule(seed: int, operations: int = 120):
+    """A reproducible join/leave/abandon schedule over shared NICs/uplinks.
+
+    Returns ``(time, kind, params)`` records: ``start`` entries open a
+    transfer at a staggered timestamp; ``abandon`` entries cancel a started
+    transfer some time later (a no-op if it already completed, which both
+    arbiters must agree on).
+    """
+    rng = random.Random(seed)
+    schedule = []
+    for index in range(operations):
+        start_at = round(rng.uniform(0.0, 3.0), 6)
+        params = dict(
+            size_bytes=rng.choice([1, 4, 10, 25]) * MB,
+            function_bandwidth_bps=rng.choice([40, 80, 1_000]) * MB,
+            host_id=f"h{rng.randrange(6)}",
+            host_capacity_bps=100 * MB,
+            proxy_id=f"p{rng.randrange(3)}",
+            label=f"op-{index}",
+        )
+        schedule.append((start_at, "start", params))
+        if rng.random() < 0.35:
+            schedule.append((round(start_at + rng.uniform(0.01, 1.0), 6), "abandon", f"op-{index}"))
+    schedule.sort(key=lambda item: (item[0], item[1] == "start"))
+    return schedule
+
+
+def _drive(network_cls, seed: int):
+    loop = EventLoop()
+    net = network_cls(loop, NetworkFabric(proxy_uplink_bps=400 * MB))
+    flows: dict[str, object] = {}
+
+    def start(params):
+        flows[params["label"]] = net.transfer(**params)
+
+    def abandon(label):
+        flow = flows.get(label)
+        if flow is not None:
+            net.cancel(flow)
+
+    for time, kind, payload in _random_schedule(seed):
+        if kind == "start":
+            loop.schedule_at(time, lambda p=payload: start(p), label="diff.start")
+        else:
+            loop.schedule_at(time, lambda l=payload: abandon(l), label="diff.abandon")
+    loop.run_all()
+    return net, loop
+
+
+class TestIncrementalMatchesReference:
+    """The tentpole's correctness pin: both arbiters are byte-identical."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 2020, 31337])
+    def test_differential_random_schedules(self, seed):
+        incremental, inc_loop = _drive(FlowNetwork, seed)
+        reference, ref_loop = _drive(ReferenceFlowNetwork, seed)
+        # Byte-for-byte: every retired interval (timestamps, byte counts,
+        # completion flags) and the retirement order itself must match.
+        assert incremental.trace == reference.trace
+        assert incremental.max_concurrent() == reference.max_concurrent()
+        assert incremental.flow_stats() == reference.flow_stats()
+        # Event-level equivalence: same dispatch count, same final clock.
+        assert inc_loop.events_processed == ref_loop.events_processed
+        assert inc_loop.now == ref_loop.now
+
+    def test_groups_empty_after_drain(self):
+        net, _loop = _drive(FlowNetwork, seed=3)
+        assert net.active_count == 0
+        assert net._by_host == {}
+        assert net._by_proxy == {}
+        assert all(nic.concurrent_flows == 0 for nic in net.fabric.hosts.values())
+
+
+class TestRunningPeak:
+    def test_peak_is_running_high_water_mark(self):
+        loop, net = make_network()
+        start(net, size=100 * MB, host="h0")
+        start(net, size=100 * MB, host="h1")
+        assert net.max_concurrent() == 2
+        loop.run_all()
+        # The peak survives after every flow retires (O(1), no trace sweep).
+        assert net.active_count == 0
+        assert net.max_concurrent() == 2
+
+    def test_peak_ignores_back_to_back_transfers(self):
+        loop, net = make_network()
+        first = start(net, size=10 * MB)
+        loop.run_all()
+        assert first.future.done
+        start(net, size=10 * MB)
+        loop.run_all()
+        assert net.max_concurrent() == 1
+
+    def test_peak_counts_abandoned_flows_while_live(self):
+        loop, net = make_network()
+        straggler = start(net, size=100 * MB)
+        start(net, size=100 * MB)
+        net.cancel(straggler)
+        loop.run_all()
+        assert net.max_concurrent() == 2
+
+
+class TestTraceLimit:
+    def test_rejects_negative_limit(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            FlowNetwork(loop, NetworkFabric(), trace_limit=-1)
+
+    def test_retains_only_the_newest_intervals(self):
+        loop = EventLoop()
+        net = FlowNetwork(loop, NetworkFabric(proxy_uplink_bps=10_000 * MB), trace_limit=3)
+        for index in range(8):
+            loop.schedule_at(
+                float(index),
+                lambda i=index: net.transfer(
+                    size_bytes=1 * MB, function_bandwidth_bps=100 * MB,
+                    host_id=f"h{i}", host_capacity_bps=100 * MB,
+                    proxy_id="p0", label=f"t{i}",
+                ),
+            )
+        loop.run_all()
+        assert len(net.trace) == 3
+        assert [interval.label for interval in net.trace] == ["t5", "t6", "t7"]
+        assert net.trace_dropped == 5
+
+    def test_aggregates_unchanged_by_eviction(self):
+        def totals(trace_limit):
+            loop = EventLoop()
+            net = FlowNetwork(
+                loop, NetworkFabric(proxy_uplink_bps=10_000 * MB), trace_limit=trace_limit
+            )
+            flows = []
+            for index in range(10):
+                loop.schedule_at(
+                    index * 0.1,
+                    lambda i=index: flows.append(net.transfer(
+                        size_bytes=5 * MB, function_bandwidth_bps=100 * MB,
+                        host_id=f"h{i % 2}", host_capacity_bps=100 * MB,
+                        proxy_id="p0", label=f"t{i}",
+                    )),
+                )
+            loop.schedule_at(0.25, lambda: net.cancel(flows[0]))
+            loop.run_all()
+            return net.flow_stats(), net.max_concurrent()
+
+        unbounded_stats, unbounded_peak = totals(None)
+        bounded_stats, bounded_peak = totals(2)
+        for key in ("completed_flows", "abandoned_flows", "bytes_completed",
+                    "bytes_abandoned", "peak_concurrent_flows"):
+            assert bounded_stats[key] == unbounded_stats[key]
+        assert bounded_peak == unbounded_peak
+        assert bounded_stats["trace_retained"] == 2.0
+
+    def test_trace_since_survives_eviction(self):
+        loop = EventLoop()
+        net = FlowNetwork(loop, NetworkFabric(proxy_uplink_bps=10_000 * MB), trace_limit=2)
+        marker = net.trace_marker()
+        for index in range(5):
+            loop.schedule_at(
+                float(index),
+                lambda i=index: net.transfer(
+                    size_bytes=1 * MB, function_bandwidth_bps=100 * MB,
+                    host_id="h0", host_capacity_bps=100 * MB,
+                    proxy_id="p0", label=f"t{i}",
+                ),
+            )
+        loop.run_all()
+        # Three of the five intervals were evicted; the window degrades to
+        # whatever is still retained instead of mis-slicing by stale index.
+        assert [i.label for i in net.trace_since(marker)] == ["t3", "t4"]
+        assert net.trace_since(net.trace_marker()) == []

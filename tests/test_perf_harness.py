@@ -1,0 +1,64 @@
+"""Tests for the simulator performance harness (``repro.experiments.perf``).
+
+Timing values are environment noise and are never asserted on — coverage is
+the payload shape, event accounting, and the arbiter fingerprint gate the
+CI step relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import perf
+
+
+class TestMicroBenchmarks:
+    def test_event_queue_micro_counts_survivors_only(self):
+        sample = perf.micro_event_queue(events=2_000, cancel_every=2)
+        assert sample.events == 1_000
+        assert sample.extra["cancelled"] == 1_000
+        assert sample.events_per_s > 0
+
+    def test_flow_churn_micro_completes_every_flow(self):
+        sample = perf.micro_flow_churn(flows=100, hosts=4, proxies=2)
+        assert sample.extra["flows"] == 100
+        assert sample.extra["peak_active_flows"] >= 1
+        assert sample.events > 0
+
+    def test_flow_churn_arbiters_agree_on_the_simulation(self):
+        incremental = perf.micro_flow_churn(flows=150, arbiter="incremental")
+        reference = perf.micro_flow_churn(flows=150, arbiter="reference")
+        assert incremental.events == reference.events
+        assert incremental.extra["peak_active_flows"] == reference.extra["peak_active_flows"]
+
+
+class TestMacroAndComparison:
+    def test_macro_closed_loop_reports_fleet_metrics(self):
+        sample = perf.macro_closed_loop(4, requests_per_client=2)
+        assert sample.extra["clients"] == 4
+        assert sample.extra["requests"] == 8
+        assert sample.extra["peak_active_flows"] > 0
+        assert sample.events > 0
+        assert len(sample.extra["fingerprint"]) == 64
+
+    def test_compare_arbiters_fingerprints_identical(self):
+        comparison = perf.compare_arbiters(clients=8, requests_per_client=2)
+        assert comparison["fingerprints_identical"] is True
+        assert comparison["incremental_wall_s"] > 0
+        assert comparison["reference_wall_s"] > 0
+
+    def test_run_suite_quick_payload_is_json_ready(self):
+        payload = perf.run_suite(quick=True, client_counts=(4, 8), compare_clients=8)
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["schema"] == "repro.perf/1"
+        assert encoded["quick"] is True
+        assert [sample["clients"] for sample in encoded["macro"]] == [4, 8]
+        assert encoded["arbiter_comparison"]["fingerprints_identical"] is True
+        for sample in encoded["micro"] + encoded["macro"]:
+            assert sample["events_per_s"] >= 0
+
+    def test_format_report_renders_the_comparison(self):
+        payload = perf.run_suite(quick=True, client_counts=(4,), compare_clients=4)
+        text = perf.format_report(payload)
+        assert "arbiter comparison" in text
+        assert "fingerprints identical" in text

@@ -161,3 +161,75 @@ class TestSimulator:
         event.cancel()
         simulator.run_until(2.0)
         assert fired == []
+
+
+class TestQueueLiveCounter:
+    """The O(1) len/bool counter and the tombstone compaction satellite."""
+
+    def test_len_is_constant_time_counter(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        for event in events[:4]:
+            event.cancel()
+        assert len(queue) == 6
+        assert queue
+
+    def test_cancel_is_idempotent_for_the_counter(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_skew_the_counter(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        # Cancelling an already-dispatched event is a no-op for accounting
+        # (flows cancel their completion event on retirement, which may have
+        # just fired).
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert len(queue) == 0
+        assert not queue
+
+    def test_heavy_cancellation_compacts_the_heap(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events[: 150]:
+            event.cancel()
+        # Compaction keeps tombstones bounded by half the heap: the 150
+        # cancellations must not leave a heap anywhere near 200 entries.
+        assert len(queue) == 50
+        tombstones = len(queue._heap) - len(queue)
+        assert tombstones * 2 <= len(queue._heap)
+        assert len(queue._heap) < 150
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert popped == [float(i) for i in range(150, 200)]
+
+    def test_compaction_preserves_tie_order(self):
+        queue = EventQueue()
+        order = []
+        keep = []
+        for index in range(100):
+            event = queue.push(1.0, lambda i=index: order.append(i))
+            if index % 5:
+                event.cancel()
+            else:
+                keep.append(index)
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert order == keep
