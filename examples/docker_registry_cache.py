@@ -7,10 +7,11 @@ and a look-aside in-memory cache absorbs the hot reads.  The example:
 
 1. synthesises a Dallas-style registry trace (object sizes and locality
    matched to the published characteristics of the IBM trace);
-2. replays three hours of it against an InfiniCache deployment, with an
-   S3-style object store behind it serving misses (RESET path);
+2. replays three hours of it open-loop against an InfiniCache deployment —
+   every record injected at its arrival timestamp on the event loop, with
+   an S3-style object store behind it serving misses (RESET path);
 3. replays the same trace against an ElastiCache-style cluster and directly
-   against the object store;
+   against the object store, through the same open-loop arrival path;
 4. prints the hit ratios, latency distributions, and what each option costs.
 
 Run:  python examples/docker_registry_cache.py
@@ -25,7 +26,12 @@ from repro.faas.reclamation import ZipfBurstReclamationPolicy
 from repro.utils.rng import SeededRNG
 from repro.utils.units import GB, MB, MIB
 from repro.workload.docker_registry import DockerRegistryTraceGenerator, RegistryTraceConfig
-from repro.workload.replay import TraceReplayer
+from repro.workload.replay import (
+    ElastiCacheTarget,
+    ObjectStoreTarget,
+    OpenLoopBaselineDriver,
+    OpenLoopDriver,
+)
 
 
 def build_trace():
@@ -62,15 +68,18 @@ def main() -> None:
           f"({len(trace.unique_objects())} blobs > 10 MB)\n")
 
     # --- InfiniCache -------------------------------------------------------------
-    infinicache_report = TraceReplayer(ObjectStore()).replay_infinicache(
-        trace, build_infinicache()
-    )
+    infinicache_report = OpenLoopDriver(
+        build_infinicache(), backing_store=ObjectStore()
+    ).run(trace)
     # --- ElastiCache -------------------------------------------------------------
-    elasticache_report = TraceReplayer(ObjectStore()).replay_elasticache(
-        trace, ElastiCacheCluster("cache.r5.24xlarge")
-    )
+    elasticache_report = OpenLoopBaselineDriver(
+        ElastiCacheTarget(ElastiCacheCluster("cache.r5.24xlarge"))
+    ).run(trace)
     # --- plain object store -------------------------------------------------------
-    s3_report = TraceReplayer(ObjectStore()).replay_object_store(trace)
+    s3_store = ObjectStore()
+    s3_report = OpenLoopBaselineDriver(
+        ObjectStoreTarget(s3_store), backing_store=s3_store
+    ).run(trace)
 
     print(f"{'system':<14} {'hit ratio':>9} {'p50 (ms)':>10} {'p99 (s)':>9} {'cost ($)':>9}")
     for report in (infinicache_report, elasticache_report, s3_report):

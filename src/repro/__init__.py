@@ -10,9 +10,10 @@ The most common entry points:
   :class:`repro.cache.InfiniCacheDeployment` — configure and build a cache.
 * :meth:`repro.cache.InfiniCacheDeployment.new_client` — obtain the
   application-facing GET/PUT client library.
-* :class:`repro.workload.DockerRegistryTraceGenerator` and
-  :class:`repro.workload.TraceReplayer` — synthesise and replay the
-  production-style workload.
+* :class:`repro.workload.DockerRegistryTraceGenerator` plus the
+  event-driven :class:`repro.workload.ClosedLoopDriver` /
+  :class:`repro.workload.OpenLoopDriver` — synthesise and replay the
+  production-style workload with genuinely overlapping requests.
 * :class:`repro.cluster.InfiniCacheCluster` — the orchestrated multi-tenant
   cluster: pool autoscaling, tenant quotas, rebalancing, failure detection.
 * :mod:`repro.analysis` — the availability and cost models of Section 4.3.
@@ -35,11 +36,12 @@ from repro.cluster import (
 )
 from repro.erasure import ErasureCodec, ReedSolomon
 from repro.workload import (
+    ClosedLoopDriver,
     DockerRegistryTraceGenerator,
     MicrobenchmarkWorkload,
+    OpenLoopDriver,
     Trace,
     TraceRecord,
-    TraceReplayer,
 )
 
 __version__ = "1.0.0"
@@ -63,6 +65,7 @@ __all__ = [
     "MicrobenchmarkWorkload",
     "Trace",
     "TraceRecord",
-    "TraceReplayer",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
     "__version__",
 ]

@@ -2,7 +2,12 @@
 
 Without a subcommand this regenerates the paper's tables and figures (a
 thin alias for :mod:`repro.experiments.runner`; see that module for the
-available flags — ``--only``, ``--output-dir``, ``--list``).
+available flags — ``--only``, ``--output-dir``, ``--list``, and
+``--fingerprints PATH``, which also writes every experiment's event-driver
+fingerprints as the JSON artifact the ``figures-smoke`` CI job uploads).
+Every experiment replays through the event-driven drivers
+(:mod:`repro.workload.replay`) — the synchronous facade is quarantined in
+:mod:`repro.workload.legacy` and not used by any experiment.
 
 ``python -m repro cluster-demo [--duration SECONDS]`` instead runs the
 :mod:`repro.cluster` orchestration demo: autoscaling under a load surge,

@@ -78,6 +78,7 @@ class InfiniCacheClient:
         config: InfiniCacheConfig,
         clock: SimClock,
         client_id: str = "client-0",
+        ring: Optional[ConsistentHashRing[Proxy]] = None,
     ):
         if not proxies:
             raise ConfigurationError("the client needs at least one proxy")
@@ -85,8 +86,18 @@ class InfiniCacheClient:
         self.clock = clock
         self.client_id = client_id
         self.codec = ErasureCodec(config.data_shards, config.parity_shards)
-        self.ring: ConsistentHashRing[Proxy] = ConsistentHashRing()
-        self.ring.add_many([(proxy.proxy_id, proxy) for proxy in proxies])
+        if ring is not None:
+            # Copy-on-write fast path: the deployment hands every client a
+            # clone of one prototype ring, sharing the sorted points until a
+            # membership change rebuilds this client's own tuple.
+            if set(ring.member_ids()) != {proxy.proxy_id for proxy in proxies}:
+                raise ConfigurationError(
+                    "prebuilt ring members do not match the proxy list"
+                )
+            self.ring = ring
+        else:
+            self.ring = ConsistentHashRing()
+            self.ring.add_many([(proxy.proxy_id, proxy) for proxy in proxies])
         self.gets = 0
         self.puts = 0
         self.hits = 0
@@ -118,8 +129,18 @@ class InfiniCacheClient:
     def _encode_time(self, size: int) -> float:
         return size / self.config.encode_bandwidth_bps
 
-    def _decode_time(self, size: int) -> float:
-        return size / self.config.decode_bandwidth_bps
+    def _decode_time(self, descriptor: ObjectDescriptor) -> float:
+        """Client-visible decode penalty when parity chunks were needed.
+
+        Decoding is pipelined with the chunk streams (the paper's client
+        decodes stripes as chunks arrive with AVX-accelerated RS), so by the
+        time the d-th chunk lands only the final stripe — one chunk's worth
+        of bytes — still has to run through the decoder.  Charging the whole
+        object here would (wrongly) make RS(10+1) lose to RS(10+0) under
+        the event-driven first-d race, where a parity chunk wins a slot in
+        the fastest-d set on most requests.
+        """
+        return descriptor.chunk_size / self.config.decode_bandwidth_bps
 
     def hit_ratio(self) -> float:
         """Fraction of GETs served from the cache so far."""
@@ -204,7 +225,7 @@ class InfiniCacheClient:
         value, decoded = self._reconstruct(descriptor, outcome)
         latency = outcome.latency_s
         if decoded:
-            latency += self._decode_time(descriptor.object_size)
+            latency += self._decode_time(descriptor)
         return GetResult(
             key=key,
             hit=True,
@@ -309,7 +330,7 @@ class InfiniCacheClient:
         descriptor = outcome.descriptor
         value, decoded = self._reconstruct(descriptor, outcome)
         if decoded:
-            decode_s = self._decode_time(descriptor.object_size)
+            decode_s = self._decode_time(descriptor)
             if decode_s > 0:
                 yield decode_s
         return GetResult(

@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from repro.cache.backup import BackupManager
 from repro.cache.client import InfiniCacheClient
 from repro.cache.config import InfiniCacheConfig
+from repro.cache.consistent_hash import ConsistentHashRing
 from repro.cache.proxy import Proxy
 from repro.cache.runtime import RequestEnv
 from repro.faas.billing import BillingModel
@@ -87,6 +88,13 @@ class InfiniCacheDeployment:
         self._membership_listeners: list[MembershipListener] = []
         for _ in range(self.config.num_proxies):
             self._create_proxy()
+        #: Prototype consistent-hash ring over the live proxies; every new
+        #: client gets an O(1) copy-on-write clone of it instead of hashing
+        #: and sorting its own ring (the superlinear term at fleet scale).
+        self._ring_prototype: ConsistentHashRing[Proxy] = ConsistentHashRing()
+        self._ring_prototype.add_many(
+            [(proxy.proxy_id, proxy) for proxy in self.proxies]
+        )
         self._clients_created = 0
         self._started = False
         self._timers: list[PeriodicTask] = []
@@ -126,6 +134,7 @@ class InfiniCacheDeployment:
         so listeners observe the post-change ownership.
         """
         proxy = self._create_proxy()
+        self._ring_prototype.add(proxy.proxy_id, proxy)
         for client in self._clients:
             client.add_proxy(proxy)
         self.metrics.counter("cluster.proxy_joins").increment()
@@ -148,6 +157,7 @@ class InfiniCacheDeployment:
         index = self.proxies.index(proxy)
         self.proxies.pop(index)
         self.backup_managers.pop(index)
+        self._ring_prototype.remove(proxy_id)
         for client in self._clients:
             client.remove_proxy(proxy_id)
         self.metrics.counter("cluster.proxy_leaves").increment()
@@ -232,6 +242,7 @@ class InfiniCacheDeployment:
             config=self.config,
             clock=self.simulator.clock,
             client_id=client_id,
+            ring=self._ring_prototype.clone(),
         )
         self._clients.append(client)
         return client

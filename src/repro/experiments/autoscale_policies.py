@@ -16,7 +16,7 @@ holds for every row of the comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster import AutoscalerConfig
 from repro.experiments import cluster_scale
@@ -43,6 +43,8 @@ class PolicyComparisonResult:
 
     duration_s: float
     runs: dict[str, cluster_scale.ClusterScaleResult]
+    #: per-policy driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
     def policy_names(self) -> list[str]:
         return list(self.runs)
@@ -57,6 +59,7 @@ def run(
     """Replay the multi-tenant mix once per autoscaling policy."""
     configs = policies if policies is not None else DEFAULT_POLICIES
     runs: dict[str, cluster_scale.ClusterScaleResult] = {}
+    fingerprints: dict[str, str] = {}
     for name, autoscaler_config in configs.items():
         runs[name] = cluster_scale.run(
             tenants=tenants,
@@ -64,7 +67,11 @@ def run(
             seed=seed,
             autoscaler_config=autoscaler_config,
         )
-    return PolicyComparisonResult(duration_s=duration_s, runs=runs)
+        for label, digest in runs[name].fingerprints.items():
+            fingerprints[f"{name}.{label}"] = digest
+    return PolicyComparisonResult(
+        duration_s=duration_s, runs=runs, fingerprints=fingerprints
+    )
 
 
 def format_report(result: PolicyComparisonResult) -> str:

@@ -13,17 +13,18 @@ with different working sets and quotas share one autoscaling cluster:
   so its PUTs are rejected once it reaches its cap.
 
 The replay injects all tenants' requests **open-loop** at their arrival
-timestamps on the shared event loop: each request runs as a coroutine
-process, so a slow RESET (backing-store fetch plus re-insert) is still in
-flight while later arrivals — this tenant's or another's — proceed
-concurrently through the flow-level network model.  Misses RESET through a
-simulated backing store, as in the paper's replays.  Reported per tenant:
-hit ratio, latency
+timestamps through :meth:`repro.workload.replay.OpenLoopDriver.run_schedule`:
+each request runs as a coroutine process, so a slow RESET (backing-store
+fetch plus re-insert) is still in flight while later arrivals — this
+tenant's or another's — proceed concurrently through the flow-level network
+model.  Misses RESET through a simulated backing store, as in the paper's
+replays.  Reported per tenant: hit ratio, latency
 percentiles, throttle/rejection counts, bytes cached (stored and logical),
 and the **chargeback** — the GB-seconds and dollars the billing pipeline
 attributed to each tenant's invocations, which sum to the cluster-wide
 bill.  The pool-size timeline shows the autoscaler reacting to the
-aggregate load.
+aggregate load, and the driver report's fingerprint pins the whole replay
+for the golden differential suite.
 """
 
 from __future__ import annotations
@@ -34,12 +35,13 @@ from repro.baselines.s3 import ObjectStore
 from repro.cache.config import InfiniCacheConfig, StragglerModel
 from repro.cluster import AutoscalerConfig, InfiniCacheCluster, TenantQuota
 from repro.exceptions import QuotaExceededError, RateLimitedError
+from repro.experiments.harness import ExperimentHarness
 from repro.experiments.report import format_table
 from repro.faas.billing import UNATTRIBUTED_TENANT
-from repro.sim.process import CountdownLatch
 from repro.utils.rng import SeededRNG
 from repro.utils.stats import summarize
 from repro.utils.units import MB, MIB
+from repro.workload.replay import ConcurrentReplayReport, RequestSample
 
 
 @dataclass(frozen=True)
@@ -129,6 +131,10 @@ class ClusterScaleResult:
     #: Full chargeback decomposition of the bill, including the
     #: ``UNATTRIBUTED_TENANT`` row for maintenance no tenant caused.
     chargeback: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: The open-loop driver's report (request samples + flow intervals).
+    replay_report: ConcurrentReplayReport | None = None
+    #: Driver fingerprints (golden differential suite).
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
     @property
     def chargeback_total_cost(self) -> float:
@@ -141,8 +147,10 @@ def run(
     duration_s: float = 600.0,
     seed: int = 2020,
     autoscaler_config: AutoscalerConfig | None = None,
+    harness: ExperimentHarness | None = None,
 ) -> ClusterScaleResult:
     """Replay the multi-tenant mix against an autoscaling cluster."""
+    harness = harness or ExperimentHarness("cluster_scale", seed)
     specs = tenants if tenants is not None else default_tenants()
     config = InfiniCacheConfig(
         num_proxies=2,
@@ -189,13 +197,16 @@ def run(
 
     env = cluster.deployment.request_env
     loop = cluster.simulator
-    latch = CountdownLatch(len(keyed_schedule), label="cluster_scale.complete")
+    report = ConcurrentReplayReport(
+        system="infinicache-cluster", mode="open-loop", clients=len(specs),
+    )
 
     def request_process(spec: TenantSpec, key: str):
         outcome = outcomes[spec.tenant_id]
         client = clients[spec.tenant_id]
         start = env.now
         outcome.requests_issued += 1
+        report.requests += 1
         try:
             result = yield from client.get_process(key, env)
         except RateLimitedError:
@@ -203,9 +214,21 @@ def run(
             return
         if result.hit:
             outcome.hits += 1
+            report.hits += 1
+            report.total_bytes += result.size
             outcome.latencies_s.append(result.latency_s)
+            report.samples.append(RequestSample(
+                client_id=spec.tenant_id, key=key, size=spec.object_size,
+                started_at=start, finished_at=env.now, hit=True,
+                recovery=result.recovery_performed,
+                hosts_touched=result.hosts_touched,
+            ))
             return
         outcome.misses += 1
+        report.misses += 1
+        reset = result.data_lost
+        if reset:
+            report.resets += 1
         # RESET: fetch from the backing store and re-insert (quota permitting).
         backing_store.put(f"{spec.tenant_id}/{key}", spec.object_size)
         _size, store_latency = backing_store.get(f"{spec.tenant_id}/{key}")
@@ -217,26 +240,31 @@ def run(
         except RateLimitedError:
             outcome.throttled += 1
         outcome.latencies_s.append(env.now - start)
+        report.total_bytes += spec.object_size
+        report.samples.append(RequestSample(
+            client_id=spec.tenant_id, key=key, size=spec.object_size,
+            started_at=start, finished_at=env.now, hit=False, reset=reset,
+        ))
 
-    def inject(spec: TenantSpec, key: str) -> None:
-        process = loop.spawn(
-            request_process(spec, key), label=f"cluster_scale.{spec.tenant_id}"
+    arrivals = [
+        (
+            timestamp,
+            f"cluster_scale.{spec.tenant_id}",
+            lambda s=spec, k=key: request_process(s, k),
         )
-        process.future.add_done_callback(latch.count_down)
-
-    for timestamp, spec, key in keyed_schedule:
-        loop.schedule_at(
-            timestamp, lambda s=spec, k=key: inject(s, k), label="cluster_scale.arrival"
-        )
-    loop.run_until_complete(latch.future)
+        for timestamp, spec, key in keyed_schedule
+    ]
+    driver = harness.open_loop(cluster.deployment, backing_store=backing_store)
+    driver.run_schedule(arrivals, report, finalize=False)
     cluster.run_until(max(duration_s, loop.now))
     cluster.stop()
+    harness.record("replay", report)
 
-    report = cluster.tenant_report()
+    tenant_report = cluster.tenant_report()
     chargeback = cluster.chargeback_report()
     total_cost = cluster.total_cost()
     for outcome in outcomes.values():
-        outcome.bytes_stored = int(report[outcome.tenant_id]["bytes_stored"])
+        outcome.bytes_stored = int(tenant_report[outcome.tenant_id]["bytes_stored"])
         row = chargeback.get(outcome.tenant_id, {})
         outcome.billed_gb_seconds = row.get("gb_seconds", 0.0)
         outcome.billed_cost = row.get("cost", 0.0)
@@ -264,6 +292,8 @@ def run(
         cost_breakdown=cluster.cost_breakdown(),
         counters=cluster.metrics.counters(),
         chargeback=chargeback,
+        replay_report=report,
+        fingerprints=harness.fingerprints,
     )
 
 

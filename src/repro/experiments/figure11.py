@@ -5,7 +5,13 @@ each, the object size (10-100 MB) and the erasure code ((10+0), (10+1),
 (10+2), (10+4), (4+2), (5+1)) are varied.  Sub-figure (f) additionally
 compares against 1-node and 10-node ElastiCache deployments.
 
-The shapes the reproduction must preserve (Section 5.1):
+Every cell is measured with the **closed-loop event driver**: one scripted
+client issues a GET per one-second round (maintenance timers tick in
+between), the request's chunk fetches race first-d-of-n on the event loop,
+and the cell's latency distribution is read from the hit samples.  The
+ElastiCache baselines replay an equivalent GET-per-second trace through
+the open-loop baseline driver.  The shapes the reproduction must preserve
+(Section 5.1):
 
 * (10+1) is the fastest code — maximum first-d parallelism with minimum
   decode overhead;
@@ -22,11 +28,13 @@ from dataclasses import dataclass, field
 
 from repro.baselines.elasticache import ElastiCacheCluster
 from repro.cache.config import InfiniCacheConfig
-from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.harness import ExperimentHarness
 from repro.experiments.report import format_table
 from repro.utils.stats import summarize
 from repro.utils.units import MB, MIB
 from repro.workload.microbenchmark import FIGURE11_OBJECT_SIZES, FIGURE11_RS_CODES
+from repro.workload.replay import ClientOp, ElastiCacheTarget
+from repro.workload.trace import Trace, TraceRecord
 
 #: Lambda memory configurations of the six sub-figures (MiB).
 FIGURE11_LAMBDA_MEMORY_MIB = (128, 256, 512, 1024, 2048, 3008)
@@ -53,6 +61,8 @@ class Figure11Result:
     cells: list[LatencySample] = field(default_factory=list)
     #: (deployment label, object size) -> median latency seconds
     elasticache: dict[tuple[str, int], float] = field(default_factory=dict)
+    #: per-cell driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
     def cell(self, memory_mib: int, code: tuple[int, int], size: int) -> LatencySample | None:
         """Find one measured cell."""
@@ -72,11 +82,11 @@ class Figure11Result:
 
 
 def _measure_infinicache(
+    harness: ExperimentHarness,
     memory_mib: int,
     code: tuple[int, int],
     object_size: int,
     requests: int,
-    seed: int,
 ) -> LatencySample:
     data_shards, parity_shards = code
     config = InfiniCacheConfig(
@@ -85,40 +95,43 @@ def _measure_infinicache(
         data_shards=data_shards,
         parity_shards=parity_shards,
         backup_enabled=False,
-        seed=seed,
+        seed=harness.seed_for(memory_mib, code, object_size),
     )
-    deployment = InfiniCacheDeployment(config)
-    deployment.start()
-    client = deployment.new_client()
+    deployment = harness.deployment(config)
     key = f"fig11/{memory_mib}/{data_shards}+{parity_shards}/{object_size}"
-    client.put_sized(key, object_size)
+    # One scripted closed-loop client: seed the object, then a GET per
+    # one-second round; a miss (a reclaimed chunk should not happen in these
+    # backup-free short runs) re-inserts through the driver's RESET path so
+    # the sweep continues.
+    plan: list[ClientOp] = [ClientOp("PUT", key=key, size=object_size)]
+    for _round in range(requests):
+        plan.append(ClientOp("SLEEP", delay_s=1.0))
+        plan.append(ClientOp("GET", key=key, size=object_size))
+    driver = harness.closed_loop(deployment)
+    label = f"cell.{memory_mib}.{data_shards}+{parity_shards}.{object_size}"
+    report = harness.record(label, driver.run([plan]))
     sample = LatencySample(
         lambda_memory_mib=memory_mib, rs_code=code, object_size=object_size
     )
-    for _ in range(requests):
-        deployment.run_until(deployment.simulator.now + 1.0)
-        result = client.get(key)
-        if result.hit:
-            sample.latencies_s.append(result.latency_s)
-        else:
-            # A reclaimed chunk shouldn't happen with backup-free short runs,
-            # but re-insert so the sweep continues.
-            client.put_sized(key, object_size)
-    deployment.stop()
+    sample.latencies_s = [s.latency_s for s in report.hit_samples()]
     return sample
 
 
-def _measure_elasticache(node_count: int, object_size: int, requests: int) -> float:
+def _measure_elasticache(
+    harness: ExperimentHarness, node_count: int, object_size: int, requests: int
+) -> float:
     instance = "cache.r5.8xlarge" if node_count == 1 else "cache.r5.xlarge"
     cluster = ElastiCacheCluster(instance_type_name=instance, node_count=node_count)
     key = f"fig11/ec/{object_size}"
-    cluster.put(key, object_size, now=0.0)
-    latencies = []
+    trace = Trace(name=f"fig11-ec-{node_count}-{object_size}")
+    trace.append(TraceRecord(timestamp=0.0, operation="PUT", key=key, size=object_size))
     for index in range(requests):
-        now = 1.0 + index
-        latency = cluster.get(key, now)
-        if latency is not None:
-            latencies.append(latency)
+        trace.append(
+            TraceRecord(timestamp=1.0 + index, operation="GET", key=key, size=object_size)
+        )
+    driver = harness.baseline_open_loop(ElastiCacheTarget(cluster))
+    report = harness.record(f"elasticache.{node_count}.{object_size}", driver.run(trace))
+    latencies = [s.latency_s for s in report.hit_samples()]
     return summarize(latencies)["p50"] if latencies else float("nan")
 
 
@@ -129,26 +142,28 @@ def run(
     requests_per_cell: int = 15,
     include_elasticache: bool = True,
     seed: int = 1111,
+    harness: ExperimentHarness | None = None,
 ) -> Figure11Result:
     """Measure every (memory, code, size) cell plus the ElastiCache baselines."""
+    harness = harness or ExperimentHarness("figure11", seed)
     result = Figure11Result()
     for memory_mib in lambda_memories_mib:
         for code in rs_codes:
             for object_size in object_sizes:
                 result.cells.append(
                     _measure_infinicache(
-                        memory_mib, code, object_size, requests_per_cell,
-                        seed + memory_mib + code[0] * 7 + code[1] * 13,
+                        harness, memory_mib, code, object_size, requests_per_cell
                     )
                 )
     if include_elasticache:
         for object_size in object_sizes:
             result.elasticache[("ElastiCache(1-node)", object_size)] = _measure_elasticache(
-                1, object_size, requests_per_cell
+                harness, 1, object_size, requests_per_cell
             )
             result.elasticache[("ElastiCache(10-node)", object_size)] = _measure_elasticache(
-                10, object_size, requests_per_cell
+                harness, 10, object_size, requests_per_cell
             )
+    result.fingerprints = harness.fingerprints
     return result
 
 

@@ -22,10 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.config import InfiniCacheConfig, StragglerModel
-from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.harness import ExperimentHarness
 from repro.experiments.report import format_table
 from repro.utils.units import GB, MB, MIB
-from repro.workload.replay import ClosedLoopDriver, ConcurrentReplayReport
+from repro.workload.replay import ConcurrentReplayReport
 
 
 @dataclass
@@ -38,6 +38,8 @@ class Figure12Result:
     throughput_bps: dict[int, float] = field(default_factory=dict)
     #: client count -> the driver's full report (request + flow intervals).
     reports: dict[int, ConcurrentReplayReport] = field(default_factory=dict)
+    #: per-client-count driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
     def rows(self) -> list[list[object]]:
         """Table rows: clients, throughput GB/s, speedup over 1 client."""
@@ -59,6 +61,7 @@ def run(
     requests_per_client: int = 20,
     seed: int = 1212,
     straggler_probability: float = 0.02,
+    harness: ExperimentHarness | None = None,
 ) -> Figure12Result:
     """Measure aggregate closed-loop throughput for each client count.
 
@@ -68,6 +71,7 @@ def run(
     Stragglers are enabled by default — the first-d abandonment hides them,
     as in the paper.
     """
+    harness = harness or ExperimentHarness("figure12", seed)
     result = Figure12Result(object_size=object_size, requests_per_client=requests_per_client)
     for clients in client_counts:
         config = InfiniCacheConfig(
@@ -78,9 +82,9 @@ def run(
             parity_shards=2,
             backup_enabled=False,
             straggler=StragglerModel(probability=straggler_probability),
-            seed=seed + clients,
+            seed=harness.seed_for("clients", clients),
         )
-        deployment = InfiniCacheDeployment(config)
+        deployment = harness.deployment(config)
         # Each client owns its own objects so requests spread over the proxies.
         seeder = deployment.new_client("fig12-seeder")
         for index in range(clients):
@@ -96,9 +100,12 @@ def run(
             ]
             for index in range(clients)
         ]
-        report = ClosedLoopDriver(deployment).run(plans)
+        report = harness.record(
+            f"clients.{clients}", harness.closed_loop(deployment).run(plans)
+        )
         result.reports[clients] = report
         result.throughput_bps[clients] = report.aggregate_throughput_bps
+    result.fingerprints = harness.fingerprints
     return result
 
 

@@ -25,6 +25,8 @@ class Figure13Result:
     #: setting -> {category -> dollars per hour list}
     hourly_breakdown: dict[str, dict[str, list[float]]] = field(default_factory=dict)
     cost_breakdown: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: per-replay driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
 
 def from_production(results: ProductionResults) -> Figure13Result:
@@ -51,6 +53,7 @@ def from_production(results: ProductionResults) -> Figure13Result:
         "large only": results.infinicache_large.cost_breakdown,
         "large no backup": results.infinicache_large_no_backup.cost_breakdown,
     }
+    figure.fingerprints = dict(results.fingerprints)
     return figure
 
 

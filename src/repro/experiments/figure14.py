@@ -10,12 +10,13 @@ availability), 3,912 without backup.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.experiments.production import ProductionResults, ProductionScale, run as run_production
 from repro.experiments.report import format_table
 from repro.utils.units import HOUR
-from repro.workload.replay import ReplayReport
+from repro.workload.replay import ConcurrentReplayReport
 
 
 @dataclass
@@ -28,17 +29,29 @@ class Figure14Result:
     resets_per_hour: dict[str, list[float]] = field(default_factory=dict)
     #: setting -> per-hour recovery counts
     recoveries_per_hour: dict[str, list[float]] = field(default_factory=dict)
+    #: per-replay driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
 
-def _availability(report: ReplayReport) -> float:
+def _availability(report: ConcurrentReplayReport) -> float:
     """Fraction of GETs that did not require a RESET."""
     if report.requests == 0:
         return 1.0
     return 1.0 - report.resets / report.requests
 
 
-def _per_hour(report: ReplayReport, duration_hours: float) -> tuple[list[float], list[float]]:
+def _per_hour(
+    report: ConcurrentReplayReport, duration_hours: float
+) -> tuple[list[float], list[float]]:
+    # Events are stamped when their outcome becomes known (miss detection /
+    # GET completion), so one belonging to a request still in flight at the
+    # trace horizon lands just past it; extend the bucketed window to the
+    # next whole hour covering the last event so the hourly series always
+    # sums to the report's totals.
     end = duration_hours * HOUR
+    for series in (report.reset_events, report.recovery_events):
+        if series.times and series.times[-1] >= end:
+            end = HOUR * (math.floor(series.times[-1] / HOUR) + 1)
     resets = report.reset_events.bucket(HOUR, end_time=end, aggregate="count")
     recoveries = report.recovery_events.bucket(HOUR, end_time=end, aggregate="count")
     return resets, recoveries
@@ -57,6 +70,7 @@ def from_production(results: ProductionResults) -> Figure14Result:
         resets, recoveries = _per_hour(report, results.scale.duration_hours)
         figure.resets_per_hour[label] = resets
         figure.recoveries_per_hour[label] = recoveries
+    figure.fingerprints = dict(results.fingerprints)
     return figure
 
 

@@ -15,7 +15,7 @@ from repro.experiments.production import ProductionResults, ProductionScale, run
 from repro.experiments.report import format_cdf_summary
 from repro.utils.stats import cdf_points
 from repro.utils.units import MB
-from repro.workload.replay import ReplayReport
+from repro.workload.replay import ConcurrentReplayReport
 
 
 @dataclass
@@ -28,9 +28,11 @@ class Figure15Result:
     large_objects: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
     #: fraction of large requests where InfiniCache is at least 100x faster than S3
     large_speedup_100x_fraction: float = 0.0
+    #: per-replay driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
 
-def _latencies(report: ReplayReport, min_size: int = 0) -> list[float]:
+def _latencies(report: ConcurrentReplayReport, min_size: int = 0) -> list[float]:
     return [latency for size, latency in report.latencies if size >= min_size]
 
 
@@ -61,6 +63,7 @@ def from_production(results: ProductionResults) -> Figure15Result:
             speedups.append(s3_latency / latency)
     if speedups:
         figure.large_speedup_100x_fraction = sum(1 for s in speedups if s >= 100) / len(speedups)
+    figure.fingerprints = dict(results.fingerprints)
     return figure
 
 

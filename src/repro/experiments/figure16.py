@@ -30,6 +30,8 @@ class Figure16Result:
     normalized_median: dict[str, dict[str, float]] = field(default_factory=dict)
     #: system -> bucket -> raw median latency (seconds)
     raw_median: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: per-replay driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
 
 def _bucket_medians(report) -> dict[str, float]:
@@ -59,6 +61,7 @@ def from_production(results: ProductionResults) -> Figure16Result:
                 figure.normalized_median[label][bucket] = value / ref
             else:
                 figure.normalized_median[label][bucket] = float("nan")
+    figure.fingerprints = dict(results.fingerprints)
     return figure
 
 

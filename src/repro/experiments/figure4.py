@@ -5,9 +5,18 @@ from pools of 20-200 nodes.  Small pools pack many functions per ~3 GB host,
 so one request's 11 chunks share few host NICs and contend; large pools
 spread the chunks over more hosts and latency drops.
 
-The reproduction sweeps the pool size, records for every GET how many
-distinct hosts its chunks touched, and reports the latency distribution per
-host count — the same box-plot data as the paper's figure.
+The reproduction sweeps the pool size with the **closed-loop event driver**:
+one scripted client per pool re-places the object and GETs it once per
+round (``INVALIDATE``/``PUT``/``GET`` :class:`~repro.workload.replay.ClientOp`
+entries separated by 1-second ``SLEEP`` rounds, during which warm-ups keep
+ticking), with the driver's warm-up phase deploying the full pool first so
+the chunk-to-host spread is re-sampled each round exactly as the paper
+re-selects random nodes.  Every GET's chunk fetches race on the event loop
+through the flow-level network model, so the latency a request pays for
+sharing few host NICs is the genuine contention of its own concurrent
+chunk transfers.  Each hit sample carries ``hosts_touched`` — the figure's
+x-axis — and the per-pool driver reports are fingerprinted for the golden
+differential suite.
 """
 
 from __future__ import annotations
@@ -15,10 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.config import InfiniCacheConfig, StragglerModel
-from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.harness import ExperimentHarness
 from repro.experiments.report import format_table
 from repro.utils.stats import summarize
 from repro.utils.units import MB, MIB
+from repro.workload.replay import ClientOp
 
 
 @dataclass
@@ -28,6 +38,8 @@ class Figure4Result:
     pool_sizes: list[int]
     #: host count -> list of client-perceived latencies (seconds)
     latency_by_hosts: dict[int, list[float]] = field(default_factory=dict)
+    #: per-pool driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
     def rows(self) -> list[list[object]]:
         """Summary rows (hosts touched, samples, median, p90, max)."""
@@ -46,8 +58,11 @@ def run(
     object_size: int = 100 * MB,
     requests_per_pool: int = 30,
     lambda_memory_bytes: int = 256 * MIB,
+    seed: int = 400,
+    harness: ExperimentHarness | None = None,
 ) -> Figure4Result:
     """Sweep the pool size and collect latency grouped by hosts touched."""
+    harness = harness or ExperimentHarness("figure4", seed)
     result = Figure4Result(pool_sizes=list(pool_sizes))
     for pool_size in pool_sizes:
         config = InfiniCacheConfig(
@@ -57,30 +72,26 @@ def run(
             parity_shards=1,
             backup_enabled=False,
             straggler=StragglerModel(probability=0.0),
-            seed=400 + pool_size,
+            seed=harness.seed_for("pool", pool_size),
         )
-        deployment = InfiniCacheDeployment(config)
-        deployment.start()
-        client = deployment.new_client()
-        # Warm the whole pool first so every Lambda node has a live instance
-        # and the pool is spread over its full set of VM hosts — the paper's
-        # setup deploys the pool before issuing requests, and the host spread
-        # is exactly the variable Figure 4 studies.
-        for proxy in deployment.proxies:
-            proxy.warm_up_pool(deployment.simulator.now)
+        deployment = harness.deployment(config)
         key = f"fig4/{pool_size}"
-        client.put_sized(key, object_size)
-        for request in range(requests_per_pool):
-            deployment.run_until(deployment.simulator.now + 1.0)
-            # Re-place the object each round so the chunk-to-host spread is
-            # re-sampled, as the paper does by re-selecting random nodes.
-            client.invalidate(key)
-            client.put_sized(key, object_size)
-            get = client.get(key)
-            if not get.hit:
-                continue
-            result.latency_by_hosts.setdefault(get.hosts_touched, []).append(get.latency_s)
-        deployment.stop()
+        # One scripted closed-loop client: per round, advance a second (so
+        # warm-ups interleave), re-place the object to re-sample its
+        # chunk-to-host spread, then measure the GET.
+        plan: list[ClientOp] = []
+        for _round in range(requests_per_pool):
+            plan.append(ClientOp("SLEEP", delay_s=1.0))
+            plan.append(ClientOp("INVALIDATE", key=key, size=object_size))
+            plan.append(ClientOp("PUT", key=key, size=object_size))
+            plan.append(ClientOp("GET", key=key, size=object_size))
+        driver = harness.closed_loop(deployment, warm_pool=True)
+        report = harness.record(f"pool.{pool_size}", driver.run([plan]))
+        for sample in report.hit_samples():
+            result.latency_by_hosts.setdefault(sample.hosts_touched, []).append(
+                sample.latency_s
+            )
+    result.fingerprints = harness.fingerprints
     return result
 
 

@@ -7,6 +7,14 @@ backup).  All of those figures and tables read different projections of the
 same runs, so this module performs the replays once (memoised per parameter
 set within a process) and hands the reports out.
 
+Every replay is **event-driven and open-loop**: trace records are injected
+at their arrival timestamps through
+:class:`~repro.workload.replay.OpenLoopDriver` (the cache) and
+:class:`~repro.workload.replay.OpenLoopBaselineDriver` (ElastiCache and the
+raw object store), so slow RESETs overlap later arrivals, chunk fetches
+race first-d-of-n through the flow-level network model, and every run is
+pinned by a deterministic fingerprint (the golden differential suite).
+
 Scale: the defaults are reduced — a shorter trace and a smaller Lambda pool —
 so the whole benchmark suite runs in minutes.  ``ProductionScale.paper()``
 restores the full-scale parameters (50 hours, 400 x 1.5 GB Lambdas, ~1 TB
@@ -16,18 +24,24 @@ hold at either scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.baselines.elasticache import ElastiCacheCluster
 from repro.baselines.s3 import ObjectStore
 from repro.cache.config import InfiniCacheConfig
 from repro.cache.deployment import InfiniCacheDeployment
+from repro.experiments.harness import ExperimentHarness
 from repro.faas.reclamation import ZipfBurstReclamationPolicy
 from repro.utils.rng import SeededRNG
 from repro.utils.units import MB, MIB
 from repro.workload.docker_registry import DockerRegistryTraceGenerator, RegistryTraceConfig
-from repro.workload.replay import ReplayReport, TraceReplayer
+from repro.workload.replay import (
+    ConcurrentReplayReport,
+    ElastiCacheTarget,
+    ObjectStoreTarget,
+    OpenLoopBaselineDriver,
+)
 from repro.workload.trace import Trace
 
 
@@ -84,11 +98,13 @@ class ProductionResults:
     scale: ProductionScale
     trace_all: Trace
     trace_large: Trace
-    infinicache_all: ReplayReport
-    infinicache_large: ReplayReport
-    infinicache_large_no_backup: ReplayReport
-    elasticache_all: ReplayReport
-    s3_all: ReplayReport
+    infinicache_all: ConcurrentReplayReport
+    infinicache_large: ConcurrentReplayReport
+    infinicache_large_no_backup: ConcurrentReplayReport
+    elasticache_all: ConcurrentReplayReport
+    s3_all: ConcurrentReplayReport
+    #: Per-replay driver fingerprints (golden differential suite).
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
 
 def build_trace(scale: ProductionScale) -> Trace:
@@ -132,22 +148,35 @@ def run(scale: ProductionScale | None = None) -> ProductionResults:
 
 @lru_cache(maxsize=4)
 def _run_cached(scale: ProductionScale) -> ProductionResults:
+    harness = ExperimentHarness("production", scale.seed)
     trace_all = build_trace(scale)
     trace_large = trace_all.large_objects_only(10 * MB)
 
-    infinicache_all = TraceReplayer(ObjectStore()).replay_infinicache(
-        trace_all, build_deployment(scale, backup_enabled=True, seed_offset=1)
+    def replay_infinicache(label: str, trace: Trace, backup: bool, offset: int):
+        deployment = build_deployment(scale, backup_enabled=backup, seed_offset=offset)
+        driver = harness.open_loop(deployment, backing_store=ObjectStore())
+        return harness.record(label, driver.run(trace))
+
+    infinicache_all = replay_infinicache("infinicache.all", trace_all, True, 1)
+    infinicache_large = replay_infinicache("infinicache.large", trace_large, True, 2)
+    infinicache_large_no_backup = replay_infinicache(
+        "infinicache.large_no_backup", trace_large, False, 3
     )
-    infinicache_large = TraceReplayer(ObjectStore()).replay_infinicache(
-        trace_large, build_deployment(scale, backup_enabled=True, seed_offset=2)
+    elasticache_all = harness.record(
+        "elasticache.all",
+        harness.baseline_open_loop(
+            ElastiCacheTarget(
+                ElastiCacheCluster(instance_type_name=scale.elasticache_instance)
+            ),
+        ).run(trace_all),
     )
-    infinicache_large_no_backup = TraceReplayer(ObjectStore()).replay_infinicache(
-        trace_large, build_deployment(scale, backup_enabled=False, seed_offset=3)
+    s3_store = ObjectStore()
+    s3_all = harness.record(
+        "s3.all",
+        harness.baseline_open_loop(
+            ObjectStoreTarget(s3_store), backing_store=s3_store
+        ).run(trace_all),
     )
-    elasticache_all = TraceReplayer(ObjectStore()).replay_elasticache(
-        trace_all, ElastiCacheCluster(instance_type_name=scale.elasticache_instance)
-    )
-    s3_all = TraceReplayer(ObjectStore()).replay_object_store(trace_all)
 
     return ProductionResults(
         scale=scale,
@@ -158,7 +187,22 @@ def _run_cached(scale: ProductionScale) -> ProductionResults:
         infinicache_large_no_backup=infinicache_large_no_backup,
         elasticache_all=elasticache_all,
         s3_all=s3_all,
+        fingerprints=harness.fingerprints,
     )
+
+
+def replay_elasticache_large(results: ProductionResults) -> ConcurrentReplayReport:
+    """The large-object-only ElastiCache replay Table 1 additionally needs.
+
+    The caller (``table1.from_production``) fingerprints the returned
+    report itself, so no harness bookkeeping is involved here.
+    """
+    driver = OpenLoopBaselineDriver(
+        ElastiCacheTarget(
+            ElastiCacheCluster(instance_type_name=results.scale.elasticache_instance)
+        )
+    )
+    return driver.run(results.trace_large)
 
 
 def quick_results() -> ProductionResults:

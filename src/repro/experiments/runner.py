@@ -4,13 +4,24 @@
 all the paper's tables and figures and writes the text reports to a results
 directory.  It exists so a user can reproduce the whole evaluation without
 going through pytest, and so CI can diff the regenerated reports.
+
+Every experiment is described by an :class:`ExperimentSpec` — build the
+result, render the report, expose the driver fingerprints — and the
+replay-driving experiments construct their workloads through the shared
+:class:`repro.experiments.harness.ExperimentHarness` (re-exported here),
+which owns seeding, driver construction, and report fingerprinting.
+``--fingerprints PATH`` writes the collected per-figure fingerprints as
+JSON; the ``figures-smoke`` CI job uploads that file as an artifact so
+fingerprint drift between commits is visible at a glance.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import (
@@ -31,60 +42,98 @@ from repro.experiments import (
     production,
     table1,
 )
+from repro.experiments.harness import ExperimentHarness
 from repro.utils.units import MB
 
+__all__ = ["ExperimentHarness", "ExperimentSpec", "run_all", "main"]
 
-def _quick_specs() -> dict[str, Callable[[], str]]:
-    """Experiment name -> callable producing the formatted report (quick scale)."""
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: how to run it, render it, and fingerprint it."""
+
+    name: str
+    build: Callable[[], object]
+    render: Callable[[object], str]
+
+    def fingerprints(self, result: object) -> dict[str, str]:
+        """Per-run driver fingerprints, empty for analytic experiments."""
+        return dict(getattr(result, "fingerprints", {}) or {})
+
+
+def _quick_specs() -> dict[str, ExperimentSpec]:
+    """Experiment name -> spec producing the formatted report (quick scale)."""
     shared_scale = production.ProductionScale()
 
     def shared_results():
         return production.run(shared_scale)
 
-    return {
-        "figure1": lambda: figure1.format_report(figure1.run(duration_hours=12.0)),
-        "figure4": lambda: figure4.format_report(
-            figure4.run(pool_sizes=(20, 60, 120, 200), requests_per_pool=20)
+    entries: dict[str, tuple[Callable[[], object], Callable[[object], str]]] = {
+        "figure1": (lambda: figure1.run(duration_hours=12.0), figure1.format_report),
+        "figure4": (
+            lambda: figure4.run(pool_sizes=(20, 60, 120, 200), requests_per_pool=20),
+            figure4.format_report,
         ),
-        "figure8": lambda: figure8.format_report(figure8.run(fleet_size=150, hours=24)),
-        "figure9": lambda: figure9.format_report(
-            figure9.run(figure8_result=figure8.run(fleet_size=150, hours=24))
+        "figure8": (lambda: figure8.run(fleet_size=150, hours=24), figure8.format_report),
+        "figure9": (
+            lambda: figure9.run(figure8_result=figure8.run(fleet_size=150, hours=24)),
+            figure9.format_report,
         ),
-        "figure11": lambda: figure11.format_report(
-            figure11.run(
+        "figure11": (
+            lambda: figure11.run(
                 lambda_memories_mib=(256, 1024, 3008),
                 object_sizes=(10 * MB, 100 * MB),
                 requests_per_cell=10,
-            )
+            ),
+            figure11.format_report,
         ),
-        "figure12": lambda: figure12.format_report(
-            figure12.run(client_counts=(1, 2, 4, 8, 10), requests_per_client=12)
+        "figure12": (
+            lambda: figure12.run(client_counts=(1, 2, 4, 8, 10), requests_per_client=12),
+            figure12.format_report,
         ),
-        "figure13": lambda: figure13.format_report(figure13.from_production(shared_results())),
-        "figure14": lambda: figure14.format_report(figure14.from_production(shared_results())),
-        "figure15": lambda: figure15.format_report(figure15.from_production(shared_results())),
-        "figure16": lambda: figure16.format_report(figure16.from_production(shared_results())),
-        "table1": lambda: table1.format_report(table1.from_production(shared_results())),
-        "figure17": lambda: figure17.format_report(figure17.run()),
-        "availability": lambda: availability.format_report(availability.run()),
-        "cluster_scale": lambda: cluster_scale.format_report(
-            cluster_scale.run(duration_s=300.0)
+        "figure13": (
+            lambda: figure13.from_production(shared_results()), figure13.format_report,
         ),
-        "autoscale_policies": lambda: autoscale_policies.format_report(
-            autoscale_policies.run(duration_s=240.0)
+        "figure14": (
+            lambda: figure14.from_production(shared_results()), figure14.format_report,
         ),
+        "figure15": (
+            lambda: figure15.from_production(shared_results()), figure15.format_report,
+        ),
+        "figure16": (
+            lambda: figure16.from_production(shared_results()), figure16.format_report,
+        ),
+        "table1": (
+            lambda: table1.from_production(shared_results()), table1.format_report,
+        ),
+        "figure17": (figure17.run, figure17.format_report),
+        "availability": (availability.run, availability.format_report),
+        "cluster_scale": (
+            lambda: cluster_scale.run(duration_s=300.0), cluster_scale.format_report,
+        ),
+        "autoscale_policies": (
+            lambda: autoscale_policies.run(duration_s=240.0),
+            autoscale_policies.format_report,
+        ),
+    }
+    return {
+        name: ExperimentSpec(name=name, build=build, render=render)
+        for name, (build, render) in entries.items()
     }
 
 
 def run_all(
     output_dir: str | pathlib.Path = "experiment_results",
     only: list[str] | None = None,
+    fingerprints_path: str | pathlib.Path | None = None,
 ) -> dict[str, str]:
     """Run the selected experiments and write one report file per experiment.
 
     Args:
         output_dir: directory to write ``<name>.txt`` reports into.
         only: optional list of experiment names (default: all of them).
+        fingerprints_path: optional JSON file collecting every experiment's
+            driver fingerprints (the figures-smoke CI artifact).
 
     Returns:
         Mapping from experiment name to its formatted report.
@@ -99,12 +148,21 @@ def run_all(
     out_path = pathlib.Path(output_dir)
     out_path.mkdir(parents=True, exist_ok=True)
     reports: dict[str, str] = {}
-    for name, build_report in specs.items():
+    fingerprints: dict[str, dict[str, str]] = {}
+    for name, spec in specs.items():
         started = time.time()
-        report = build_report()
+        result = spec.build()
+        report = spec.render(result)
         reports[name] = report
+        fingerprints[name] = spec.fingerprints(result)
         (out_path / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
         print(f"[{name}] done in {time.time() - started:.1f}s -> {out_path / (name + '.txt')}")
+    if fingerprints_path is not None:
+        payload = {"schema": "repro.figure_fingerprints/1", "experiments": fingerprints}
+        pathlib.Path(fingerprints_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"(wrote fingerprints to {fingerprints_path})")
     return reports
 
 
@@ -123,6 +181,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the named experiments (e.g. --only figure13 table1)",
     )
     parser.add_argument(
+        "--fingerprints", default=None, metavar="PATH",
+        help="also write every experiment's driver fingerprints as JSON "
+        "(the figures-smoke CI artifact)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiment names and exit",
     )
     args = parser.parse_args(argv)
@@ -130,7 +193,11 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(_quick_specs()):
             print(name)
         return 0
-    run_all(output_dir=args.output_dir, only=args.only)
+    run_all(
+        output_dir=args.output_dir,
+        only=args.only,
+        fingerprints_path=args.fingerprints,
+    )
     return 0
 
 

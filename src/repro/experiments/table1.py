@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.elasticache import ElastiCacheCluster
-from repro.baselines.s3 import ObjectStore
-from repro.experiments.production import ProductionResults, ProductionScale, run as run_production
+from repro.experiments.production import (
+    ProductionResults,
+    ProductionScale,
+    replay_elasticache_large,
+    run as run_production,
+)
 from repro.experiments.report import format_table
 from repro.utils.units import GB
-from repro.workload.replay import TraceReplayer
 
 
 @dataclass
@@ -26,17 +28,17 @@ class Table1Result:
 
     #: workload -> {"wss_gb", "gets_per_hour", "ec_hit", "ic_hit", "ic_no_backup_hit"}
     rows: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: per-replay driver fingerprints (golden differential suite)
+    fingerprints: dict[str, str] = field(default_factory=dict)
 
 
 def from_production(results: ProductionResults) -> Table1Result:
     """Project the production replay onto Table 1."""
     table = Table1Result()
     # ElastiCache hit ratio for the large-object workload needs its own replay
-    # (the shared run only replays ElastiCache under all objects).
-    elasticache_large = TraceReplayer(ObjectStore()).replay_elasticache(
-        results.trace_large,
-        ElastiCacheCluster(instance_type_name=results.scale.elasticache_instance),
-    )
+    # (the shared run only replays ElastiCache under all objects); it goes
+    # through the same open-loop baseline driver as the shared replays.
+    elasticache_large = replay_elasticache_large(results)
     table.rows["All objects"] = {
         "wss_gb": results.trace_all.working_set_bytes() / GB,
         "gets_per_hour": results.trace_all.gets_per_hour(),
@@ -51,6 +53,8 @@ def from_production(results: ProductionResults) -> Table1Result:
         "ic_hit": results.infinicache_large.hit_ratio,
         "ic_no_backup_hit": results.infinicache_large_no_backup.hit_ratio,
     }
+    table.fingerprints = dict(results.fingerprints)
+    table.fingerprints["elasticache.large"] = elasticache_large.fingerprint()
     return table
 
 

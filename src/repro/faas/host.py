@@ -9,6 +9,7 @@ contention measured in Figure 4 and motivates the recommendation to use
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -75,6 +76,20 @@ class HostManager:
         self.hosts: dict[str, VMHost] = {}
         self._next_host_index = 0
         self._placement: dict[str, tuple[str, int]] = {}
+        self._host_index: dict[str, int] = {}
+        #: Lazy max-heap of ``(-memory_in_use, -index, host_id)`` for hosts
+        #: with free memory.  Entries go stale when a host's occupancy
+        #: changes (a fresh entry is pushed alongside) and are skipped on
+        #: pop, so placement is O(log hosts) instead of a full fleet scan —
+        #: the scan was a superlinear term at thousand-client fleet sizes.
+        self._open: list[tuple[int, int, str]] = []
+
+    def _note_open(self, host: VMHost) -> None:
+        if host.memory_in_use < host.memory_bytes:
+            heapq.heappush(
+                self._open,
+                (-host.memory_in_use, -self._host_index[host.host_id], host.host_id),
+            )
 
     def _new_host(self) -> VMHost:
         host = VMHost(
@@ -82,6 +97,7 @@ class HostManager:
             memory_bytes=self.limits.host_memory_bytes,
             nic_bandwidth_bps=self.limits.host_nic_bandwidth,
         )
+        self._host_index[host.host_id] = self._next_host_index
         self._next_host_index += 1
         self.hosts[host.host_id] = host
         return host
@@ -90,13 +106,28 @@ class HostManager:
         """Place a new function instance and return its host."""
         if function_name in self._placement:
             raise ConfigurationError(f"function {function_name!r} is already placed")
-        candidates = [host for host in self.hosts.values() if host.can_fit(memory_bytes)]
-        if candidates:
-            # Greedy bin-packing: prefer the fullest host that still fits.
-            host = max(candidates, key=lambda h: (h.memory_in_use, h.host_id))
-        else:
+        # Greedy bin-packing: the fullest host that still fits, host-id as
+        # the tie break — identical to scanning every host with
+        # ``max(key=(memory_in_use, host_id))``, but served from the lazy
+        # heap.  Live-but-too-small entries (possible when function sizes
+        # are heterogeneous) are stashed and pushed back unchanged.
+        host: Optional[VMHost] = None
+        stashed: list[tuple[int, int, str]] = []
+        while self._open:
+            entry = heapq.heappop(self._open)
+            candidate = self.hosts[entry[2]]
+            if candidate.memory_in_use != -entry[0]:
+                continue  # stale: occupancy changed since the entry was pushed
+            if candidate.can_fit(memory_bytes):
+                host = candidate
+                break
+            stashed.append(entry)
+        for entry in stashed:
+            heapq.heappush(self._open, entry)
+        if host is None:
             host = self._new_host()
         host.place(function_name, memory_bytes)
+        self._note_open(host)
         self._placement[function_name] = (host.host_id, memory_bytes)
         return host
 
@@ -106,7 +137,9 @@ class HostManager:
         if placement is None:
             return
         host_id, memory_bytes = placement
-        self.hosts[host_id].evict(function_name, memory_bytes)
+        host = self.hosts[host_id]
+        host.evict(function_name, memory_bytes)
+        self._note_open(host)
 
     def host_of(self, function_name: str) -> Optional[VMHost]:
         """The host a function instance currently lives on, if any."""

@@ -127,6 +127,9 @@ class Flow:
         #: flow down and releases its bandwidth shares.
         self.future: SimFuture = SimFuture(label=f"flow:{label}")
         self._completion: Optional[Event] = None
+        #: Precomputed completion-event label: re-aims happen on every rate
+        #: transition, so building the string once per flow matters at scale.
+        self._finish_label = "flow.finish:" + label
 
     @property
     def bytes_moved(self) -> float:
@@ -383,7 +386,7 @@ class FlowNetwork:
             if flow._completion is not None:
                 flow._completion.cancel()
             flow._completion = self.loop.schedule_at(
-                finish, lambda f=flow: self._complete(f), label=f"flow.finish:{flow.label}"
+                finish, lambda f=flow: self._complete(f), label=flow._finish_label
             )
 
     def _complete(self, flow: Flow) -> None:

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.exceptions import SimulationError
@@ -32,26 +31,47 @@ from repro.sim.clock import SimClock
 from repro.sim.process import Process, ProcessGenerator, SimFuture
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, sequence)`` so the heap pops them in
+    Events order by ``(time, sequence)`` so the heap pops them in
     deterministic order.  ``cancelled`` events stay in the heap but are
     skipped when popped, which is cheaper than heap removal and matches how
     the billed-duration timers are frequently rescheduled.  Cancelling
     notifies the owning queue so its live count stays O(1) and heavily
     tombstoned heaps get compacted.
+
+    The heap itself stores ``(time, sequence, event)`` tuples, so ordering
+    is decided by C-level tuple comparison instead of a Python ``__lt__``
+    per sift step — a measurable win at fleet scale, where hundreds of
+    thousands of flow-completion events are pushed and re-aimed.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Owning queue while the event sits in its heap; cleared on pop so a
-    #: late ``cancel()`` of an already-dispatched event cannot skew counts.
-    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "sequence", "callback", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], None],
+        label: str = "",
+        _queue: Optional["EventQueue"] = None,
+    ):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        #: Owning queue while the event sits in its heap; cleared on pop so a
+        #: late ``cancel()`` of an already-dispatched event cannot skew counts.
+        self._queue = _queue
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time}, sequence={self.sequence}, label={self.label!r}, {state})"
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when its time arrives."""
@@ -76,24 +96,22 @@ class EventQueue:
     COMPACT_MIN_SIZE = 64
 
     def __init__(self):
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
 
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Insert a callback to run at absolute virtual ``time``."""
-        event = Event(
-            time=time, sequence=next(self._counter), callback=callback, label=label,
-            _queue=self,
-        )
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = Event(time, sequence, callback, label, _queue=self)
+        heapq.heappush(self._heap, (time, sequence, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if not event.cancelled:
                 event._queue = None
                 self._live -= 1
@@ -102,15 +120,16 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest pending event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def _note_cancel(self) -> None:
         self._live -= 1
         heap_size = len(self._heap)
         if heap_size >= self.COMPACT_MIN_SIZE and (heap_size - self._live) * 2 > heap_size:
-            self._heap = [event for event in self._heap if not event.cancelled]
+            self._heap = [entry for entry in self._heap if not entry[2].cancelled]
             heapq.heapify(self._heap)
 
     def __len__(self) -> int:

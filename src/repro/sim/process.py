@@ -224,6 +224,9 @@ class Process:
         self._waiting_on: Optional[SimFuture] = None
         self._started = False
         self._cancelling = False
+        #: Precomputed sleep-future label: a coroutine may sleep on every
+        #: step, so the string is built once per process, not per yield.
+        self._sleep_label = "sleep:" + self.label
 
     @property
     def done(self) -> bool:
@@ -270,7 +273,7 @@ class Process:
         elif isinstance(target, SimFuture):
             future = target
         elif isinstance(target, (int, float)):
-            future = self.loop.timeout(float(target), label=f"sleep:{self.label}")
+            future = self.loop.timeout(float(target), label=self._sleep_label)
         else:
             raise SimulationError(
                 f"process {self.label!r} yielded unsupported waitable {target!r}"

@@ -20,13 +20,19 @@ from repro.workload.distributions import ObjectSizeDistribution, ZipfPopularity
 from repro.workload.docker_registry import DockerRegistryTraceGenerator, RegistryTraceConfig
 from repro.workload.microbenchmark import MicrobenchmarkWorkload
 from repro.workload.replay import (
+    ClientOp,
     ClosedLoopDriver,
     ConcurrentReplayReport,
+    ElastiCacheTarget,
+    ObjectStoreTarget,
+    OpenLoopBaselineDriver,
     OpenLoopDriver,
-    ReplayReport,
     RequestSample,
-    TraceReplayer,
 )
+
+# The synchronous sequential facade (``TraceReplayer``) is quarantined in
+# ``repro.workload.legacy`` and deliberately NOT re-exported here: every
+# experiment replays through the event-driven drivers above.
 
 __all__ = [
     "TraceRecord",
@@ -36,10 +42,12 @@ __all__ = [
     "DockerRegistryTraceGenerator",
     "RegistryTraceConfig",
     "MicrobenchmarkWorkload",
-    "ReplayReport",
-    "TraceReplayer",
+    "ClientOp",
     "ClosedLoopDriver",
     "OpenLoopDriver",
+    "OpenLoopBaselineDriver",
+    "ElastiCacheTarget",
+    "ObjectStoreTarget",
     "ConcurrentReplayReport",
     "RequestSample",
 ]

@@ -1,18 +1,24 @@
-"""Trace replayers: sequential facade plus event-driven request drivers.
+"""Event-driven trace replay: the paper's single execution path.
 
-Three ways to drive a cache with a workload:
+Every experiment drives the cache through one of the drivers in this
+module, all of which run on the discrete-event engine (`repro.sim`):
 
-* :class:`TraceReplayer` — the original **sequential facade**: one implicit
-  client, strictly one request at a time, replayed in (virtual) real time by
-  advancing the simulator to each record's timestamp.  Sufficient for the
-  single-client figures (13-16, Table 1) and kept as the stable API.
+* :class:`ClosedLoopDriver` — **N concurrent clients**: each client is a
+  coroutine issuing its next operation the moment the previous one
+  completes; this is the driver behind the Figure 12-style concurrent
+  throughput scaling measurements.  Plans may mix GET/PUT/INVALIDATE/SLEEP
+  operations (:class:`ClientOp`), which is how the microbenchmark figures
+  (4 and 11) express their re-place-then-measure rounds.
 * :class:`OpenLoopDriver` — **arrival-timestamped injection**: every trace
   record is scheduled as an event at its timestamp and runs as a coroutine
   process, so a slow request is still in flight when the next one arrives.
-* :class:`ClosedLoopDriver` — **N concurrent clients**: each client is a
-  coroutine issuing its next request the moment the previous one completes;
-  this is the driver behind the Figure 12-style concurrent-throughput
-  scaling measurements.
+  :meth:`OpenLoopDriver.run_schedule` exposes the same injection machinery
+  for custom per-arrival coroutines (the multi-tenant ``cluster_scale``
+  replay).
+* :class:`OpenLoopBaselineDriver` — the same open-loop injection against a
+  latency-model baseline (ElastiCache or the raw object store) on its own
+  event loop, so the comparison systems of Figures 13, 15, 16 and Table 1
+  replay through the identical arrival path as the cache.
 
 Common semantics follow the paper's evaluation:
 
@@ -22,233 +28,81 @@ Common semantics follow the paper's evaluation:
 * every object in the trace is assumed to exist in the backing store (it is
   pre-populated before the replay starts).
 
-The sequential facade produces a :class:`ReplayReport`; the event-driven
-drivers produce a :class:`ConcurrentReplayReport`, which additionally
-carries per-request intervals and the flow-level transfer trace so genuine
-request overlap is assertable (and the run fingerprintable for determinism
-checks).
+All drivers produce a :class:`ConcurrentReplayReport` carrying per-request
+intervals, hit/miss/RESET accounting and time series, latency projections
+(percentiles, the Figure 16 size buckets), cost breakdowns, the flow-level
+transfer trace, and a :meth:`~ConcurrentReplayReport.fingerprint` digest —
+the quantity the golden differential-replay suite pins per figure.
+
+The original synchronous facade (``TraceReplayer``) is quarantined in
+:mod:`repro.workload.legacy`; it survives only as a differential baseline
+for driver tests and must not be used by experiments.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.baselines.elasticache import ElastiCacheCluster
 from repro.baselines.s3 import ObjectStore
 from repro.cache.deployment import InfiniCacheDeployment
 from repro.exceptions import WorkloadError
 from repro.network.flows import FlowInterval, peak_concurrency
+from repro.sim.loop import EventLoop
 from repro.sim.process import CountdownLatch, all_of
-from repro.simulation.metrics import TimeSeries
+from repro.simulation.metrics import MetricRegistry, TimeSeries
 from repro.utils.stats import summarize
 from repro.utils.units import HOUR
 from repro.workload.trace import Trace
 
 
-@dataclass
-class ReplayReport:
-    """Everything measured during one trace replay."""
-
-    system: str
-    trace_name: str
-    requests: int = 0
-    hits: int = 0
-    misses: int = 0
-    #: Misses caused by reclamation-induced data loss (the paper's RESETs);
-    #: compulsory/capacity misses are counted in ``misses`` but not here.
-    resets: int = 0
-    recoveries: int = 0
-    #: (object size, latency seconds) for every GET, hit or miss.
-    latencies: list[tuple[int, float]] = field(default_factory=list)
-    reset_events: TimeSeries = field(default_factory=lambda: TimeSeries("resets"))
-    recovery_events: TimeSeries = field(default_factory=lambda: TimeSeries("recoveries"))
-    total_cost: float = 0.0
-    cost_breakdown: dict[str, float] = field(default_factory=dict)
-    hourly_cost: dict[str, list[float]] = field(default_factory=dict)
-
-    @property
-    def hit_ratio(self) -> float:
-        """Fraction of GETs served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def latency_values(self) -> list[float]:
-        """All latency samples in seconds."""
-        return [latency for _size, latency in self.latencies]
-
-    def latency_summary(self) -> dict[str, float]:
-        """Percentile summary of the latency samples."""
-        return summarize(self.latency_values())
-
-    def latencies_by_size_bucket(self) -> dict[str, list[float]]:
-        """Latencies grouped into the paper's Figure 16 size buckets."""
-        buckets: dict[str, list[float]] = {
-            "<1MB": [],
-            "[1,10)MB": [],
-            "[10,100)MB": [],
-            ">=100MB": [],
-        }
-        for size, latency in self.latencies:
-            if size < 1_000_000:
-                buckets["<1MB"].append(latency)
-            elif size < 10_000_000:
-                buckets["[1,10)MB"].append(latency)
-            elif size < 100_000_000:
-                buckets["[10,100)MB"].append(latency)
-            else:
-                buckets[">=100MB"].append(latency)
-        return buckets
+#: The paper's Figure 16 object-size buckets.
+SIZE_BUCKETS = ("<1MB", "[1,10)MB", "[10,100)MB", ">=100MB")
 
 
-class TraceReplayer:
-    """Replays a trace against InfiniCache, ElastiCache, or the bare object store."""
-
-    def __init__(self, backing_store: Optional[ObjectStore] = None):
-        self.backing_store = backing_store or ObjectStore()
-
-    def _populate_backing_store(self, trace: Trace) -> None:
-        for key, size in trace.unique_objects().items():
-            self.backing_store.put(key, size)
-
-    # ------------------------------------------------------------------ InfiniCache
-    def replay_infinicache(
-        self,
-        trace: Trace,
-        deployment: InfiniCacheDeployment,
-        insert_on_miss: bool = True,
-    ) -> ReplayReport:
-        """Replay the trace against a started InfiniCache deployment."""
-        if not trace.records:
-            raise WorkloadError("cannot replay an empty trace")
-        self._populate_backing_store(trace)
-        deployment.start()
-        client = deployment.new_client("replayer")
-        report = ReplayReport(system="infinicache", trace_name=trace.name)
-
-        for record in trace.records:
-            deployment.run_until(record.timestamp)
-            if record.operation == "PUT":
-                client.invalidate(record.key)
-                client.put_sized(record.key, record.size)
-                continue
-            report.requests += 1
-            result = client.get(record.key)
-            if result.hit:
-                report.hits += 1
-                latency = result.latency_s
-                if result.recovery_performed:
-                    report.recoveries += 1
-                    report.recovery_events.record(record.timestamp, 1.0)
-            else:
-                report.misses += 1
-                if result.data_lost:
-                    report.resets += 1
-                    report.reset_events.record(record.timestamp, 1.0)
-                fetched = self.backing_store.get(record.key)
-                if fetched is None:
-                    raise WorkloadError(
-                        f"object {record.key!r} is missing from the backing store"
-                    )
-                _size, store_latency = fetched
-                latency = store_latency
-                if insert_on_miss:
-                    put_result = client.put_sized(record.key, record.size)
-                    latency += put_result.latency_s
-            report.latencies.append((record.size, latency))
-
-        deployment.run_until(trace.records[-1].timestamp)
-        deployment.stop()
-        report.total_cost = deployment.total_cost()
-        report.cost_breakdown = deployment.cost_breakdown()
-        report.hourly_cost = self._hourly_costs(deployment, trace.records[-1].timestamp)
-        return report
-
-    def _hourly_costs(
-        self, deployment: InfiniCacheDeployment, end_time: float
-    ) -> dict[str, list[float]]:
-        """Per-hour cost increments by category (Figure 13(b)-(d))."""
-        hourly: dict[str, list[float]] = {}
-        hours = int(end_time // HOUR) + 1
-        for category in ("serving", "warmup", "backup", "total"):
-            name = f"cost.cumulative.{category}"
-            if not deployment.metrics.has_series(name):
-                hourly[category] = [0.0] * hours
-                continue
-            series = deployment.metrics.series(name)
-            per_hour = []
-            previous = 0.0
-            for hour in range(1, hours + 1):
-                window = series.window(0.0, hour * HOUR)
-                cumulative = window[-1][1] if window else previous
-                per_hour.append(max(0.0, cumulative - previous))
-                previous = cumulative
-            hourly[category] = per_hour
-        return hourly
-
-    # ------------------------------------------------------------------ ElastiCache
-    def replay_elasticache(
-        self, trace: Trace, cluster: ElastiCacheCluster, insert_on_miss: bool = True
-    ) -> ReplayReport:
-        """Replay the trace against an ElastiCache cluster."""
-        if not trace.records:
-            raise WorkloadError("cannot replay an empty trace")
-        self._populate_backing_store(trace)
-        report = ReplayReport(system="elasticache", trace_name=trace.name)
-        for record in trace.records:
-            now = record.timestamp
-            if record.operation == "PUT":
-                cluster.put(record.key, record.size, now)
-                continue
-            report.requests += 1
-            latency = cluster.get(record.key, now)
-            if latency is None:
-                # ElastiCache misses are compulsory or capacity misses; the
-                # provider never reclaims its memory, so they are not RESETs.
-                report.misses += 1
-                fetched = self.backing_store.get(record.key)
-                if fetched is None:
-                    raise WorkloadError(
-                        f"object {record.key!r} is missing from the backing store"
-                    )
-                _size, store_latency = fetched
-                total_latency = store_latency
-                if insert_on_miss:
-                    total_latency += cluster.put(record.key, record.size, now)
-                report.latencies.append((record.size, total_latency))
-            else:
-                report.hits += 1
-                report.latencies.append((record.size, latency))
-        duration = trace.records[-1].timestamp
-        report.total_cost = cluster.cost_for_duration(duration)
-        report.cost_breakdown = {"capacity": report.total_cost, "total": report.total_cost}
-        return report
-
-    # ------------------------------------------------------------------ bare object store
-    def replay_object_store(self, trace: Trace) -> ReplayReport:
-        """Replay the trace directly against the backing store (the S3 baseline)."""
-        if not trace.records:
-            raise WorkloadError("cannot replay an empty trace")
-        self._populate_backing_store(trace)
-        report = ReplayReport(system="s3", trace_name=trace.name)
-        for record in trace.records:
-            if record.operation == "PUT":
-                self.backing_store.put(record.key, record.size)
-                continue
-            report.requests += 1
-            fetched = self.backing_store.get(record.key)
-            if fetched is None:
-                raise WorkloadError(f"object {record.key!r} is missing from the backing store")
-            _size, latency = fetched
-            report.hits += 1
-            report.latencies.append((record.size, latency))
-        report.total_cost = self.backing_store.request_cost()
-        report.cost_breakdown = {"requests": report.total_cost, "total": report.total_cost}
-        return report
+def bucket_latencies(pairs: Sequence[tuple[int, float]]) -> dict[str, list[float]]:
+    """Group ``(object size, latency)`` pairs into the Figure 16 size buckets."""
+    buckets: dict[str, list[float]] = {bucket: [] for bucket in SIZE_BUCKETS}
+    for size, latency in pairs:
+        if size < 1_000_000:
+            buckets["<1MB"].append(latency)
+        elif size < 10_000_000:
+            buckets["[1,10)MB"].append(latency)
+        elif size < 100_000_000:
+            buckets["[10,100)MB"].append(latency)
+        else:
+            buckets[">=100MB"].append(latency)
+    return buckets
 
 
-# ---------------------------------------------------------------------- event-driven drivers
+def hourly_costs(metrics: MetricRegistry, end_time: float) -> dict[str, list[float]]:
+    """Per-hour cost increments by category (Figure 13(b)-(d)).
+
+    Reads the cumulative cost series the deployment samples every minute
+    and differences them into hourly buckets.
+    """
+    hourly: dict[str, list[float]] = {}
+    hours = int(end_time // HOUR) + 1
+    for category in ("serving", "warmup", "backup", "total"):
+        name = f"cost.cumulative.{category}"
+        if not metrics.has_series(name):
+            hourly[category] = [0.0] * hours
+            continue
+        series = metrics.series(name)
+        per_hour = []
+        previous = 0.0
+        for hour in range(1, hours + 1):
+            window = series.window(0.0, hour * HOUR)
+            cumulative = window[-1][1] if window else previous
+            per_hour.append(max(0.0, cumulative - previous))
+            previous = cumulative
+        hourly[category] = per_hour
+    return hourly
+
+
+# ---------------------------------------------------------------------- samples and reports
 @dataclass(frozen=True)
 class RequestSample:
     """One request's interval on the virtual clock, as a driver recorded it."""
@@ -260,6 +114,11 @@ class RequestSample:
     finished_at: float
     hit: bool
     reset: bool = False
+    #: Whether the hit needed an erasure-coded degraded read (Figure 14).
+    recovery: bool = False
+    #: Distinct VM hosts the request's chunks touched (Figure 4's x-axis);
+    #: zero for baseline systems, which have no chunk fan-out.
+    hosts_touched: int = 0
 
     @property
     def latency_s(self) -> float:
@@ -279,12 +138,21 @@ class ConcurrentReplayReport:
     #: ``"closed-loop"`` or ``"open-loop"``.
     mode: str
     clients: int
+    trace_name: str = ""
     requests: int = 0
     hits: int = 0
     misses: int = 0
     resets: int = 0
     recoveries: int = 0
     samples: list[RequestSample] = field(default_factory=list)
+    #: RESET / recovery occurrences on the virtual clock (Figure 14's
+    #: per-hour activity series).  Each event is stamped at the clock
+    #: instant its outcome became known — miss detection for a RESET, GET
+    #: completion for a recovery — which may trail the request's arrival;
+    #: the clock only moves forward, so the series stays monotone even
+    #: though overlapping requests resolve out of arrival order.
+    reset_events: TimeSeries = field(default_factory=lambda: TimeSeries("resets"))
+    recovery_events: TimeSeries = field(default_factory=lambda: TimeSeries("recoveries"))
     #: Chunk-transfer intervals recorded by the flow network during the run.
     flow_intervals: list[FlowInterval] = field(default_factory=list)
     #: High-water mark of simultaneously-active transfers on the underlying
@@ -303,6 +171,9 @@ class ConcurrentReplayReport:
     #: Object bytes delivered to clients (hits plus RESET fetches).
     total_bytes: int = 0
     total_cost: float = 0.0
+    cost_breakdown: dict[str, float] = field(default_factory=dict)
+    #: Per-hour cost increments by category (Figure 13(b)-(d)).
+    hourly_cost: dict[str, list[float]] = field(default_factory=dict)
 
     @property
     def hit_ratio(self) -> float:
@@ -320,6 +191,11 @@ class ConcurrentReplayReport:
         """Object bytes per second of simulated wall-clock time."""
         return self.total_bytes / self.duration_s if self.duration_s > 0 else 0.0
 
+    @property
+    def latencies(self) -> list[tuple[int, float]]:
+        """``(object size, latency seconds)`` for every GET, hit or miss."""
+        return [(sample.size, sample.latency_s) for sample in self.samples]
+
     def latency_values(self) -> list[float]:
         """All request latency samples in seconds."""
         return [sample.latency_s for sample in self.samples]
@@ -327,6 +203,24 @@ class ConcurrentReplayReport:
     def latency_summary(self) -> dict[str, float]:
         """Percentile summary of the latency samples."""
         return summarize(self.latency_values())
+
+    def latencies_by_size_bucket(self) -> dict[str, list[float]]:
+        """Latencies grouped into the paper's Figure 16 size buckets."""
+        return bucket_latencies(self.latencies)
+
+    def hit_samples(self) -> list[RequestSample]:
+        """Only the requests served from the cache (microbenchmark figures)."""
+        return [sample for sample in self.samples if sample.hit]
+
+    def fold_sample_bounds(self) -> None:
+        """Set ``started_at``/``finished_at`` from the recorded samples.
+
+        Shared by every driver so cache and baseline reports derive their
+        ``duration_s`` (and therefore throughput) identically.
+        """
+        if self.samples:
+            self.started_at = min(s.started_at for s in self.samples)
+            self.finished_at = max(s.finished_at for s in self.samples)
 
     def max_concurrent_flows(self) -> int:
         """Peak number of simultaneously in-flight chunk transfers."""
@@ -373,6 +267,74 @@ class ConcurrentReplayReport:
         return hasher.hexdigest()
 
 
+# ---------------------------------------------------------------------- client operations
+@dataclass(frozen=True)
+class ClientOp:
+    """One scripted closed-loop client operation.
+
+    Plans handed to :class:`ClosedLoopDriver` may mix plain ``(key, size)``
+    tuples (GETs, the common case) with explicit operations:
+
+    * ``GET`` — fetch, with the RESET path on a miss (recorded as a sample);
+    * ``PUT`` — sized insert (re-placement rounds of Figures 4 and 11);
+    * ``INVALIDATE`` — drop the cached object (write-through overwrite);
+    * ``SLEEP`` — advance this client's virtual time by ``delay_s`` (the
+      between-rounds idle the microbenchmark figures use, during which
+      warm-ups, backups, and reclamations keep ticking).
+    """
+
+    op: str
+    key: str = ""
+    size: int = 0
+    delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.op not in ("GET", "PUT", "INVALIDATE", "SLEEP"):
+            raise WorkloadError(f"unsupported client op {self.op!r}")
+        if self.op in ("GET", "PUT") and (not self.key or self.size <= 0):
+            raise WorkloadError(f"{self.op} ops need a key and a positive size")
+        if self.op == "INVALIDATE" and not self.key:
+            raise WorkloadError("INVALIDATE ops need a key")
+        if self.op == "SLEEP" and self.delay_s < 0:
+            raise WorkloadError("SLEEP delay must be non-negative")
+
+
+#: What a closed-loop plan may contain: a GET tuple or an explicit op.
+PlanEntry = Union[tuple[str, int], ClientOp]
+
+
+def _normalise_plan(entries: Sequence[PlanEntry]) -> list[ClientOp]:
+    ops = []
+    for entry in entries:
+        if isinstance(entry, ClientOp):
+            ops.append(entry)
+        else:
+            key, size = entry
+            ops.append(ClientOp("GET", key=key, size=size))
+    return ops
+
+
+# ---------------------------------------------------------------------- arrival injection
+def _run_arrivals(
+    loop: EventLoop,
+    arrivals: Sequence[tuple[float, str, Callable[[], object]]],
+    latch_label: str,
+) -> None:
+    """Schedule every ``(timestamp, label, coroutine factory)`` arrival and
+    run the loop until all spawned processes finish."""
+    latch = CountdownLatch(len(arrivals), label=latch_label)
+
+    def inject(label: str, factory: Callable[[], object]) -> None:
+        process = loop.spawn(factory(), label=label)
+        process.future.add_done_callback(latch.count_down)
+
+    for timestamp, label, factory in arrivals:
+        loop.schedule_at(
+            timestamp, lambda l=label, f=factory: inject(l, f), label="driver.arrival"
+        )
+    loop.run_until_complete(latch.future)
+
+
 class _EventDriver:
     """Shared machinery of the open- and closed-loop drivers."""
 
@@ -381,10 +343,26 @@ class _EventDriver:
         deployment: InfiniCacheDeployment,
         backing_store: Optional[ObjectStore] = None,
         insert_on_miss: bool = True,
+        warm_pool: bool = False,
     ):
         self.deployment = deployment
         self.backing_store = backing_store or ObjectStore()
         self.insert_on_miss = insert_on_miss
+        #: Warm every proxy's full Lambda pool before the first request, so
+        #: the pool is spread over its full set of VM hosts (the Figure 4
+        #: methodology deploys the pool before measuring).
+        self.warm_pool = warm_pool
+
+    def _start(self) -> int:
+        """Start the deployment (and optional warm-up phase); returns the
+        flow-trace marker bounding this run's transfer intervals."""
+        trace_marker = self.deployment.flows.trace_marker()
+        self.deployment.start()
+        if self.warm_pool:
+            now = self.deployment.simulator.now
+            for proxy in self.deployment.proxies:
+                proxy.warm_up_pool(now)
+        return trace_marker
 
     def _request_process(self, client, client_id: str, key: str, size: int,
                          report: ConcurrentReplayReport):
@@ -399,11 +377,16 @@ class _EventDriver:
             report.total_bytes += result.size
             if result.recovery_performed:
                 report.recoveries += 1
+                # Stamped at the instant the outcome is known (env.now, not
+                # the arrival time): the clock only moves forward, so the
+                # series stays monotone even when requests overlap.
+                report.recovery_events.record(env.now, 1.0)
         else:
             report.misses += 1
             reset = result.data_lost
             if reset:
                 report.resets += 1
+                report.reset_events.record(env.now, 1.0)
             fetched = self.backing_store.get(key)
             if fetched is None:
                 raise WorkloadError(f"object {key!r} is missing from the backing store")
@@ -416,65 +399,82 @@ class _EventDriver:
             client_id=client_id, key=key, size=size,
             started_at=started, finished_at=env.now,
             hit=result.hit, reset=reset,
+            recovery=result.hit and result.recovery_performed,
+            hosts_touched=result.hosts_touched,
         ))
 
-    def _finish(self, report: ConcurrentReplayReport, trace_marker: int) -> ConcurrentReplayReport:
+    def _collect(self, report: ConcurrentReplayReport, trace_marker: int) -> None:
+        """Fold the run's flow-trace window and request bounds into the report."""
         flows = self.deployment.flows
         report.flow_intervals = flows.trace_since(trace_marker)
         report.peak_active_flows = flows.max_concurrent()
         retired_during_run = flows.trace_marker() - trace_marker
         report.flow_intervals_dropped = retired_during_run - len(report.flow_intervals)
-        if report.samples:
-            report.started_at = min(s.started_at for s in report.samples)
-            report.finished_at = max(s.finished_at for s in report.samples)
+        report.fold_sample_bounds()
+
+    def _finish(self, report: ConcurrentReplayReport, trace_marker: int) -> ConcurrentReplayReport:
+        self._collect(report, trace_marker)
         self.deployment.stop()
         report.total_cost = self.deployment.total_cost()
+        report.cost_breakdown = self.deployment.cost_breakdown()
+        report.hourly_cost = hourly_costs(
+            self.deployment.metrics, self.deployment.simulator.now
+        )
         return report
 
 
 class ClosedLoopDriver(_EventDriver):
-    """N concurrent clients, each issuing back-to-back requests.
+    """N concurrent clients, each issuing back-to-back operations.
 
     Every client is a coroutine process: it waits for its own previous
-    request (decode included) before issuing the next one, so offered load
+    operation (decode included) before issuing the next one, so offered load
     rises with the client count exactly as in the paper's Figure 12 setup.
     """
 
-    def _client_process(self, client, client_id: str,
-                        requests: Sequence[tuple[str, int]],
+    def _client_process(self, client, client_id: str, ops: Sequence[ClientOp],
                         report: ConcurrentReplayReport):
-        for key, size in requests:
-            yield from self._request_process(client, client_id, key, size, report)
+        env = self.deployment.request_env
+        for op in ops:
+            if op.op == "GET":
+                yield from self._request_process(client, client_id, op.key, op.size, report)
+            elif op.op == "PUT":
+                yield from client.put_sized_process(op.key, op.size, env)
+            elif op.op == "INVALIDATE":
+                client.invalidate(op.key)
+            elif op.op == "SLEEP" and op.delay_s > 0:
+                yield op.delay_s
         return client_id
 
-    def run(self, requests_by_client: Sequence[Sequence[tuple[str, int]]]) -> ConcurrentReplayReport:
-        """Drive one coroutine client per request list until all complete.
+    def run(self, requests_by_client: Sequence[Sequence[PlanEntry]]) -> ConcurrentReplayReport:
+        """Drive one coroutine client per plan until all complete.
 
         Args:
-            requests_by_client: per client, the ``(key, size)`` GETs it
-                issues in order; sizes are used to pre-populate the backing
-                store and to re-insert on miss.
+            requests_by_client: per client, the operations it issues in
+                order — ``(key, size)`` GET tuples and/or :class:`ClientOp`
+                entries.  GET sizes pre-populate the backing store for the
+                RESET path and are re-inserted on miss.
         """
         if not requests_by_client:
             raise WorkloadError("the closed-loop driver needs at least one client")
-        for requests in requests_by_client:
-            for key, size in requests:
-                self.backing_store.put(key, size)
+        plans = [_normalise_plan(entries) for entries in requests_by_client]
+        for ops in plans:
+            for op in ops:
+                if op.op == "GET":
+                    self.backing_store.put(op.key, op.size)
         report = ConcurrentReplayReport(
-            system="infinicache", mode="closed-loop", clients=len(requests_by_client),
+            system="infinicache", mode="closed-loop", clients=len(plans),
         )
-        trace_marker = self.deployment.flows.trace_marker()
-        self.deployment.start()
+        trace_marker = self._start()
         loop = self.deployment.simulator
         processes = [
             loop.spawn(
                 self._client_process(
                     self.deployment.new_client(f"closed-loop-{index}"),
-                    f"closed-loop-{index}", list(requests), report,
+                    f"closed-loop-{index}", ops, report,
                 ),
                 label=f"driver.client.{index}",
             )
-            for index, requests in enumerate(requests_by_client)
+            for index, ops in enumerate(plans)
         ]
         loop.run_until_complete(all_of([process.future for process in processes]))
         return self._finish(report, trace_marker)
@@ -487,7 +487,7 @@ class OpenLoopDriver(_EventDriver):
     process when the clock reaches it — the offered load follows the trace
     regardless of how long individual requests take, so slow requests
     overlap with later arrivals instead of delaying them (which is what the
-    sequential facade does).
+    quarantined sequential facade does).
     """
 
     def run(self, trace: Trace) -> ConcurrentReplayReport:
@@ -497,34 +497,192 @@ class OpenLoopDriver(_EventDriver):
         for key, size in trace.unique_objects().items():
             self.backing_store.put(key, size)
         report = ConcurrentReplayReport(
-            system="infinicache", mode="open-loop", clients=1,
+            system="infinicache", mode="open-loop", clients=1, trace_name=trace.name,
         )
-        trace_marker = self.deployment.flows.trace_marker()
-        self.deployment.start()
-        loop = self.deployment.simulator
+        trace_marker = self._start()
         client = self.deployment.new_client("open-loop")
-        latch = CountdownLatch(len(trace.records), label="open_loop.complete")
+        env = self.deployment.request_env
 
-        def inject(record) -> None:
-            if record.operation == "PUT":
-                def put_process():
-                    client.invalidate(record.key)
-                    yield from client.put_sized_process(
-                        record.key, record.size, self.deployment.request_env
-                    )
-                process = loop.spawn(put_process(), label=f"driver.put.{record.key}")
-            else:
-                process = loop.spawn(
-                    self._request_process(
-                        client, "open-loop", record.key, record.size, report
-                    ),
-                    label=f"driver.get.{record.key}",
-                )
-            process.future.add_done_callback(latch.count_down)
+        def put_factory(record):
+            def put_process():
+                client.invalidate(record.key)
+                yield from client.put_sized_process(record.key, record.size, env)
+            return put_process
 
+        arrivals = []
         for record in trace.records:
-            loop.schedule_at(
-                record.timestamp, lambda r=record: inject(r), label="driver.arrival"
-            )
-        loop.run_until_complete(latch.future)
+            if record.operation == "PUT":
+                arrivals.append(
+                    (record.timestamp, f"driver.put.{record.key}", put_factory(record))
+                )
+            else:
+                arrivals.append((
+                    record.timestamp,
+                    f"driver.get.{record.key}",
+                    lambda r=record: self._request_process(
+                        client, "open-loop", r.key, r.size, report
+                    ),
+                ))
+        _run_arrivals(self.deployment.simulator, arrivals, "open_loop.complete")
         return self._finish(report, trace_marker)
+
+    def run_schedule(
+        self,
+        arrivals: Sequence[tuple[float, str, Callable[[], object]]],
+        report: ConcurrentReplayReport,
+        finalize: bool = True,
+    ) -> ConcurrentReplayReport:
+        """Open-loop injection of custom coroutines (multi-tenant replays).
+
+        Each arrival is ``(timestamp, label, factory)`` where ``factory()``
+        builds the coroutine to spawn at that virtual time.  The caller owns
+        the report (and may have its coroutines append
+        :class:`RequestSample` records to it); the driver owns the arrival
+        scheduling, the completion latch, and the flow-trace window.  With
+        ``finalize=False`` the deployment is left running — the cluster
+        experiments stop the cluster themselves and read costs from it.
+        """
+        trace_marker = self._start()
+        _run_arrivals(self.deployment.simulator, arrivals, "open_loop.schedule")
+        if finalize:
+            return self._finish(report, trace_marker)
+        self._collect(report, trace_marker)
+        return report
+
+
+# ---------------------------------------------------------------------- baseline replays
+class ElastiCacheTarget:
+    """Adapter driving an :class:`ElastiCacheCluster` under the open loop."""
+
+    system = "elasticache"
+
+    def __init__(self, cluster: ElastiCacheCluster):
+        self.cluster = cluster
+
+    def get(self, key: str, now: float) -> Optional[float]:
+        """Latency of a GET served at ``now``, or ``None`` on a miss."""
+        return self.cluster.get(key, now)
+
+    def put(self, key: str, size: int, now: float) -> float:
+        """Latency of a PUT served at ``now``."""
+        return self.cluster.put(key, size, now)
+
+    def finalize(self, trace: Trace, report: ConcurrentReplayReport) -> None:
+        """Capacity-billed cost for the replay window."""
+        report.total_cost = self.cluster.cost_for_duration(trace.records[-1].timestamp)
+        report.cost_breakdown = {"capacity": report.total_cost, "total": report.total_cost}
+
+
+class ObjectStoreTarget:
+    """Adapter replaying directly against the backing store (the S3 baseline)."""
+
+    system = "s3"
+
+    def __init__(self, store: ObjectStore):
+        self.store = store
+
+    def get(self, key: str, now: float) -> Optional[float]:
+        """Latency of fetching the object from the store (never a miss once
+        the trace has been pre-populated)."""
+        fetched = self.store.get(key)
+        if fetched is None:
+            return None
+        _size, latency = fetched
+        return latency
+
+    def put(self, key: str, size: int, now: float) -> float:
+        """Latency of uploading the object to the store."""
+        return self.store.put(key, size)
+
+    def finalize(self, trace: Trace, report: ConcurrentReplayReport) -> None:
+        """Per-request cost accumulated over the replay."""
+        report.total_cost = self.store.request_cost()
+        report.cost_breakdown = {"requests": report.total_cost, "total": report.total_cost}
+
+
+class OpenLoopBaselineDriver:
+    """Open-loop trace replay against a latency-model baseline system.
+
+    The comparison systems of Figures 13, 15, 16 and Table 1 (ElastiCache,
+    raw S3) have no chunk fan-out to simulate, but their replays still run
+    through the same arrival-timestamped injection as the cache — each
+    record spawns a coroutine on a private event loop at its trace
+    timestamp — so every system in a comparison replays the identical
+    offered load and produces the same :class:`ConcurrentReplayReport`
+    shape (and fingerprint) as the event-driven cache replay.
+    """
+
+    def __init__(
+        self,
+        target,
+        backing_store: Optional[ObjectStore] = None,
+        insert_on_miss: bool = True,
+    ):
+        self.target = target
+        self.backing_store = backing_store or ObjectStore()
+        self.insert_on_miss = insert_on_miss
+
+    def _request_process(self, loop: EventLoop, key: str, size: int,
+                         report: ConcurrentReplayReport):
+        started = loop.now
+        report.requests += 1
+        latency = self.target.get(key, started)
+        if latency is not None:
+            report.hits += 1
+            report.total_bytes += size
+            if latency > 0:
+                yield latency
+        else:
+            # Baseline misses are compulsory or capacity misses; the
+            # provider never reclaims its memory, so they are not RESETs.
+            report.misses += 1
+            fetched = self.backing_store.get(key)
+            if fetched is None:
+                raise WorkloadError(f"object {key!r} is missing from the backing store")
+            _size, store_latency = fetched
+            yield store_latency
+            if self.insert_on_miss:
+                insert_latency = self.target.put(key, size, loop.now)
+                if insert_latency > 0:
+                    yield insert_latency
+            report.total_bytes += size
+        report.samples.append(RequestSample(
+            client_id=self.target.system, key=key, size=size,
+            started_at=started, finished_at=loop.now,
+            hit=latency is not None,
+        ))
+
+    def _put_process(self, loop: EventLoop, key: str, size: int):
+        latency = self.target.put(key, size, loop.now)
+        if latency > 0:
+            yield latency
+
+    def run(self, trace: Trace) -> ConcurrentReplayReport:
+        """Inject every trace record at its timestamp; returns when all finish."""
+        if not trace.records:
+            raise WorkloadError("cannot replay an empty trace")
+        for key, size in trace.unique_objects().items():
+            self.backing_store.put(key, size)
+        loop = EventLoop()
+        report = ConcurrentReplayReport(
+            system=self.target.system, mode="open-loop", clients=1,
+            trace_name=trace.name,
+        )
+        arrivals = []
+        for record in trace.records:
+            if record.operation == "PUT":
+                arrivals.append((
+                    record.timestamp,
+                    f"baseline.put.{record.key}",
+                    lambda r=record: self._put_process(loop, r.key, r.size),
+                ))
+            else:
+                arrivals.append((
+                    record.timestamp,
+                    f"baseline.get.{record.key}",
+                    lambda r=record: self._request_process(loop, r.key, r.size, report),
+                ))
+        _run_arrivals(loop, arrivals, "baseline.complete")
+        report.fold_sample_bounds()
+        self.target.finalize(trace, report)
+        return report

@@ -1,4 +1,14 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and command-line options for the test suite.
+
+Options:
+
+* ``--update-golden`` — regenerate the golden differential-replay files
+  under ``tests/golden/`` instead of comparing against them (see
+  ``tests/test_golden_figures.py``).
+* ``--runslow`` — also run tests marked ``@pytest.mark.slow`` (the
+  full-scale figure regenerations), which are excluded from the tier-1
+  suite by default.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +18,32 @@ from repro.cache.config import InfiniCacheConfig, StragglerModel
 from repro.cache.deployment import InfiniCacheDeployment
 from repro.utils.rng import SeededRNG
 from repro.utils.units import MIB
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/*.json instead of asserting against them",
+    )
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (full-scale figure regenerations)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full-scale figure runs excluded from the tier-1 suite"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow full-scale run; use --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

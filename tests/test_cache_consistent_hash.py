@@ -155,3 +155,61 @@ class TestBulkConstruction:
         with pytest.raises(ConfigurationError):
             ring.add_many([("p0", 0), ("p0", 1)])
         assert len(ring) == 0
+
+
+class TestCopyOnWriteClone:
+    def _ring(self, members: int = 8):
+        from repro.cache.consistent_hash import ConsistentHashRing
+
+        ring: ConsistentHashRing[int] = ConsistentHashRing(virtual_nodes=8)
+        ring.add_many([(f"proxy-{index}", index) for index in range(members)])
+        return ring
+
+    def test_clone_shares_the_point_tuple(self):
+        ring = self._ring()
+        clone = ring.clone()
+        # O(1) share: the immutable sorted points are the same object.
+        assert clone._ring is ring._ring
+        assert clone.member_ids() == ring.member_ids()
+        for key in ("a", "b", "photo/1", "photo/2"):
+            assert clone.lookup_id(key) == ring.lookup_id(key)
+
+    def test_clone_mutation_copies_on_write(self):
+        ring = self._ring()
+        clone = ring.clone()
+        clone.remove("proxy-0")
+        assert clone._ring is not ring._ring
+        assert "proxy-0" in ring and "proxy-0" not in clone
+        clone.add("proxy-9", 9)
+        assert "proxy-9" not in ring
+
+    def test_prototype_mutation_leaves_clones_alone(self):
+        ring = self._ring()
+        clone = ring.clone()
+        before = [clone.lookup_id(f"key-{index}") for index in range(20)]
+        ring.remove("proxy-1")
+        ring.add("proxy-8", 8)
+        assert [clone.lookup_id(f"key-{index}") for index in range(20)] == before
+
+    def test_deployment_clients_get_cow_clones(self):
+        from repro.cache.config import InfiniCacheConfig
+        from repro.cache.deployment import InfiniCacheDeployment
+        from repro.utils.units import MIB
+
+        deployment = InfiniCacheDeployment(InfiniCacheConfig(
+            num_proxies=3, lambdas_per_proxy=4,
+            lambda_memory_bytes=512 * MIB,
+            data_shards=2, parity_shards=1, backup_enabled=False, seed=7,
+        ))
+        first = deployment.new_client("a")
+        second = deployment.new_client("b")
+        # Clients share the prototype's point tuple until a membership change.
+        assert first.ring._ring is second.ring._ring
+        assert first.proxy_ids() == second.proxy_ids()
+        # A cluster join updates the prototype and every issued client.
+        deployment.add_proxy()
+        assert first.proxy_ids() == second.proxy_ids()
+        assert "proxy-3" in first.ring
+        # New clients clone the post-join prototype.
+        third = deployment.new_client("c")
+        assert third.proxy_ids() == first.proxy_ids()

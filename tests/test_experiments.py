@@ -141,6 +141,11 @@ class TestProductionProjections:
         with_backup = result.totals["large only"][0]
         without_backup = result.totals["large no backup"][0]
         assert without_backup >= with_backup
+        # The hourly series cover every event, including RESETs completing
+        # just past the trace horizon (events are stamped at completion).
+        for label, (resets, recoveries, _availability) in result.totals.items():
+            assert sum(result.resets_per_hour[label]) == resets
+            assert sum(result.recoveries_per_hour[label]) == recoveries
         availability_with = result.totals["large only"][2]
         availability_without = result.totals["large no backup"][2]
         assert availability_with >= availability_without

@@ -2,7 +2,8 @@
 
 Timing values are environment noise and are never asserted on — coverage is
 the payload shape, event accounting, and the arbiter fingerprint gate the
-CI step relies on.
+CI step relies on — including that ``repro perf`` actually exits non-zero
+when the gate trips, not just that it exits zero on the happy path.
 """
 
 from __future__ import annotations
@@ -62,3 +63,40 @@ class TestMacroAndComparison:
         text = perf.format_report(payload)
         assert "arbiter comparison" in text
         assert "fingerprints identical" in text
+
+
+class TestCliFingerprintGate:
+    """``repro perf`` must fail the build on fingerprint drift."""
+
+    def _run_cli(self, tmp_path, monkeypatch, drifted: bool) -> int:
+        from repro import __main__ as cli
+
+        def fake_compare(clients=perf.DEFAULT_COMPARE_CLIENTS, **kwargs):
+            return {
+                "clients": clients,
+                "incremental_wall_s": 0.1,
+                "reference_wall_s": 0.2,
+                "speedup": 2.0,
+                "incremental_events_per_s": 10.0,
+                "reference_events_per_s": 5.0,
+                "fingerprints_identical": not drifted,
+                "fingerprint": "f" * 64,
+            }
+
+        monkeypatch.setattr(perf, "compare_arbiters", fake_compare)
+        output = tmp_path / "bench.json"
+        exit_code = cli.main([
+            "perf", "--quick", "--clients", "2", "--compare-clients", "2",
+            "--output", str(output),
+        ])
+        assert output.exists()
+        return exit_code
+
+    def test_exit_zero_when_fingerprints_match(self, tmp_path, monkeypatch):
+        assert self._run_cli(tmp_path, monkeypatch, drifted=False) == 0
+
+    def test_exit_nonzero_on_injected_fingerprint_drift(self, tmp_path, monkeypatch, capsys):
+        """Regression for the coverage gap: the gate's failure path was
+        never exercised, so a broken exit code would have shipped green."""
+        assert self._run_cli(tmp_path, monkeypatch, drifted=True) == 1
+        assert "diverged" in capsys.readouterr().err

@@ -95,6 +95,85 @@ class TestConsistentHashProperties:
                 assert ring.lookup_id(key) == before[key]
 
 
+class TestCopyOnWriteRingProperties:
+    """COW clones must be observably identical to deep copies.
+
+    The same differential pattern as the PR-4 incremental-vs-reference flow
+    arbiter test: drive a :meth:`ConsistentHashRing.clone` twin and a
+    ``copy.deepcopy`` twin through an arbitrary add/remove/rebalance
+    sequence and assert they never diverge — and that the original ring is
+    never disturbed by either twin's mutations.
+    """
+
+    probe_keys = [f"probe-{index}" for index in range(40)]
+
+    def _observe(self, ring: ConsistentHashRing[str]) -> tuple:
+        return (
+            len(ring),
+            ring.member_ids(),
+            tuple(ring.lookup_id(key) for key in self.probe_keys) if len(ring) else (),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        initial=st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4),
+                         min_size=1, max_size=6, unique=True),
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "rebalance"]),
+                st.text(alphabet="uvwxyz", min_size=1, max_size=4),
+            ),
+            max_size=20,
+        ),
+    )
+    def test_cow_clone_equals_deep_copy(self, initial, operations):
+        import copy
+
+        base: ConsistentHashRing[str] = ConsistentHashRing(virtual_nodes=16)
+        base.add_many([(member, member) for member in initial])
+        base_view = self._observe(base)
+
+        cow = base.clone()
+        deep = copy.deepcopy(base)
+        assert self._observe(cow) == self._observe(deep) == base_view
+
+        for operation, member in operations:
+            if operation == "add":
+                if member in cow:
+                    continue
+                cow.add(member, member)
+                deep.add(member, member)
+            elif operation == "remove":
+                if member not in cow or len(cow) <= 1:
+                    continue
+                cow.remove(member)
+                deep.remove(member)
+            else:  # rebalance: a leave immediately followed by a re-join
+                if member not in cow or len(cow) <= 1:
+                    continue
+                cow.remove(member)
+                cow.add(member, member)
+                deep.remove(member)
+                deep.add(member, member)
+            assert self._observe(cow) == self._observe(deep)
+            # The shared prototype is never disturbed by a twin's mutation.
+            assert self._observe(base) == base_view
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        members=st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4),
+                         min_size=2, max_size=6, unique=True),
+    )
+    def test_mutating_the_prototype_never_touches_clones(self, members):
+        base: ConsistentHashRing[str] = ConsistentHashRing(virtual_nodes=16)
+        base.add_many([(member, member) for member in members])
+        clone = base.clone()
+        clone_view = self._observe(clone)
+        base.remove(members[0])
+        base.add("newcomer", "newcomer")
+        assert self._observe(clone) == clone_view
+
+
 class TestBillingProperties:
     @settings(max_examples=100, deadline=None)
     @given(duration=st.floats(min_value=0, max_value=900, allow_nan=False))

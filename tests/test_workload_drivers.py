@@ -143,6 +143,59 @@ class TestClosedLoopDriver:
             ClosedLoopDriver(small_deployment()).run([])
 
 
+class TestClosedLoopMatchesSequentialFacade:
+    def test_single_client_accounting_equals_legacy_replayer(self):
+        """N=1 closed loop degenerates to the sequential facade's accounting.
+
+        The virtual timings differ by construction (the event path models
+        genuine chunk racing, the facade uses static snapshots), but with
+        one client and no concurrency the request/hit/miss/RESET *counts*
+        must be identical on the same smoke trace.
+        """
+        from repro.workload.legacy import TraceReplayer
+
+        keys = [f"smoke-{index % 3}" for index in range(9)]
+        size = 6 * MB
+
+        legacy_report = TraceReplayer().replay_infinicache(
+            Trace.from_records(
+                [TraceRecord(timestamp=float(i), operation="GET", key=key, size=size)
+                 for i, key in enumerate(keys)],
+                name="smoke",
+            ),
+            small_deployment(seed=99),
+        )
+        driver_report = ClosedLoopDriver(small_deployment(seed=99)).run(
+            [[(key, size) for key in keys]]
+        )
+        assert driver_report.requests == legacy_report.requests
+        assert driver_report.hits == legacy_report.hits
+        assert driver_report.misses == legacy_report.misses
+        assert driver_report.resets == legacy_report.resets
+        assert driver_report.hit_ratio == legacy_report.hit_ratio
+        assert len(driver_report.latencies) == len(legacy_report.latencies)
+
+    def test_scripted_ops_re_place_objects(self):
+        """PUT/INVALIDATE/SLEEP ops drive the Figure 4-style rounds."""
+        from repro.workload import ClientOp
+
+        deployment = small_deployment()
+        plan = []
+        for _round in range(3):
+            plan.append(ClientOp("SLEEP", delay_s=1.0))
+            plan.append(ClientOp("INVALIDATE", key="obj"))
+            plan.append(ClientOp("PUT", key="obj", size=8 * MB))
+            plan.append(ClientOp("GET", key="obj", size=8 * MB))
+        report = ClosedLoopDriver(deployment).run([plan])
+        assert report.requests == 3
+        assert report.hits == 3
+        # Rounds are spaced by the SLEEP ops on the virtual clock.
+        starts = sorted(s.started_at for s in report.samples)
+        assert starts[1] - starts[0] >= 1.0
+        # Hit samples carry the Figure 4 x-axis.
+        assert all(s.hosts_touched > 0 for s in report.hit_samples())
+
+
 class TestOpenLoopDriver:
     def make_trace(self, gets: int = 8, spacing_s: float = 0.002) -> Trace:
         trace = Trace(name="open-loop-toy")
@@ -174,6 +227,64 @@ class TestOpenLoopDriver:
         samples = sorted(report.samples, key=lambda s: s.started_at)
         assert any(a.overlaps(b) for a, b in zip(samples, samples[1:]))
         assert report.max_concurrent_flows() > 6
+
+    def test_zero_length_trace_rejected(self):
+        from repro.exceptions import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            OpenLoopDriver(small_deployment()).run(Trace(name="empty"))
+
+    def test_duplicate_arrival_timestamps_all_injected(self):
+        """Several records at the same instant all run, in append order."""
+        trace = Trace(name="dup")
+        trace.append(TraceRecord(timestamp=0.0, operation="PUT", key="a", size=4 * MB))
+        trace.append(TraceRecord(timestamp=0.0, operation="PUT", key="b", size=4 * MB))
+        for _round in range(2):
+            trace.append(TraceRecord(timestamp=0.5, operation="GET", key="a", size=4 * MB))
+            trace.append(TraceRecord(timestamp=0.5, operation="GET", key="b", size=4 * MB))
+        deployment = small_deployment()
+        report = OpenLoopDriver(deployment).run(trace)
+        assert report.requests == 4
+        assert report.hits == 4
+        assert all(s.started_at == pytest.approx(0.5) for s in report.samples)
+        # All four requests were genuinely concurrent.
+        assert report.max_concurrent_flows() > 6
+        # Injection order is deterministic: fingerprints match across runs.
+        second = OpenLoopDriver(small_deployment()).run(trace)
+        assert report.fingerprint() == second.fingerprint()
+
+    def test_straggler_abandonment_lands_on_the_final_winning_chunk(self):
+        """An abandoned straggler is cancelled at the exact instant its
+        request's d-th (final winning) chunk completes — never earlier,
+        never later — and is billed only its partial bytes."""
+        deployment = small_deployment(seed=5, straggler_probability=0.5)
+        seeder = deployment.new_client("seeder")
+        for obj in range(4):
+            seeder.put_sized(f"ab/obj-{obj}", 8 * MB)
+        trace = Trace(name="abandon")
+        for index in range(12):
+            trace.append(TraceRecord(
+                timestamp=0.01 * index, operation="GET",
+                key=f"ab/obj-{index % 4}", size=8 * MB,
+            ))
+        report = OpenLoopDriver(deployment).run(trace)
+        abandoned = [i for i in report.flow_intervals if not i.completed]
+        completed = [i for i in report.flow_intervals if i.completed]
+        assert abandoned, "straggler probability 0.5 should force abandonments"
+        for interval in abandoned:
+            key = interval.label.split(":", 1)[1].rsplit("#", 1)[0]
+            quorum_resolutions = [
+                c for c in completed
+                if key in c.label and c.ended_at == interval.ended_at
+            ]
+            assert quorum_resolutions, (
+                f"abandoned {interval.label} did not end at a same-request "
+                "chunk completion"
+            )
+            # A straggler cancelled exactly as it finished may have moved
+            # all its bytes; it must never have moved more.
+            assert interval.bytes_moved <= interval.size_bytes
+        assert any(i.bytes_moved < i.size_bytes for i in abandoned)
 
 
 class TestFigure12ConcurrentScaling:

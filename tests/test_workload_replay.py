@@ -1,4 +1,10 @@
-"""Tests for the trace replayer against all three systems."""
+"""Tests for the quarantined sequential-facade replayer (all three systems).
+
+``TraceReplayer`` is no longer an experiment entry point — every figure
+replays through the event-driven drivers — but it survives in
+``repro.workload.legacy`` as the differential baseline the driver tests
+compare against, so its behaviour stays pinned here.
+"""
 
 import pytest
 
@@ -10,7 +16,7 @@ from repro.exceptions import WorkloadError
 from repro.faas.reclamation import ZipfBurstReclamationPolicy
 from repro.utils.rng import SeededRNG
 from repro.utils.units import MB, MIB, MINUTE
-from repro.workload.replay import TraceReplayer
+from repro.workload.legacy import TraceReplayer
 from repro.workload.trace import Trace, TraceRecord
 
 
