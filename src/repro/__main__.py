@@ -31,6 +31,14 @@ plus the closed-loop fleet sweep), writes ``BENCH_perf.json``, and exits
 non-zero if the incremental flow arbiter's replay fingerprint drifts from
 the global-recompute reference — a correctness gate immune to timing
 noise.  See ``docs/performance.md``.
+
+``python -m repro trace [--clients N] [--output trace.json]`` runs the
+same closed-loop replay twice — once untraced, once with the span tracer
+attached — asserts the two produce identical replay fingerprints (tracing
+must be a pure observer), writes a Perfetto-loadable Chrome trace-event
+file, and prints the per-request critical-path breakdown: which stage
+(lambda invoke, network transfer, decode, ...) dominated each request.
+See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -171,6 +179,119 @@ def _sim_smoke(argv: list[str]) -> int:
     return 0
 
 
+def _trace(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Traced closed-loop replay: emit a Perfetto-loadable trace "
+        "and print the per-request critical-path breakdown.",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=16, metavar="N",
+        help="concurrent closed-loop clients (default: 16)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=4, metavar="N",
+        help="requests per client (default: 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020, help="simulation seed (default: 2020)",
+    )
+    parser.add_argument(
+        "--output", default="trace.json", metavar="PATH",
+        help="Chrome trace-event file, loadable in Perfetto / chrome://tracing "
+        "(default: trace.json)",
+    )
+    parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the raw spans as JSON lines",
+    )
+    parser.add_argument(
+        "--slowest", type=int, default=5, metavar="N",
+        help="how many slowest requests to list (default: 5)",
+    )
+    args = parser.parse_args(argv)
+    from repro.cache.config import InfiniCacheConfig, StragglerModel
+    from repro.cache.deployment import InfiniCacheDeployment
+    from repro.obs import (
+        SpanTracer,
+        analyze,
+        format_summary,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.utils.units import MB, MIB
+    from repro.workload.replay import ClosedLoopDriver
+
+    def build():
+        # Stragglers are likelier than in sim-smoke so the trace reliably
+        # shows racing chunk fetches being abandoned by the first-d barrier.
+        deployment = InfiniCacheDeployment(InfiniCacheConfig(
+            num_proxies=2,
+            lambdas_per_proxy=10,
+            lambda_memory_bytes=512 * MIB,
+            data_shards=4,
+            parity_shards=2,
+            backup_enabled=False,
+            straggler=StragglerModel(probability=0.3),
+            seed=args.seed,
+        ))
+        seeder = deployment.new_client("trace-seeder")
+        objects = 4
+        for index in range(args.clients):
+            for obj in range(objects):
+                seeder.put_sized(f"trace/{index}/obj-{obj}", 4 * MB)
+        plans = [
+            [(f"trace/{index}/obj-{r % objects}", 4 * MB) for r in range(args.requests)]
+            for index in range(args.clients)
+        ]
+        return deployment, plans
+
+    deployment, plans = build()
+    baseline = ClosedLoopDriver(deployment).run(plans)
+
+    deployment, plans = build()
+    tracer = SpanTracer(deployment.simulator.clock)
+    deployment.request_env.attach_tracer(tracer)
+    traced = ClosedLoopDriver(deployment).run(plans)
+    tracer.finish_open()
+
+    if traced.fingerprint() != baseline.fingerprint():
+        print(
+            "FAIL: tracing perturbed the replay — traced and untraced "
+            "fingerprints diverged",
+            file=sys.stderr,
+        )
+        return 1
+    names = {span.name for span in tracer.spans}
+    required = {
+        "request", "client.get", "proxy.get", "chunk.fetch",
+        "net.flow", "lambda.invoke", "lambda.session", "client.decode",
+    }
+    missing = sorted(required - names)
+    if missing:
+        print(f"FAIL: trace is missing span kinds: {missing}", file=sys.stderr)
+        return 1
+    payload = write_chrome_trace(args.output, tracer.spans)
+    errors = validate_chrome_trace(payload)
+    if errors:
+        for error in errors:
+            print(f"FAIL: invalid trace: {error}", file=sys.stderr)
+        return 1
+    if args.jsonl:
+        write_jsonl(args.jsonl, tracer.spans)
+        print(f"(wrote {len(tracer.spans)} spans to {args.jsonl})")
+    print(
+        f"traced replay: clients={args.clients} requests={traced.requests} "
+        f"hits={traced.hits} duration={traced.duration_s:.3f}s "
+        f"spans={len(tracer.spans)} ({len(names)} kinds)"
+    )
+    print(f"fingerprint parity with untraced run: OK ({traced.fingerprint()[:16]}...)")
+    print(f"(wrote Chrome trace to {args.output} — load it in Perfetto)\n")
+    print(format_summary(analyze(tracer.spans, slowest=args.slowest)))
+    return 0
+
+
 def _perf(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro perf",
@@ -218,6 +339,11 @@ def _perf(argv: list[str]) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(perf.format_report(payload))
     print(f"\n(wrote {args.output})")
+    profile_errors = perf.validate_profile(payload.get("profile"))
+    if profile_errors:
+        for error in profile_errors:
+            print(f"FAIL: malformed profile section: {error}", file=sys.stderr)
+        return 1
     comparison = payload.get("arbiter_comparison")
     if comparison and not comparison["fingerprints_identical"]:
         print(
@@ -241,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sim_smoke(argv[1:])
     if argv and argv[0] == "perf":
         return _perf(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace(argv[1:])
     return runner_main(argv)
 
 

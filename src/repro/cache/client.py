@@ -240,7 +240,7 @@ class InfiniCacheClient:
         )
 
     # ------------------------------------------------------------------ event-driven path
-    def put_process(self, key: str, value: bytes, env):
+    def put_process(self, key: str, value: bytes, env, span=None):
         """Event-driven PUT coroutine (see :meth:`put` for the facade).
 
         Encode time is spent on the virtual clock before the chunks are
@@ -251,6 +251,8 @@ class InfiniCacheClient:
             raise ConfigurationError("object key must be non-empty")
         if not value:
             raise ConfigurationError(f"cannot cache an empty object {key!r}")
+        tracer = env.tracer
+        op_span = tracer.begin("client.put", span, client=self.client_id, key=key)
         start = env.now
         erasure_chunks = self.codec.encode(key, value)
         descriptor = descriptor_for(
@@ -260,9 +262,12 @@ class InfiniCacheClient:
         proxy = self._proxy_for(key)
         encode_s = self._encode_time(len(value))
         if encode_s > 0:
+            encode_span = tracer.begin("client.encode", op_span, bytes=len(value))
             yield encode_s
-        outcome = yield from proxy.put_process(key, descriptor, chunks, env)
+            tracer.finish(encode_span)
+        outcome = yield from proxy.put_process(key, descriptor, chunks, env, span=op_span)
         self.puts += 1
+        tracer.finish(op_span)
         return PutResult(
             key=key,
             size=len(value),
@@ -273,12 +278,14 @@ class InfiniCacheClient:
             hosts_touched=outcome.hosts_touched,
         )
 
-    def put_sized_process(self, key: str, size: int, env):
+    def put_sized_process(self, key: str, size: int, env, span=None):
         """Event-driven size-only PUT coroutine (trace-replay mode)."""
         if not key:
             raise ConfigurationError("object key must be non-empty")
         if size <= 0:
             raise ConfigurationError(f"object size must be positive, got {size}")
+        tracer = env.tracer
+        op_span = tracer.begin("client.put", span, client=self.client_id, key=key)
         start = env.now
         descriptor = descriptor_for(
             key, size, self.config.data_shards, self.config.parity_shards
@@ -290,9 +297,12 @@ class InfiniCacheClient:
         proxy = self._proxy_for(key)
         encode_s = self._encode_time(size)
         if encode_s > 0:
+            encode_span = tracer.begin("client.encode", op_span, bytes=size)
             yield encode_s
-        outcome = yield from proxy.put_process(key, descriptor, chunks, env)
+            tracer.finish(encode_span)
+        outcome = yield from proxy.put_process(key, descriptor, chunks, env, span=op_span)
         self.puts += 1
+        tracer.finish(op_span)
         return PutResult(
             key=key,
             size=size,
@@ -303,7 +313,7 @@ class InfiniCacheClient:
             hosts_touched=outcome.hosts_touched,
         )
 
-    def get_process(self, key: str, env):
+    def get_process(self, key: str, env, span=None):
         """Event-driven GET coroutine: chunk fetches race on the event loop.
 
         Decode time (charged when parity chunks were needed) is likewise
@@ -311,12 +321,15 @@ class InfiniCacheClient:
         """
         if not key:
             raise ConfigurationError("object key must be non-empty")
+        tracer = env.tracer
+        op_span = tracer.begin("client.get", span, client=self.client_id, key=key)
         start = env.now
         proxy = self._proxy_for(key)
-        outcome = yield from proxy.get_process(key, env)
+        outcome = yield from proxy.get_process(key, env, span=op_span)
         self.gets += 1
         if outcome.is_miss:
             self.misses += 1
+            tracer.finish(op_span, hit=False)
             return GetResult(
                 key=key,
                 hit=False,
@@ -332,7 +345,11 @@ class InfiniCacheClient:
         if decoded:
             decode_s = self._decode_time(descriptor)
             if decode_s > 0:
+                decode_span = tracer.begin("client.decode", op_span,
+                                           bytes=descriptor.chunk_size)
                 yield decode_s
+                tracer.finish(decode_span)
+        tracer.finish(op_span, hit=True, decoded=decoded)
         return GetResult(
             key=key,
             hit=True,

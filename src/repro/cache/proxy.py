@@ -691,6 +691,7 @@ class Proxy:
         category: str,
         fetch: Optional[ChunkFetch] = None,
         store: bool = False,
+        span_parent=None,
     ):
         """Coroutine moving one chunk between a node and this proxy.
 
@@ -702,6 +703,9 @@ class Proxy:
         actually performed.
         """
         arrival = env.now
+        tracer = env.tracer
+        span = tracer.begin("chunk.store" if store else "chunk.fetch", span_parent,
+                            chunk=chunk_index, node=node.node_id)
         access = node.ensure_active(arrival, category)
         if store:
             node.store_chunk(chunk)
@@ -712,7 +716,12 @@ class Proxy:
         flow = None
         try:
             if preamble > 0:
-                yield preamble
+                invoke_span = tracer.begin("lambda.invoke", span, node=node.node_id,
+                                           cold=access.cold_start)
+                try:
+                    yield preamble
+                finally:
+                    tracer.finish(invoke_span)
             host_id = node.primary.host_id if node.primary is not None else node.node_id
             flow = env.flows.transfer(
                 size_bytes=effective_bytes,
@@ -722,6 +731,8 @@ class Proxy:
                 proxy_id=self.proxy_id,
                 label=f"{self.proxy_id}:{category}:{key}#{chunk_index}",
             )
+            if span.recording:
+                flow.parent_span = span
             yield flow.future
         finally:
             # Runs on completion *and* on abandonment (generator close): the
@@ -738,9 +749,12 @@ class Proxy:
             env.watch_session(node)
             if fetch is not None:
                 fetch.time_s = env.now - arrival
+            if span.recording and fetch is not None:
+                span.annotate(abandoned=fetch.abandoned)
+            tracer.finish(span)
         return fetch
 
-    def get_process(self, key: str, env: RequestEnv):
+    def get_process(self, key: str, env: RequestEnv, span=None):
         """Event-driven GET coroutine: the d-of-n chunk fetches genuinely race.
 
         Matches :meth:`get` for hits, misses, and degraded reads, with two
@@ -751,10 +765,13 @@ class Proxy:
         first-d streaming.
         """
         start = env.now
+        tracer = env.tracer
+        op_span = tracer.begin("proxy.get", span, proxy=self.proxy_id, key=key)
         self.requests_served += 1
         entry = self._objects.get(key)
         if entry is None:
             self.metrics.counter("proxy.misses").increment()
+            tracer.finish(op_span, outcome="miss")
             return ProxyGetResult(key=key, found=False, recoverable=False, descriptor=None)
 
         self._lru.touch(key)
@@ -786,6 +803,7 @@ class Proxy:
             self._remove_object(key)
             self.metrics.counter("proxy.object_losses").increment()
             self.metrics.counter("proxy.misses").increment()
+            tracer.finish(op_span, outcome="lost")
             return ProxyGetResult(
                 key=key,
                 found=True,
@@ -806,7 +824,7 @@ class Proxy:
             tasks.append(env.loop.spawn(
                 self._chunk_transfer_process(
                     key, fetch.chunk_index, fetch.chunk, effective, node, env,
-                    owner, "serving", fetch=fetch,
+                    owner, "serving", fetch=fetch, span_parent=op_span,
                 ),
                 label=f"{self.proxy_id}:fetch:{key}#{fetch.chunk_index}",
             ))
@@ -830,6 +848,7 @@ class Proxy:
                 recovery_performed = self._repair_object(key, entry, fetches, env.now)
 
         self.metrics.counter("proxy.hits").increment()
+        tracer.finish(op_span, outcome="hit", chunks_lost=lost_count)
         return ProxyGetResult(
             key=key,
             found=True,
@@ -851,6 +870,7 @@ class Proxy:
         env: RequestEnv,
         placement: Optional[list[str]] = None,
         category: str = "serving",
+        span=None,
     ):
         """Event-driven PUT coroutine: all chunk uploads stream concurrently.
 
@@ -871,6 +891,9 @@ class Proxy:
             raise CacheError("placement vector must name distinct nodes")
 
         start = env.now
+        tracer = env.tracer
+        op_span = tracer.begin("proxy.put", span, proxy=self.proxy_id, key=key,
+                               category=category)
         # Overwrite: drop the previous version first (write-through semantics).
         self._remove_object(key)
         needed_by_node = {
@@ -888,7 +911,7 @@ class Proxy:
             tasks.append(env.loop.spawn(
                 self._chunk_transfer_process(
                     key, chunk.index, chunk, effective, node, env,
-                    owner, category, store=True,
+                    owner, category, store=True, span_parent=op_span,
                 ),
                 label=f"{self.proxy_id}:store:{key}#{chunk.index}",
             ))
@@ -910,6 +933,7 @@ class Proxy:
             self.metrics.counter(f"proxy.{category}_puts").increment()
         self.metrics.gauge("proxy.bytes_used").set(self.pool_bytes_used())
 
+        tracer.finish(op_span)
         return ProxyPutResult(
             key=key,
             latency_s=env.now - start,

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.faas.billing import BILLING_CYCLE_SECONDS
 from repro.network.flows import FlowNetwork
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.loop import Event, EventLoop
 from repro.sim.process import SimFuture
 
@@ -31,13 +32,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (node -> platform -> 
 class RequestEnv:
     """Event-loop, flow network, and session watchdog for request coroutines."""
 
-    def __init__(self, loop: EventLoop, flows: FlowNetwork):
+    def __init__(self, loop: EventLoop, flows: FlowNetwork, tracer=None):
         self.loop = loop
         self.flows = flows
+        #: The request-path tracer; :data:`~repro.obs.tracer.NULL_TRACER`
+        #: (every call a no-op) unless a run attaches a real one via
+        #: :meth:`attach_tracer`.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: node_id -> (pending close event, the window end it was aimed at).
         self._session_watches: dict[str, tuple[Event, float]] = {}
         #: node_id -> number of chunk transfers currently in flight.
         self._inflight: dict[str, int] = {}
+        #: node_id -> (session object, its open span); tracing only.
+        self._session_spans: dict[str, tuple[object, object]] = {}
+
+    def attach_tracer(self, tracer) -> None:
+        """Enable tracing on this env *and* its flow network."""
+        self.tracer = tracer
+        self.flows.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        """Disable tracing (back to the no-op tracer)."""
+        self.tracer = NULL_TRACER
+        self.flows.tracer = None
 
     @property
     def now(self) -> float:
@@ -92,6 +109,8 @@ class RequestEnv:
         session through the normal ``expire_if_due`` path; if the window was
         extended in the meantime the event re-aims itself at the new end.
         """
+        if self.tracer.enabled:
+            self._trace_session(node)
         session = node.duration_controller.current
         if session is None:
             return
@@ -120,7 +139,31 @@ class RequestEnv:
             self._arm(node, controller.current.window_end)
             return
         controller.expire_if_due(self.loop.now)
+        if self.tracer.enabled:
+            self._trace_session(node)
         session = controller.current
         if session is not None and session.window_end > self.loop.now:
             # The window was extended after this event was armed; re-aim.
             self._arm(node, session.window_end)
+
+    def _trace_session(self, node: "LambdaCacheNode") -> None:
+        """Keep one open ``lambda.session`` span per open billed session.
+
+        A session that was replaced without passing through the watchdog (a
+        lazy close on the node's next touch) has its span closed at the old
+        window end, which is when the billing layer deems it to have ended.
+        """
+        session = node.duration_controller.current
+        tracked = self._session_spans.get(node.node_id)
+        if tracked is not None:
+            old_session, old_span = tracked
+            if old_session is session:
+                return
+            old_span.end = min(old_session.window_end, self.loop.now)
+            del self._session_spans[node.node_id]
+        if session is None:
+            return
+        span = self.tracer.begin_at(
+            "lambda.session", session.started_at, node=node.node_id
+        )
+        self._session_spans[node.node_id] = (session, span)

@@ -62,7 +62,7 @@ class ClusterRouter:
         self.metrics.counter("cluster.router.gets").increment()
         return dataclasses.replace(result, key=key)
 
-    def get_process(self, tenant_id: str, key: str, env):
+    def get_process(self, tenant_id: str, key: str, env, span=None):
         """Event-driven GET coroutine within a tenant's namespace.
 
         Quota admission happens synchronously at arrival (before the first
@@ -73,17 +73,24 @@ class ClusterRouter:
         validate_app_key(key)
         self.tenants.authorize_request(tenant, self._clock.now)
         namespaced = namespace_key(tenant_id, key)
-        result = yield from self.client.get_process(namespaced, env)
+        tracer = env.tracer
+        op_span = tracer.begin("router.get", span, tenant=tenant_id, key=key)
+        result = yield from self.client.get_process(namespaced, env, span=op_span)
+        tracer.finish(op_span, hit=result.hit)
         self.tenants.record_get(tenant, result.hit)
         if not result.hit:
             self.tenants.record_gone(namespaced)
         self.metrics.counter("cluster.router.gets").increment()
         return dataclasses.replace(result, key=key)
 
-    def put_sized_process(self, tenant_id: str, key: str, size: int, env):
+    def put_sized_process(self, tenant_id: str, key: str, size: int, env, span=None):
         """Event-driven size-only PUT coroutine within a tenant's namespace."""
         tenant, namespaced = self._admit_put(tenant_id, key, size)
-        result = yield from self.client.put_sized_process(namespaced, size, env)
+        tracer = env.tracer
+        op_span = tracer.begin("router.put", span, tenant=tenant_id, key=key)
+        result = yield from self.client.put_sized_process(namespaced, size, env,
+                                                          span=op_span)
+        tracer.finish(op_span)
         return self._account_put(tenant, namespaced, key, size, result)
 
     def put(self, tenant_id: str, key: str, value: bytes) -> PutResult:
@@ -156,9 +163,9 @@ class TenantClient:
     def get(self, key: str) -> GetResult:
         return self.router.get(self.tenant_id, key)
 
-    def get_process(self, key: str, env):
+    def get_process(self, key: str, env, span=None):
         """Event-driven GET coroutine bound to this tenant."""
-        return self.router.get_process(self.tenant_id, key, env)
+        return self.router.get_process(self.tenant_id, key, env, span=span)
 
     def put(self, key: str, value: bytes) -> PutResult:
         return self.router.put(self.tenant_id, key, value)
@@ -166,9 +173,9 @@ class TenantClient:
     def put_sized(self, key: str, size: int) -> PutResult:
         return self.router.put_sized(self.tenant_id, key, size)
 
-    def put_sized_process(self, key: str, size: int, env):
+    def put_sized_process(self, key: str, size: int, env, span=None):
         """Event-driven size-only PUT coroutine bound to this tenant."""
-        return self.router.put_sized_process(self.tenant_id, key, size, env)
+        return self.router.put_sized_process(self.tenant_id, key, size, env, span=span)
 
     def invalidate(self, key: str) -> bool:
         return self.router.invalidate(self.tenant_id, key)

@@ -21,13 +21,14 @@ be re-implemented per experiment:
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import ClassVar, Optional
 
 from repro.baselines.s3 import ObjectStore
 from repro.cache.config import InfiniCacheConfig
 from repro.cache.consistent_hash import stable_hash
 from repro.cache.deployment import InfiniCacheDeployment
 from repro.faas.reclamation import ReclamationPolicy
+from repro.simulation.metrics import MetricRegistry
 from repro.workload.replay import (
     ClosedLoopDriver,
     ConcurrentReplayReport,
@@ -39,10 +40,22 @@ from repro.workload.replay import (
 class ExperimentHarness:
     """Owns seeding, driver construction, and fingerprinting for one run."""
 
-    def __init__(self, experiment: str, seed: int):
+    #: Shared registry new harnesses adopt when none is passed explicitly.
+    #: The experiment runner installs one here (and removes it afterwards)
+    #: so the harnesses that experiments construct internally still publish
+    #: their labelled telemetry to the run's ``--metrics`` export.
+    default_metrics: ClassVar[Optional[MetricRegistry]] = None
+
+    def __init__(self, experiment: str, seed: int,
+                 metrics: Optional[MetricRegistry] = None):
         self.experiment = experiment
         self.seed = seed
         self._fingerprints: dict[str, str] = {}
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else (ExperimentHarness.default_metrics or MetricRegistry())
+        )
 
     # ------------------------------------------------------------------ seeding
     def seed_for(self, *parts: object) -> int:
@@ -103,8 +116,22 @@ class ExperimentHarness:
 
     # ------------------------------------------------------------------ fingerprints
     def record(self, label: str, report: ConcurrentReplayReport) -> ConcurrentReplayReport:
-        """Register one driver run's fingerprint under ``label``."""
+        """Register one driver run's fingerprint under ``label``.
+
+        Also folds the run's headline numbers into :attr:`metrics` as
+        labelled instruments (``{experiment=...,run=...}``), which is what
+        ``repro --metrics PATH`` exports in Prometheus text format.
+        """
         self._fingerprints[label] = report.fingerprint()
+        labels = {"experiment": self.experiment, "run": label}
+        metrics = self.metrics
+        metrics.counter("experiment_requests", labels).increment(report.requests)
+        metrics.counter("experiment_hits", labels).increment(report.hits)
+        metrics.counter("experiment_misses", labels).increment(report.misses)
+        metrics.counter("experiment_resets", labels).increment(report.resets)
+        metrics.gauge("experiment_duration_seconds", labels).set(report.duration_s)
+        metrics.gauge("experiment_total_cost_dollars", labels).set(report.total_cost)
+        metrics.gauge("experiment_hit_ratio", labels).set(report.hit_ratio)
         return report
 
     @property

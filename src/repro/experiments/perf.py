@@ -220,6 +220,122 @@ def macro_closed_loop(
     )
 
 
+def profile_closed_loop(
+    clients: int,
+    requests_per_client: int = 6,
+    objects_per_client: int = 2,
+    object_size: int = 2 * MB,
+    seed: int = 2020,
+) -> dict[str, object]:
+    """One closed-loop replay with event-loop profiling on: where time goes.
+
+    Produces the ``profile`` section of ``BENCH_perf.json``: wall-clock
+    split into the loop's own phases — heap push/pop, coroutine steps,
+    flow-arbiter settle/re-aim transitions, and total callback dispatch —
+    plus per-label scheduled/dispatched/cancelled counts and the heaviest
+    callback labels by self-time.  The phases are *attributions*, not a
+    disjoint partition: coroutine steps and arbiter transitions mostly run
+    inside dispatched callbacks (so they largely nest within
+    ``dispatch_s``), but the first step of a freshly spawned process runs
+    at spawn time, outside any callback.  ``other_s`` is the wall-clock
+    not spent in callback dispatch or heap operations (driver and loop
+    bookkeeping, including those spawn-time steps).
+    """
+    deployment = InfiniCacheDeployment(_fleet_config(clients, "incremental", seed))
+    seeder = deployment.new_client("perf-profiler")
+    for index in range(clients):
+        for obj in range(objects_per_client):
+            seeder.put_sized(f"perf/{index}/obj-{obj}", object_size)
+    plans = [
+        [
+            (f"perf/{index}/obj-{round_index % objects_per_client}", object_size)
+            for round_index in range(requests_per_client)
+        ]
+        for index in range(clients)
+    ]
+    deployment.simulator.enable_profiling()
+    gc.collect()
+    start = time.perf_counter()
+    ClosedLoopDriver(deployment).run(plans)
+    wall = time.perf_counter() - start
+    profile = deployment.simulator.profile
+    snapshot = profile.snapshot()
+    phases = dict(snapshot["phases"])
+    # coroutine_steps_s and arbiter_s nest inside dispatch_s, so only the
+    # top-level meters count toward "accounted" wall-clock.
+    phases["other_s"] = max(wall - phases["dispatch_s"] - phases["heap_ops_s"], 0.0)
+    return {
+        "schema": "repro.perf.profile/1",
+        "clients": clients,
+        "wall_s": wall,
+        "events": profile.events_dispatched,
+        "phases": phases,
+        "counts": snapshot["counts"],
+        "top_labels": profile.top_labels(limit=10),
+    }
+
+
+#: Keys the ``profile`` section's ``phases`` mapping must carry.
+PROFILE_PHASE_KEYS = (
+    "dispatch_s", "heap_ops_s", "coroutine_steps_s", "arbiter_s", "other_s",
+)
+
+#: Keys the ``profile`` section's ``counts`` mapping must carry.
+PROFILE_COUNT_KEYS = (
+    "scheduled", "dispatched", "cancelled",
+    "coroutine_steps", "arbiter_transitions",
+)
+
+
+def validate_profile(section: object) -> list[str]:
+    """Schema-validate a ``profile`` section; returns human-readable errors.
+
+    The ``--quick`` CI step runs this over the freshly written
+    ``BENCH_perf.json`` so a refactor of the loop instrumentation cannot
+    silently drop a phase or count from the payload.
+    """
+    errors: list[str] = []
+    if not isinstance(section, dict):
+        return [f"profile section must be an object, got {type(section).__name__}"]
+    if section.get("schema") != "repro.perf.profile/1":
+        errors.append(f"unexpected profile schema {section.get('schema')!r}")
+    for key in ("clients", "events"):
+        if not isinstance(section.get(key), int) or section.get(key, -1) < 0:
+            errors.append(f"profile.{key} must be a non-negative integer")
+    if not isinstance(section.get("wall_s"), (int, float)) or section.get("wall_s", -1) < 0:
+        errors.append("profile.wall_s must be a non-negative number")
+    phases = section.get("phases")
+    if not isinstance(phases, dict):
+        errors.append("profile.phases must be an object")
+    else:
+        for key in PROFILE_PHASE_KEYS:
+            value = phases.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"profile.phases.{key} must be a non-negative number")
+    counts = section.get("counts")
+    if not isinstance(counts, dict):
+        errors.append("profile.counts must be an object")
+    else:
+        for key in PROFILE_COUNT_KEYS:
+            value = counts.get(key)
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"profile.counts.{key} must be a non-negative integer")
+    top_labels = section.get("top_labels")
+    if not isinstance(top_labels, list):
+        errors.append("profile.top_labels must be a list")
+    else:
+        for entry in top_labels:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("label"), str)
+                or not isinstance(entry.get("self_s"), (int, float))
+                or not isinstance(entry.get("dispatched"), int)
+            ):
+                errors.append(f"malformed top_labels entry: {entry!r}")
+                break
+    return errors
+
+
 def compare_arbiters(
     clients: int = DEFAULT_COMPARE_CLIENTS, **macro_kwargs: object
 ) -> dict[str, object]:
@@ -284,12 +400,14 @@ def run_suite(
     # cache warm-up (hash-ring points, shared RS matrices).
     comparison = None if skip_compare else compare_arbiters(compare_clients)
     macro = [macro_closed_loop(clients) for clients in client_counts]
+    profile = profile_closed_loop(max(client_counts))
     payload: dict[str, object] = {
         "schema": "repro.perf/1",
         "quick": quick,
         "unix_time": time.time(),
         "micro": [sample.as_dict() for sample in micro],
         "macro": [sample.as_dict() for sample in macro],
+        "profile": profile,
     }
     if comparison is not None:
         payload["arbiter_comparison"] = comparison
@@ -328,6 +446,34 @@ def format_report(payload: dict[str, object]) -> str:
             title="Closed-loop macro sweep (incremental arbiter)",
         ),
     ]
+    profile = payload.get("profile")
+    if profile:
+        phases = profile["phases"]
+        phase_rows = [
+            [key.removesuffix("_s"), phases[key], phases[key] / profile["wall_s"]
+             if profile["wall_s"] > 0 else 0.0]
+            for key in PROFILE_PHASE_KEYS
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["phase", "wall_s", "share"],
+                phase_rows,
+                title=(
+                    f"Event-loop profile at {profile['clients']} clients "
+                    "(phases are attributions, not a disjoint partition)"
+                ),
+            )
+        )
+        top = profile.get("top_labels") or []
+        if top:
+            lines.append(
+                format_table(
+                    ["label", "dispatched", "self_s"],
+                    [[row["label"], row["dispatched"], row["self_s"]] for row in top[:5]],
+                    title="Hottest callback labels",
+                )
+            )
     comparison = payload.get("arbiter_comparison")
     if comparison:
         lines.append("")

@@ -13,6 +13,9 @@ which owns seeding, driver construction, and report fingerprinting.
 ``--fingerprints PATH`` writes the collected per-figure fingerprints as
 JSON; the ``figures-smoke`` CI job uploads that file as an artifact so
 fingerprint drift between commits is visible at a glance.
+``--metrics PATH`` additionally collects every harness's labelled metrics
+into one shared :class:`~repro.simulation.metrics.MetricRegistry` and
+writes it in Prometheus text exposition format when the run finishes.
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.harness import ExperimentHarness
+from repro.simulation.metrics import MetricRegistry
 from repro.utils.units import MB
 
 __all__ = ["ExperimentHarness", "ExperimentSpec", "run_all", "main"]
@@ -126,6 +130,7 @@ def run_all(
     output_dir: str | pathlib.Path = "experiment_results",
     only: list[str] | None = None,
     fingerprints_path: str | pathlib.Path | None = None,
+    metrics_path: str | pathlib.Path | None = None,
 ) -> dict[str, str]:
     """Run the selected experiments and write one report file per experiment.
 
@@ -134,6 +139,9 @@ def run_all(
         only: optional list of experiment names (default: all of them).
         fingerprints_path: optional JSON file collecting every experiment's
             driver fingerprints (the figures-smoke CI artifact).
+        metrics_path: optional Prometheus text-exposition file; when given,
+            every :class:`ExperimentHarness` the experiments construct
+            publishes into one shared registry that is written here.
 
     Returns:
         Mapping from experiment name to its formatted report.
@@ -145,24 +153,37 @@ def run_all(
             raise ValueError(f"unknown experiments {unknown}; available: {sorted(specs)}")
         specs = {name: spec for name, spec in specs.items() if name in only}
 
+    registry = MetricRegistry() if metrics_path is not None else None
     out_path = pathlib.Path(output_dir)
     out_path.mkdir(parents=True, exist_ok=True)
     reports: dict[str, str] = {}
     fingerprints: dict[str, dict[str, str]] = {}
-    for name, spec in specs.items():
-        started = time.time()
-        result = spec.build()
-        report = spec.render(result)
-        reports[name] = report
-        fingerprints[name] = spec.fingerprints(result)
-        (out_path / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
-        print(f"[{name}] done in {time.time() - started:.1f}s -> {out_path / (name + '.txt')}")
+    previous_default = ExperimentHarness.default_metrics
+    if registry is not None:
+        ExperimentHarness.default_metrics = registry
+    try:
+        for name, spec in specs.items():
+            started = time.time()
+            result = spec.build()
+            report = spec.render(result)
+            reports[name] = report
+            fingerprints[name] = spec.fingerprints(result)
+            (out_path / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+            print(
+                f"[{name}] done in {time.time() - started:.1f}s -> "
+                f"{out_path / (name + '.txt')}"
+            )
+    finally:
+        ExperimentHarness.default_metrics = previous_default
     if fingerprints_path is not None:
         payload = {"schema": "repro.figure_fingerprints/1", "experiments": fingerprints}
         pathlib.Path(fingerprints_path).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"(wrote fingerprints to {fingerprints_path})")
+    if registry is not None:
+        pathlib.Path(metrics_path).write_text(registry.to_prometheus(), encoding="utf-8")
+        print(f"(wrote metrics to {metrics_path})")
     return reports
 
 
@@ -186,6 +207,11 @@ def main(argv: list[str] | None = None) -> int:
         "(the figures-smoke CI artifact)",
     )
     parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also write every harness's labelled metrics in Prometheus "
+        "text exposition format",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiment names and exit",
     )
     args = parser.parse_args(argv)
@@ -197,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         output_dir=args.output_dir,
         only=args.only,
         fingerprints_path=args.fingerprints,
+        metrics_path=args.metrics,
     )
     return 0
 

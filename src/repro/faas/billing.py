@@ -175,6 +175,26 @@ class BillingModel:
             }
         return rows
 
+    def publish_metrics(self, registry) -> None:
+        """Export the ledgers as labelled gauges on a ``MetricRegistry``.
+
+        Categories and tenants become label values (``billing_cost_dollars
+        {category="serving"}``, ``billing_tenant_cost_dollars{tenant="a"}``),
+        so one Prometheus scrape of the registry carries the same breakdowns
+        as :meth:`breakdown` / :meth:`tenant_breakdown`.  Idempotent: gauges
+        are overwritten, so republishing after more charges is safe.
+        """
+        registry.gauge("billing_invocations_total").set(float(self.total_invocations))
+        registry.gauge("billing_billed_seconds_total").set(self.total_billed_seconds)
+        registry.gauge("billing_gb_seconds_total").set(self.total_gb_seconds)
+        registry.gauge("billing_cost_dollars_total").set(self.total_cost)
+        for category, cost in self.cost_by_category.items():
+            registry.gauge("billing_cost_dollars", {"category": category}).set(cost)
+        for tenant, cost in self.cost_by_tenant.items():
+            registry.gauge("billing_tenant_cost_dollars", {"tenant": tenant}).set(cost)
+        for tenant, gb_seconds in self.gb_seconds_by_tenant.items():
+            registry.gauge("billing_tenant_gb_seconds", {"tenant": tenant}).set(gb_seconds)
+
     def reset(self) -> None:
         """Clear all accumulated charges (used between experiment phases)."""
         self.total_invocations = 0

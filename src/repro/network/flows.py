@@ -47,6 +47,7 @@ independently of the retained window and do not change.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional
 
 from repro.exceptions import SimulationError
@@ -130,6 +131,9 @@ class Flow:
         #: Precomputed completion-event label: re-aims happen on every rate
         #: transition, so building the string once per flow matters at scale.
         self._finish_label = "flow.finish:" + label
+        #: Tracing linkage: the chunk-transfer span this flow serves, set by
+        #: the request path when a tracer is attached (None otherwise).
+        self.parent_span = None
 
     @property
     def bytes_moved(self) -> float:
@@ -183,6 +187,10 @@ class FlowNetwork:
         #: rates, different event order at equal timestamps).
         self._dirty_hosts: set[str] = set()
         self._dirty_proxies: set[str] = set()
+        #: Optional :class:`~repro.obs.tracer.SpanTracer`; when attached,
+        #: every retired flow is recorded as a ``net.flow`` span parented to
+        #: the chunk transfer it served (see ``Flow.parent_span``).
+        self.tracer = None
         #: Chronological record of finished/abandoned transfers (the newest
         #: ``trace_limit`` of them when a limit is set).
         self.trace: list[FlowInterval] = []
@@ -349,6 +357,9 @@ class FlowNetwork:
         linear between rate changes, so both remain exact.  Heap churn and
         settlement work stay proportional to the flows actually affected.
         """
+        profile = self.loop._profile
+        if profile is not None:
+            transition_started = perf_counter()
         now = self.loop.now
         hosts = {host_id}
         proxies = {proxy_id}
@@ -388,6 +399,9 @@ class FlowNetwork:
             flow._completion = self.loop.schedule_at(
                 finish, lambda f=flow: self._complete(f), label=flow._finish_label
             )
+        if profile is not None:
+            profile.arbiter_transitions += 1
+            profile.arbiter_s += perf_counter() - transition_started
 
     def _complete(self, flow: Flow) -> None:
         if flow.flow_id not in self._active:
@@ -440,6 +454,19 @@ class FlowNetwork:
             overflow = len(self.trace) - self.trace_limit
             del self.trace[:overflow]
             self._trace_dropped += overflow
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(
+                "net.flow",
+                flow.started_at,
+                now,
+                parent=flow.parent_span,
+                label=flow.label,
+                host=flow.nic.host_id,
+                proxy=flow.proxy_id,
+                bytes=flow.bytes_moved,
+                completed=completed,
+            )
 
 
 class ReferenceFlowNetwork(FlowNetwork):

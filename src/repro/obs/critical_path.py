@@ -1,0 +1,164 @@
+"""Per-request critical-path analysis over a span tree.
+
+The paper's latency story is a *decomposition* — how much of a GET is the
+Lambda invoke preamble, the racing chunk transfers, or the erasure decode.
+With first-d-of-n racing the chunk legs overlap heavily, so summing child
+span durations would overstate them; instead each leaf *stage* is measured
+as the union of its spans' intervals clipped to the root span, which is the
+wall-clock the stage actually kept the request waiting (alone or not).
+
+Whatever root time no leaf stage covers (the proxy's bookkeeping between
+yields, scheduling gaps) lands in ``other``.  The **dominant stage** of a
+request is the stage with the largest coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.obs.tracer import Span
+
+#: Leaf span names that count as latency stages, and the stage they bill to.
+STAGE_BY_SPAN_NAME: dict[str, str] = {
+    "lambda.invoke": "invoke",
+    "net.flow": "transfer",
+    "client.decode": "decode",
+    "client.encode": "encode",
+    "store.fetch": "backing_store",
+}
+
+#: Root-level spans that are infrastructure rather than requests.
+_NON_REQUEST_ROOTS = frozenset({"lambda.session"})
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of (start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    total += current_end - current_start
+    return total
+
+
+@dataclass
+class RequestBreakdown:
+    """Stage attribution for one root span."""
+
+    root: Span
+    duration: float
+    stage_seconds: dict[str, float]
+    dominant: str
+
+    @property
+    def key(self) -> Optional[object]:
+        return (self.root.attrs or {}).get("key")
+
+
+@dataclass
+class CriticalPathSummary:
+    """Aggregate view over every analysed request."""
+
+    requests: int = 0
+    dominated_by: dict[str, int] = field(default_factory=dict)
+    stage_totals: dict[str, float] = field(default_factory=dict)
+    total_duration: float = 0.0
+    slowest: list[RequestBreakdown] = field(default_factory=list)
+
+
+def analyze_request(root: Span, descendants: Iterable[Span]) -> RequestBreakdown:
+    """Attribute one root span's duration to its leaf stages."""
+    root_start = root.start
+    root_end = root.end if root.end is not None else root.start
+    by_stage: dict[str, list[tuple[float, float]]] = {}
+    all_intervals: list[tuple[float, float]] = []
+    for span in descendants:
+        stage = STAGE_BY_SPAN_NAME.get(span.name)
+        if stage is None or span.end is None:
+            continue
+        start = max(span.start, root_start)
+        end = min(span.end, root_end)
+        if end <= start:
+            continue
+        by_stage.setdefault(stage, []).append((start, end))
+        all_intervals.append((start, end))
+
+    duration = max(root_end - root_start, 0.0)
+    stage_seconds = {stage: _union_length(list(intervals))
+                     for stage, intervals in by_stage.items()}
+    covered = _union_length(all_intervals)
+    stage_seconds["other"] = max(duration - covered, 0.0)
+    dominant = max(stage_seconds, key=lambda stage: (stage_seconds[stage], stage))
+    return RequestBreakdown(root, duration, stage_seconds, dominant)
+
+
+def analyze(spans: Iterable[Span], slowest: int = 5) -> CriticalPathSummary:
+    """Break down every request root in ``spans`` and aggregate the results."""
+    spans = list(spans)
+    children: dict[Optional[int], list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def walk(root: Span) -> list[Span]:
+        collected: list[Span] = []
+        stack = list(children.get(root.span_id, ()))
+        while stack:
+            span = stack.pop()
+            collected.append(span)
+            stack.extend(children.get(span.span_id, ()))
+        return collected
+
+    summary = CriticalPathSummary()
+    breakdowns: list[RequestBreakdown] = []
+    for root in children.get(None, ()):
+        if root.name in _NON_REQUEST_ROOTS or root.end is None:
+            continue
+        breakdown = analyze_request(root, walk(root))
+        breakdowns.append(breakdown)
+        summary.requests += 1
+        summary.total_duration += breakdown.duration
+        summary.dominated_by[breakdown.dominant] = (
+            summary.dominated_by.get(breakdown.dominant, 0) + 1
+        )
+        for stage, seconds in breakdown.stage_seconds.items():
+            summary.stage_totals[stage] = summary.stage_totals.get(stage, 0) + seconds
+    breakdowns.sort(key=lambda item: item.duration, reverse=True)
+    summary.slowest = breakdowns[:slowest]
+    return summary
+
+
+def format_summary(summary: CriticalPathSummary) -> str:
+    """Render the critical-path summary as an aligned text table."""
+    if summary.requests == 0:
+        return "critical path: no request spans recorded"
+    lines = [f"critical path over {summary.requests} requests "
+             f"(total {summary.total_duration * 1e3:.2f} ms of request time)"]
+    header = f"  {'stage':<14} {'dominates':>9} {'share':>7} {'total ms':>10} {'mean ms':>9}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    ordered = sorted(summary.stage_totals.items(), key=lambda item: item[1], reverse=True)
+    for stage, seconds in ordered:
+        dominated = summary.dominated_by.get(stage, 0)
+        share = seconds / summary.total_duration if summary.total_duration else 0.0
+        lines.append(
+            f"  {stage:<14} {dominated:>9d} {share:>6.1%} "
+            f"{seconds * 1e3:>10.2f} {seconds * 1e3 / summary.requests:>9.3f}"
+        )
+    if summary.slowest:
+        lines.append("  slowest requests:")
+        for breakdown in summary.slowest:
+            key = breakdown.key
+            label = f"key={key}" if key is not None else f"span#{breakdown.root.span_id}"
+            lines.append(
+                f"    {breakdown.duration * 1e3:>8.2f} ms  {label:<24} "
+                f"dominated by {breakdown.dominant}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Trace exporters: JSONL span dumps and Chrome trace-event files.
+
+Two formats cover the two audiences:
+
+* **JSONL** — one span per line, trivially greppable and diffable; the raw
+  material for ad-hoc analysis (``jq``, pandas).
+* **Chrome trace-event JSON** — the ``traceEvents`` array understood by
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.  Spans become
+  complete (``"ph": "X"``) events; each *root* span gets its own thread
+  track (named after its ``client`` attribute when present) and descendants
+  inherit the root's track so a request's client/proxy/chunk/flow spans nest
+  visually.  ``lambda.session`` spans live on a separate per-node process so
+  billed windows can be eyeballed against the requests they serve.
+
+Virtual seconds are exported as microseconds (the trace-event unit).
+
+``validate_chrome_trace`` checks an emitted payload against
+:data:`TRACE_EVENT_SCHEMA`; the ``repro trace`` CLI and the CI trace-smoke
+step both run it, so a malformed export fails loudly rather than producing
+a file Perfetto silently refuses to load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.obs.tracer import Span
+
+#: JSON-schema-style description of the Chrome trace payload we emit.  Kept
+#: as data (rather than only code) so the docs and CI can point at one
+#: authoritative shape.
+TRACE_EVENT_SCHEMA: dict = {
+    "type": "object",
+    "required": ["displayTimeUnit", "traceEvents"],
+    "properties": {
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "ph": {"type": "string", "enum": ["X", "M"]},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "ts": {"type": "number"},
+                    "dur": {"type": "number", "minimum": 0},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: pid used for request-path tracks and for billed-session tracks.
+REQUEST_PID = 1
+SESSION_PID = 2
+
+
+def span_to_dict(span: Span) -> dict:
+    """A JSON-friendly rendering of one span."""
+    payload: dict = {
+        "id": span.span_id,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+    }
+    if span.parent_id is not None:
+        payload["parent"] = span.parent_id
+    if span.attrs:
+        payload["attrs"] = dict(span.attrs)
+    return payload
+
+
+def to_jsonl(spans: Iterable[Span]) -> str:
+    """Render spans as one JSON object per line."""
+    return "\n".join(json.dumps(span_to_dict(span), sort_keys=True) for span in spans)
+
+
+def write_jsonl(path: str, spans: Iterable[Span]) -> None:
+    """Write a JSONL span dump to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(spans))
+        handle.write("\n")
+
+
+def _root_ids(spans: list[Span]) -> dict[int, int]:
+    """Map every span id to the id of its root ancestor."""
+    by_id = {span.span_id: span for span in spans}
+    roots: dict[int, int] = {}
+
+    def resolve(span: Span) -> int:
+        chain = []
+        current = span
+        while current.parent_id is not None and current.span_id not in roots:
+            chain.append(current.span_id)
+            parent = by_id.get(current.parent_id)
+            if parent is None:
+                break
+            current = parent
+        root = roots.get(current.span_id, current.span_id)
+        for span_id in chain:
+            roots[span_id] = root
+        roots[span.span_id] = root
+        return root
+
+    for span in spans:
+        resolve(span)
+    return roots
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict:
+    """Build a Chrome trace-event payload from finished spans.
+
+    Unfinished spans (``end is None``) are skipped — callers should run
+    ``tracer.finish_open()`` first if they want them included.
+    """
+    spans = [span for span in spans if span.end is not None]
+    roots = _root_ids(spans)
+
+    # One thread per root span; session spans get one thread per node.
+    tids: dict[object, int] = {}
+    thread_names: dict[tuple[int, int], str] = {}
+
+    def thread_for(span: Span) -> tuple[int, int]:
+        if span.name == "lambda.session":
+            node = (span.attrs or {}).get("node", "node")
+            key = ("session", node)
+            if key not in tids:
+                tids[key] = len(tids) + 1
+                thread_names[(SESSION_PID, tids[key])] = f"session {node}"
+            return SESSION_PID, tids[key]
+        root_id = roots.get(span.span_id, span.span_id)
+        key = ("request", root_id)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            root = next((s for s in spans if s.span_id == root_id), span)
+            label = (root.attrs or {}).get("client")
+            thread_names[(REQUEST_PID, tids[key])] = (
+                f"client {label}" if label is not None else f"{root.name} #{root_id}"
+            )
+        return REQUEST_PID, tids[key]
+
+    events: list[dict] = []
+    for span in spans:
+        pid, tid = thread_for(span)
+        event = {
+            "name": span.name,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": span.start * 1e6,
+            "dur": max(span.end - span.start, 0.0) * 1e6,
+        }
+        if span.attrs:
+            event["args"] = {key: value for key, value in span.attrs.items()}
+        events.append(event)
+
+    for (pid, tid), name in sorted(thread_names.items()):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": name},
+        })
+    for pid, name in ((REQUEST_PID, "requests"), (SESSION_PID, "lambda sessions")):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        })
+
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span]) -> dict:
+    """Write a Chrome trace-event file to ``path``; returns the payload."""
+    payload = to_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return payload
+
+
+def validate_chrome_trace(payload: object) -> list[str]:
+    """Check a trace payload against :data:`TRACE_EVENT_SCHEMA`.
+
+    Returns a list of human-readable problems (empty when valid).  This is a
+    purpose-built validator, not a generic JSON-schema engine — the container
+    deliberately carries no extra dependencies.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    unit = payload.get("displayTimeUnit")
+    if unit not in ("ms", "ns"):
+        errors.append(f"displayTimeUnit must be 'ms' or 'ns', got {unit!r}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for field, kind in (("name", str), ("ph", str), ("pid", int), ("tid", int)):
+            if not isinstance(event.get(field), kind):
+                errors.append(f"{where}.{field} must be {kind.__name__}")
+        phase = event.get("ph")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)):
+                    errors.append(f"{where}.{field} must be a number")
+                elif field == "dur" and value < 0:
+                    errors.append(f"{where}.dur is negative ({value})")
+        elif phase == "M":
+            if not isinstance(event.get("args"), dict):
+                errors.append(f"{where}.args must be an object for metadata events")
+        elif isinstance(phase, str):
+            errors.append(f"{where}.ph must be 'X' or 'M', got {phase!r}")
+        if len(errors) > 20:
+            errors.append("... (further errors suppressed)")
+            break
+    return errors

@@ -1,0 +1,232 @@
+"""Sim-clock span tracing for the coroutine request path.
+
+A :class:`Span` is an interval of *virtual* time with a name, optional
+parent, and free-form attributes.  The tracer stamps spans from the
+simulation clock and never schedules events or consumes randomness, so a
+traced run is event-for-event identical to an untraced one — the
+differential-replay fingerprints match byte-for-byte whether tracing is on
+or off (``repro trace`` asserts exactly this).
+
+When tracing is off, components hold :data:`NULL_TRACER`, whose ``begin``/
+``finish`` are no-ops returning the shared :data:`NULL_SPAN`.  The disabled
+cost per span boundary is one attribute lookup and one cheap call, which
+keeps the golden-figure and ``repro perf`` numbers untouched.
+
+Span taxonomy (see ``docs/observability.md``):
+
+``request``          root span for one driver-level operation
+``router.get/put``   tenant routing layer
+``client.get/put``   erasure-coded client operation
+``client.encode``    encode CPU time before a PUT fans out
+``client.decode``    decode CPU time after a parity chunk won the race
+``proxy.get/put``    proxy orchestration (first-d-of-n race / all-of fan-out)
+``chunk.fetch/store``one racing chunk transfer, including its Lambda leg
+``lambda.invoke``    invocation preamble (cold start + RTT) of a chunk leg
+``net.flow``         the bandwidth-shared flow carrying the chunk bytes
+``store.fetch``      backing-store read on a miss (RESET path)
+``lambda.session``   a node's anticipatory billed-duration window (rootless)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim.clock import SimClock
+
+
+class Span:
+    """One named interval of virtual time, with parent linkage and attributes."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    #: Real spans record; the null span advertises ``False`` so hot paths can
+    #: skip optional work (building attribute dicts) without knowing the tracer.
+    recording = True
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        attrs: Optional[dict] = None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Span length in virtual seconds (0.0 while unfinished)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return f"Span(#{self.span_id} {self.name!r} {self.start:.6f}..{end})"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by the disabled tracer."""
+
+    __slots__ = ()
+
+    recording = False
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    name = ""
+    start = 0.0
+    end: Optional[float] = 0.0
+    attrs: Optional[dict] = None
+    duration = 0.0
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op returning :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def begin(self, name: str, parent: object = None, **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def begin_at(self, name: str, start: float, parent: object = None,
+                 **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span: object, **attrs: object) -> None:
+        pass
+
+    def record(self, name: str, start: float, end: float, parent: object = None,
+               **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """Collects sim-clock-stamped spans for one run.
+
+    The tracer only ever *reads* ``clock.now``; it cannot perturb event order
+    or random-number consumption, which is what makes traced and untraced
+    runs produce identical fingerprints.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------ recording
+    # begin/record deliberately duplicate begin_at's body: they run tens of
+    # thousands of times per traced replay, and the extra call frame is
+    # measurable against the ≤15% overhead budget (docs/observability.md).
+    def begin(self, name: str, parent: object = None, **attrs: object) -> Span:
+        """Open a span starting now; ``parent`` may be any span (or None)."""
+        span = Span(
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            name,
+            self.clock.now,
+            attrs or None,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def begin_at(self, name: str, start: float, parent: object = None,
+                 **attrs: object) -> Span:
+        """Open a span with an explicit start time (e.g. a session opened earlier)."""
+        parent_id = parent.span_id if parent is not None else None
+        span = Span(self._next_id, parent_id, name, start, attrs or None)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Span, **attrs: object) -> None:
+        """Close a span at the current virtual time."""
+        if span.end is None:
+            span.end = self.clock.now
+        if attrs:
+            span.annotate(**attrs)
+
+    def record(self, name: str, start: float, end: float, parent: object = None,
+               **attrs: object) -> Span:
+        """Record an already-completed interval (e.g. a retired network flow)."""
+        span = Span(
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            name,
+            start,
+            attrs or None,
+        )
+        span.end = end
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def finish_open(self) -> int:
+        """Close every still-open span at the current time; returns the count.
+
+        Called before export so abandoned coroutines (straggler fetches whose
+        ``finally`` blocks could not see every child) leave well-formed spans.
+        """
+        closed = 0
+        now = self.clock.now
+        for span in self.spans:
+            if span.end is None:
+                span.end = now
+                span.annotate(unfinished=True)
+                closed += 1
+        return closed
+
+    # ------------------------------------------------------------------ introspection
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_name(self, name: str) -> list[Span]:
+        """All spans with the given name, in creation order."""
+        return [span for span in self.spans if span.name == name]
+
+    def roots(self) -> list[Span]:
+        """Parentless spans, in creation order."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children_index(self) -> dict[Optional[int], list[Span]]:
+        """Map of parent span id -> child spans (creation order)."""
+        index: dict[Optional[int], list[Span]] = {}
+        for span in self.spans:
+            index.setdefault(span.parent_id, []).append(span)
+        return index
+
+    def descendants(self, root: Span) -> Iterable[Span]:
+        """Yield every span beneath ``root`` (depth-first, excluding it)."""
+        index = self.children_index()
+        stack = list(index.get(root.span_id, ()))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(index.get(span.span_id, ()))

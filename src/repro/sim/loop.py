@@ -24,11 +24,110 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.exceptions import SimulationError
 from repro.sim.clock import SimClock
 from repro.sim.process import Process, ProcessGenerator, SimFuture
+
+
+def _label_key(label: str) -> str:
+    """Aggregation key for an event label: the text before the first colon.
+
+    Labels embed per-flow identity ("flow.finish:p0:serving:key#12"), so the
+    raw strings are unbounded; the prefix ("flow.finish", "sleep",
+    "billing.session_close") is the stable subsystem name the profiler keys
+    on.
+    """
+    return label.partition(":")[0] or "(unlabelled)"
+
+
+class LoopProfile:
+    """Wall-clock accounting for one profiled stretch of the event loop.
+
+    Counts scheduled/dispatched/cancelled events and accumulates *real*
+    (``perf_counter``) self-time per label key, plus three subsystem meters
+    fed by the loop (heap ops), :class:`~repro.sim.process.Process`
+    (coroutine steps), and the flow arbiter (settle/re-aim transitions).
+    The meters nest — a coroutine step runs inside an event callback — so
+    they attribute wall-clock to subsystems rather than forming a disjoint
+    partition.
+    """
+
+    def __init__(self):
+        self.scheduled: dict[str, int] = {}
+        self.dispatched: dict[str, int] = {}
+        self.cancelled: dict[str, int] = {}
+        self.self_time_s: dict[str, float] = {}
+        self.heap_s = 0.0
+        self.coroutine_steps = 0
+        self.coroutine_s = 0.0
+        self.arbiter_transitions = 0
+        self.arbiter_s = 0.0
+
+    def note_scheduled(self, label: str) -> None:
+        key = _label_key(label)
+        self.scheduled[key] = self.scheduled.get(key, 0) + 1
+
+    def note_cancelled(self, label: str) -> None:
+        key = _label_key(label)
+        self.cancelled[key] = self.cancelled.get(key, 0) + 1
+
+    def note_dispatch(self, label: str, seconds: float) -> None:
+        key = _label_key(label)
+        self.dispatched[key] = self.dispatched.get(key, 0) + 1
+        self.self_time_s[key] = self.self_time_s.get(key, 0.0) + seconds
+
+    @property
+    def dispatch_s(self) -> float:
+        """Total measured callback self-time across all labels."""
+        return sum(self.self_time_s.values())
+
+    @property
+    def events_dispatched(self) -> int:
+        return sum(self.dispatched.values())
+
+    def top_labels(self, limit: int = 10) -> list[dict]:
+        """The hottest label keys by callback self-time."""
+        ranked = sorted(self.self_time_s.items(), key=lambda item: item[1], reverse=True)
+        return [
+            {
+                "label": key,
+                "dispatched": self.dispatched.get(key, 0),
+                "self_s": seconds,
+            }
+            for key, seconds in ranked[:limit]
+        ]
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump of every meter."""
+        return {
+            "counts": {
+                "scheduled": sum(self.scheduled.values()),
+                "dispatched": self.events_dispatched,
+                "cancelled": sum(self.cancelled.values()),
+                "coroutine_steps": self.coroutine_steps,
+                "arbiter_transitions": self.arbiter_transitions,
+            },
+            "phases": {
+                "dispatch_s": self.dispatch_s,
+                "heap_ops_s": self.heap_s,
+                "coroutine_steps_s": self.coroutine_s,
+                "arbiter_s": self.arbiter_s,
+            },
+            "by_label": {
+                key: {
+                    "scheduled": self.scheduled.get(key, 0),
+                    "dispatched": self.dispatched.get(key, 0),
+                    "cancelled": self.cancelled.get(key, 0),
+                    "self_s": self.self_time_s.get(key, 0.0),
+                }
+                for key in sorted(
+                    set(self.scheduled) | set(self.dispatched) | set(self.cancelled)
+                )
+            },
+        }
 
 
 class Event:
@@ -80,7 +179,7 @@ class Event:
         self.cancelled = True
         queue, self._queue = self._queue, None
         if queue is not None:
-            queue._note_cancel()
+            queue._note_cancel(self)
 
 
 class EventQueue:
@@ -99,6 +198,14 @@ class EventQueue:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
+        #: Lifetime statistics (never reset by compaction).
+        self._pushed = 0
+        self._popped = 0
+        self._cancelled = 0
+        self._compactions = 0
+        self._peak_heap = 0
+        #: Optional :class:`LoopProfile` attached by the owning loop.
+        self.profile: Optional["LoopProfile"] = None
 
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Insert a callback to run at absolute virtual ``time``."""
@@ -106,6 +213,11 @@ class EventQueue:
         event = Event(time, sequence, callback, label, _queue=self)
         heapq.heappush(self._heap, (time, sequence, event))
         self._live += 1
+        self._pushed += 1
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
+        if self.profile is not None:
+            self.profile.note_scheduled(label)
         return event
 
     def pop(self) -> Optional[Event]:
@@ -115,6 +227,7 @@ class EventQueue:
             if not event.cancelled:
                 event._queue = None
                 self._live -= 1
+                self._popped += 1
                 return event
         return None
 
@@ -125,18 +238,40 @@ class EventQueue:
             heapq.heappop(heap)
         return heap[0][0] if heap else None
 
-    def _note_cancel(self) -> None:
+    def _note_cancel(self, event: Event) -> None:
         self._live -= 1
+        self._cancelled += 1
+        if self.profile is not None:
+            self.profile.note_cancelled(event.label)
         heap_size = len(self._heap)
         if heap_size >= self.COMPACT_MIN_SIZE and (heap_size - self._live) * 2 > heap_size:
             self._heap = [entry for entry in self._heap if not entry[2].cancelled]
             heapq.heapify(self._heap)
+            self._compactions += 1
 
     def __len__(self) -> int:
         return self._live
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    # ------------------------------------------------------------------ statistics
+    @property
+    def tombstones(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return len(self._heap) - self._live
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime queue statistics (tombstone pressure, compactions, peaks)."""
+        return {
+            "live": self._live,
+            "tombstones": self.tombstones,
+            "pushed": self._pushed,
+            "popped": self._popped,
+            "cancelled": self._cancelled,
+            "compactions": self._compactions,
+            "peak_heap_size": self._peak_heap,
+        }
 
 
 class EventLoop:
@@ -152,6 +287,7 @@ class EventLoop:
         self.clock = clock or SimClock()
         self.queue = EventQueue()
         self._events_processed = 0
+        self._profile: Optional[LoopProfile] = None
 
     @property
     def now(self) -> float:
@@ -162,6 +298,29 @@ class EventLoop:
     def events_processed(self) -> int:
         """Number of events dispatched so far (useful in tests)."""
         return self._events_processed
+
+    # ------------------------------------------------------------------ profiling
+    @property
+    def profile(self) -> Optional[LoopProfile]:
+        """The active :class:`LoopProfile`, or ``None`` when not profiling."""
+        return self._profile
+
+    def enable_profiling(self) -> LoopProfile:
+        """Start wall-clock profiling; returns the (fresh) profile.
+
+        Enable *before* running the loop: the run methods snapshot the
+        profile reference on entry, so flipping it mid-run has no effect
+        until the next ``run_*`` call.
+        """
+        self._profile = LoopProfile()
+        self.queue.profile = self._profile
+        return self._profile
+
+    def disable_profiling(self) -> Optional[LoopProfile]:
+        """Stop profiling; returns the profile collected so far (if any)."""
+        profile, self._profile = self._profile, None
+        self.queue.profile = None
+        return profile
 
     def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -217,16 +376,31 @@ class EventLoop:
             raise SimulationError(
                 f"run_until({end_time}) is before current time {self.clock.now}"
             )
+        profile = self._profile
         while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            event = self.queue.pop()
+            if profile is None:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self.queue.pop()
+            else:
+                heap_started = perf_counter()
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    profile.heap_s += perf_counter() - heap_started
+                    break
+                event = self.queue.pop()
+                profile.heap_s += perf_counter() - heap_started
             if event is None:
                 break
             self.clock.advance_to(event.time)
             self._events_processed += 1
-            event.callback()
+            if profile is None:
+                event.callback()
+            else:
+                started = perf_counter()
+                event.callback()
+                profile.note_dispatch(event.label, perf_counter() - started)
         self.clock.advance_to(end_time)
 
     def run_all(self, max_events: int = 10_000_000) -> None:
@@ -237,13 +411,24 @@ class EventLoop:
                 component is rescheduling itself unconditionally.
         """
         dispatched = 0
+        profile = self._profile
         while True:
-            event = self.queue.pop()
+            if profile is None:
+                event = self.queue.pop()
+            else:
+                heap_started = perf_counter()
+                event = self.queue.pop()
+                profile.heap_s += perf_counter() - heap_started
             if event is None:
                 return
             self.clock.advance_to(event.time)
             self._events_processed += 1
-            event.callback()
+            if profile is None:
+                event.callback()
+            else:
+                started = perf_counter()
+                event.callback()
+                profile.note_dispatch(event.label, perf_counter() - started)
             dispatched += 1
             if dispatched >= max_events:
                 raise SimulationError(
@@ -263,8 +448,14 @@ class EventLoop:
                 pending (a deadlocked process), or ``max_events`` is hit.
         """
         dispatched = 0
+        profile = self._profile
         while not future.done:
-            event = self.queue.pop()
+            if profile is None:
+                event = self.queue.pop()
+            else:
+                heap_started = perf_counter()
+                event = self.queue.pop()
+                profile.heap_s += perf_counter() - heap_started
             if event is None:
                 raise SimulationError(
                     f"event queue drained but {future.label!r} never resolved "
@@ -272,7 +463,12 @@ class EventLoop:
                 )
             self.clock.advance_to(event.time)
             self._events_processed += 1
-            event.callback()
+            if profile is None:
+                event.callback()
+            else:
+                started = perf_counter()
+                event.callback()
+                profile.note_dispatch(event.label, perf_counter() - started)
             dispatched += 1
             if dispatched >= max_events:
                 raise SimulationError(

@@ -26,6 +26,7 @@ such as in-flight network flows.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Generator, Iterable, Optional
 
 from repro.exceptions import SimulationError
@@ -260,11 +261,26 @@ class Process:
 
     # ------------------------------------------------------------------ driving
     def _step(self, value: object) -> None:
-        try:
-            target = self.generator.send(value)
-        except StopIteration as stop:
-            self.future.resolve(getattr(stop, "value", None))
-            return
+        profile = getattr(self.loop, "_profile", None)
+        if profile is None:
+            try:
+                target = self.generator.send(value)
+            except StopIteration as stop:
+                self.future.resolve(getattr(stop, "value", None))
+                return
+        else:
+            # Meter only the generator resumption itself; the downstream
+            # future callbacks fired by resolve() bill to their own meters.
+            started = perf_counter()
+            try:
+                target = self.generator.send(value)
+            except StopIteration as stop:
+                profile.coroutine_steps += 1
+                profile.coroutine_s += perf_counter() - started
+                self.future.resolve(getattr(stop, "value", None))
+                return
+            profile.coroutine_steps += 1
+            profile.coroutine_s += perf_counter() - started
         self._wait_on(target)
 
     def _wait_on(self, target: Waitable) -> None:

@@ -370,7 +370,9 @@ class _EventDriver:
         env = self.deployment.request_env
         started = env.now
         report.requests += 1
-        result = yield from client.get_process(key, env)
+        tracer = env.tracer
+        span = tracer.begin("request", client=client_id, key=key, op="GET")
+        result = yield from client.get_process(key, env, span=span)
         reset = False
         if result.hit:
             report.hits += 1
@@ -391,10 +393,13 @@ class _EventDriver:
             if fetched is None:
                 raise WorkloadError(f"object {key!r} is missing from the backing store")
             _size, store_latency = fetched
+            fetch_span = tracer.begin("store.fetch", span, key=key)
             yield store_latency
+            tracer.finish(fetch_span)
             if self.insert_on_miss:
-                yield from client.put_sized_process(key, size, env)
+                yield from client.put_sized_process(key, size, env, span=span)
             report.total_bytes += size
+        tracer.finish(span, hit=result.hit, reset=reset)
         report.samples.append(RequestSample(
             client_id=client_id, key=key, size=size,
             started_at=started, finished_at=env.now,
@@ -420,6 +425,9 @@ class _EventDriver:
         report.hourly_cost = hourly_costs(
             self.deployment.metrics, self.deployment.simulator.now
         )
+        # Fold the final billing ledgers into the deployment's registry so a
+        # metrics export after the run carries the labelled cost breakdowns.
+        self.deployment.billing.publish_metrics(self.deployment.metrics)
         return report
 
 

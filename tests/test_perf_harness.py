@@ -57,12 +57,58 @@ class TestMacroAndComparison:
         assert encoded["arbiter_comparison"]["fingerprints_identical"] is True
         for sample in encoded["micro"] + encoded["macro"]:
             assert sample["events_per_s"] >= 0
+        # The profile section rides along at the largest swept fleet and
+        # must satisfy the same schema the CI step validates.
+        assert encoded["profile"]["clients"] == 8
+        assert perf.validate_profile(encoded["profile"]) == []
 
     def test_format_report_renders_the_comparison(self):
         payload = perf.run_suite(quick=True, client_counts=(4,), compare_clients=4)
         text = perf.format_report(payload)
         assert "arbiter comparison" in text
         assert "fingerprints identical" in text
+
+
+class TestProfileSection:
+    """The event-loop ``profile`` section and its schema validator."""
+
+    def test_profile_closed_loop_meters_the_run(self):
+        section = perf.profile_closed_loop(4, requests_per_client=2)
+        assert perf.validate_profile(section) == []
+        assert section["clients"] == 4
+        assert section["events"] > 0
+        assert section["counts"]["dispatched"] == section["events"]
+        assert section["counts"]["coroutine_steps"] > 0
+        assert section["counts"]["arbiter_transitions"] > 0
+        phases = section["phases"]
+        # The meters are attributions, not a disjoint partition (the first
+        # step of a spawned process runs outside any dispatched callback),
+        # so only sanity bounds hold: all non-negative, dispatch did happen.
+        assert all(value >= 0.0 for value in phases.values())
+        assert phases["dispatch_s"] > 0.0
+        assert phases["coroutine_steps_s"] > 0.0
+        assert section["top_labels"]
+        assert section["top_labels"][0]["dispatched"] > 0
+
+    def test_validate_profile_rejects_malformed_sections(self):
+        assert perf.validate_profile(None) != []
+        assert perf.validate_profile([]) != []
+        assert perf.validate_profile({"schema": "repro.perf.profile/1"}) != []
+        good = perf.profile_closed_loop(2, requests_per_client=1)
+        for key in perf.PROFILE_PHASE_KEYS:
+            broken = json.loads(json.dumps(good))
+            del broken["phases"][key]
+            assert any(key in error for error in perf.validate_profile(broken))
+        for key in perf.PROFILE_COUNT_KEYS:
+            broken = json.loads(json.dumps(good))
+            broken["counts"][key] = -1
+            assert any(key in error for error in perf.validate_profile(broken))
+
+    def test_format_report_renders_the_profile(self):
+        payload = perf.run_suite(quick=True, client_counts=(4,), compare_clients=4)
+        text = perf.format_report(payload)
+        assert "Event-loop profile at 4 clients" in text
+        assert "Hottest callback labels" in text
 
 
 class TestCliFingerprintGate:

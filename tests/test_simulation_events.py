@@ -233,3 +233,133 @@ class TestQueueLiveCounter:
                 break
             event.callback()
         assert order == keep
+
+
+class TestQueueStats:
+    """The tombstone/compaction statistics surfaced for observability."""
+
+    def test_fresh_queue_stats_all_zero(self):
+        stats = EventQueue().stats()
+        assert stats == {
+            "live": 0,
+            "tombstones": 0,
+            "pushed": 0,
+            "popped": 0,
+            "cancelled": 0,
+            "compactions": 0,
+            "peak_heap_size": 0,
+        }
+
+    def test_stats_track_push_pop_cancel(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        # Cancel *late* events: pop() skips leading tombstones as it drains,
+        # so only tombstones behind the head linger in the heap.
+        events[8].cancel()
+        events[9].cancel()
+        queue.pop()
+        stats = queue.stats()
+        assert stats["pushed"] == 10
+        assert stats["popped"] == 1
+        assert stats["cancelled"] == 2
+        assert stats["live"] == len(queue) == 7
+        assert stats["peak_heap_size"] == 10
+        # Two cancellations on a 10-entry heap are below both compaction
+        # thresholds, so the tombstones are still sitting in the heap.
+        assert stats["tombstones"] == 2
+        assert stats["compactions"] == 0
+
+    def test_cancel_after_pop_is_not_counted(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()
+        stats = queue.stats()
+        assert stats["cancelled"] == 0
+        assert stats["tombstones"] == 0
+
+    def test_heavy_cancellation_records_compactions(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        stats = queue.stats()
+        assert stats["cancelled"] == 150
+        assert stats["compactions"] >= 1
+        assert stats["peak_heap_size"] == 200
+        # Post-compaction invariant: tombstones bounded by half the heap.
+        assert stats["tombstones"] * 2 <= stats["tombstones"] + stats["live"]
+        assert stats["live"] == 50
+
+    def test_peak_heap_size_is_monotone(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.push(float(index), lambda: None)
+        while queue.pop() is not None:
+            pass
+        assert queue.stats()["live"] == 0
+        assert queue.stats()["peak_heap_size"] == 5
+
+
+class TestLoopProfiling:
+    """The opt-in event-loop profiler behind ``enable_profiling``."""
+
+    def test_profiling_disabled_by_default(self):
+        simulator = Simulator()
+        assert simulator.profile is None
+
+    def test_profile_counts_by_label_key(self):
+        simulator = Simulator()
+        simulator.enable_profiling()
+        simulator.schedule(1.0, lambda: None, label="tick:a")
+        simulator.schedule(2.0, lambda: None, label="tick:b")
+        cancelled = simulator.schedule(3.0, lambda: None, label="tock")
+        cancelled.cancel()
+        simulator.run_until(5.0)
+        profile = simulator.profile
+        # Labels are bucketed by their prefix before ":" to bound cardinality.
+        assert profile.scheduled["tick"] == 2
+        assert profile.scheduled["tock"] == 1
+        assert profile.dispatched["tick"] == 2
+        assert profile.cancelled["tock"] == 1
+        assert profile.events_dispatched == 2
+        assert profile.self_time_s["tick"] >= 0.0
+
+    def test_snapshot_schema(self):
+        simulator = Simulator()
+        simulator.enable_profiling()
+        simulator.schedule(1.0, lambda: None, label="work")
+        simulator.run_until(2.0)
+        snapshot = simulator.profile.snapshot()
+        assert set(snapshot) == {"counts", "phases", "by_label"}
+        assert snapshot["counts"]["scheduled"] == 1
+        assert snapshot["counts"]["dispatched"] == 1
+        assert set(snapshot["phases"]) == {
+            "dispatch_s", "heap_ops_s", "coroutine_steps_s", "arbiter_s",
+        }
+        assert all(value >= 0.0 for value in snapshot["phases"].values())
+        assert snapshot["by_label"]["work"]["dispatched"] == 1
+
+    def test_disable_profiling_restores_the_fast_path(self):
+        simulator = Simulator()
+        simulator.enable_profiling()
+        simulator.schedule(1.0, lambda: None, label="a")
+        simulator.run_until(2.0)
+        simulator.disable_profiling()
+        assert simulator.profile is None
+        simulator.schedule(1.0, lambda: None, label="b")
+        simulator.run_until(4.0)
+        assert simulator.events_processed == 2
+
+    def test_profiling_does_not_change_dispatch_order_or_time(self):
+        def run(profiled):
+            simulator = Simulator()
+            if profiled:
+                simulator.enable_profiling()
+            fired = []
+            simulator.schedule(2.0, lambda: fired.append(("b", simulator.now)))
+            simulator.schedule(1.0, lambda: fired.append(("a", simulator.now)))
+            simulator.run_all()
+            return fired, simulator.now
+
+        assert run(profiled=True) == run(profiled=False)

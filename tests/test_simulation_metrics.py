@@ -117,3 +117,109 @@ class TestMetricRegistry:
         snapshot = registry.snapshot()
         assert snapshot["counters"] == {"a": 1.0}
         assert snapshot["series"] == {"s": 1}
+
+
+class TestNonFiniteRejection:
+    """NaN/inf must be rejected at every record point, not propagated."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_counter_increment_rejects_non_finite(self, bad):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.increment(bad)
+        assert counter.value == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_gauge_set_and_add_reject_non_finite(self, bad):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        with pytest.raises(ValueError):
+            gauge.set(bad)
+        with pytest.raises(ValueError):
+            gauge.add(bad)
+        assert gauge.value == 3.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_series_record_rejects_non_finite_values_and_times(self, bad):
+        series = TimeSeries("s")
+        with pytest.raises(ValueError):
+            series.record(0.0, bad)
+        with pytest.raises(ValueError):
+            series.record(bad, 1.0)
+        assert len(series) == 0
+
+
+class TestWindowBoundaries:
+    """Half-open [start, end) windows probed at exact sample timestamps."""
+
+    def _series(self):
+        series = TimeSeries("s")
+        for t in range(5):
+            series.record(float(t), float(t) * 10)
+        return series
+
+    def test_start_boundary_is_inclusive(self):
+        window = self._series().window(2.0, 10.0)
+        assert [t for t, _ in window] == [2.0, 3.0, 4.0]
+
+    def test_end_boundary_is_exclusive(self):
+        window = self._series().window(0.0, 2.0)
+        assert [t for t, _ in window] == [0.0, 1.0]
+
+    def test_empty_window_at_exact_timestamp(self):
+        assert self._series().window(2.0, 2.0) == []
+
+    def test_sum_and_count_at_exact_boundaries(self):
+        series = self._series()
+        assert series.count_in_window(1.0, 4.0) == 3
+        assert series.sum_in_window(1.0, 4.0) == 10.0 + 20.0 + 30.0
+
+    def test_duplicate_timestamps_all_within_boundary(self):
+        series = TimeSeries("s")
+        series.record(1.0, 1.0)
+        series.record(1.0, 2.0)
+        series.record(1.0, 3.0)
+        assert series.count_in_window(1.0, 1.0 + 1e-9) == 3
+        assert series.count_in_window(0.0, 1.0) == 0
+
+
+class TestLabelledMetrics:
+    """Labels partition instruments; the registry keys on name + labels."""
+
+    def test_labelled_counter_is_distinct_from_unlabelled(self):
+        registry = MetricRegistry()
+        registry.counter("hits").increment()
+        registry.counter("hits", labels={"tenant": "a"}).increment(2)
+        registry.counter("hits", labels={"tenant": "b"}).increment(3)
+        counters = registry.counters()
+        assert counters["hits"] == 1.0
+        assert counters['hits{tenant="a"}'] == 2.0
+        assert counters['hits{tenant="b"}'] == 3.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricRegistry()
+        registry.counter("c", labels={"x": "1", "y": "2"}).increment()
+        registry.counter("c", labels={"y": "2", "x": "1"}).increment()
+        assert registry.counters()['c{x="1",y="2"}'] == 2.0
+
+    def test_labelled_gauge_and_series(self):
+        registry = MetricRegistry()
+        registry.gauge("mem", labels={"node": "n1"}).set(5)
+        registry.series("lat", labels={"op": "get"}).record(0.0, 1.0)
+        assert registry.gauges()['mem{node="n1"}'] == 5
+        assert registry.has_series('lat{op="get"}')
+
+    def test_prometheus_exposition(self):
+        registry = MetricRegistry()
+        registry.counter("requests", labels={"tenant": "a"}).increment(4)
+        registry.gauge("pool.size").set(7)
+        registry.series("lat").record(0.0, 2.0)
+        text = registry.to_prometheus()
+        assert '# TYPE requests counter' in text
+        assert 'requests{tenant="a"} 4.0' in text
+        # Dots are not legal in Prometheus metric names; they are sanitized.
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 7" in text
+        assert "lat_count 1" in text
+        assert "lat_sum 2.0" in text
+        assert text.endswith("\n")
