@@ -32,6 +32,13 @@ non-zero if the incremental flow arbiter's replay fingerprint drifts from
 the global-recompute reference — a correctness gate immune to timing
 noise.  See ``docs/performance.md``.
 
+``python -m repro lint [PATHS] [--format text|json|github] [--baseline
+PATH] [--write-baseline | --check-baseline]`` runs the determinism &
+sim-protocol static analyser (:mod:`repro.lint`) over the source tree and
+exits non-zero on violations not grandfathered by the committed baseline;
+CI runs it with ``--format=github --check-baseline``.  See
+``docs/static-analysis.md``.
+
 ``python -m repro trace [--clients N] [--output trace.json]`` runs the
 same closed-loop replay twice — once untraced, once with the span tracer
 attached — asserts the two produce identical replay fingerprints (tracing
@@ -369,6 +376,10 @@ def main(argv: list[str] | None = None) -> int:
         return _perf(argv[1:])
     if argv and argv[0] == "trace":
         return _trace(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     return runner_main(argv)
 
 

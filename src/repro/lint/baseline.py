@@ -1,0 +1,137 @@
+"""Baseline file: grandfathered violations that do not fail the gate.
+
+A baseline entry keys on ``(path, code, stripped source line)`` with a
+multiplicity count, so entries survive unrelated edits that shift line
+numbers but expire the moment the offending line itself changes — exactly
+when a human should re-justify the exception.  ``repro lint
+--write-baseline`` records the current violations; ``--check-baseline``
+fails only on violations *not* covered, and reports entries that no longer
+match anything (stale grandfathering to clean up).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.lint.violations import Violation
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation pattern."""
+
+    path: str
+    code: str
+    snippet: str
+    count: int = 1
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.code, self.snippet)
+
+
+def _key_of(violation: Violation) -> tuple[str, str, str]:
+    return (violation.path.replace("\\", "/"), violation.code, violation.snippet)
+
+
+class Baseline:
+    """An in-memory baseline with match/consume semantics."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self._counts: dict[tuple[str, str, str], int] = {}
+        for entry in entries:
+            key = entry.key()
+            self._counts[key] = self._counts.get(key, 0) + entry.count
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    # ------------------------------------------------------------------ matching
+    def partition(
+        self, violations: Iterable[Violation]
+    ) -> tuple[list[Violation], list[Violation], list[BaselineEntry]]:
+        """Split violations into (new, grandfathered) and find stale entries.
+
+        Each baseline entry absorbs at most ``count`` matching violations;
+        anything beyond that is new.  Entries left with remaining count are
+        stale — the code they grandfathered has been fixed or rewritten.
+        """
+        remaining = dict(self._counts)
+        fresh: list[Violation] = []
+        grandfathered: list[Violation] = []
+        for violation in sorted(violations):
+            key = _key_of(violation)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                grandfathered.append(violation)
+            else:
+                fresh.append(violation)
+        stale = [
+            BaselineEntry(path=key[0], code=key[1], snippet=key[2], count=count)
+            for key, count in sorted(remaining.items())
+            if count > 0
+        ]
+        return fresh, grandfathered, stale
+
+    # ------------------------------------------------------------------ serialisation
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        counts: dict[tuple[str, str, str], int] = {}
+        for violation in violations:
+            key = _key_of(violation)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(
+            BaselineEntry(path=key[0], code=key[1], snippet=key[2], count=count)
+            for key, count in counts.items()
+        )
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"path": key[0], "code": key[1], "snippet": key[2], "count": count}
+                for key, count in sorted(self._counts.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "Baseline":
+        if not isinstance(payload, dict):
+            raise ConfigurationError("baseline file must hold a JSON object")
+        if payload.get("version") != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ConfigurationError("baseline file must hold an `entries` list")
+        parsed = []
+        for raw in entries:
+            try:
+                parsed.append(
+                    BaselineEntry(
+                        path=str(raw["path"]),
+                        code=str(raw["code"]),
+                        snippet=str(raw["snippet"]),
+                        count=int(raw.get("count", 1)),
+                    )
+                )
+            except (TypeError, KeyError) as exc:
+                raise ConfigurationError(f"malformed baseline entry {raw!r}") from exc
+        return cls(parsed)
+
+    # ------------------------------------------------------------------ file I/O
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_payload(json.load(handle))

@@ -1,0 +1,152 @@
+"""Per-file analysis context shared by every rule.
+
+A :class:`FileContext` parses the file once and precomputes what most rules
+need: the AST, the source lines, the inline ``# repro: allow[...]``
+suppressions, a best-effort import-alias map for resolving dotted names
+(``np.random.shuffle`` → ``numpy.random.shuffle``), and the path
+classification the exemption lists key on (scheduling path, profiling
+allowlist, config module).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.lint.violations import Violation
+
+#: ``# repro: allow[D101]`` / ``# repro: allow[D101, S203]``
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]")
+
+#: Modules under these directories drive the event schedule; the
+#: unordered-iteration rule (D103) only applies here.
+_SCHEDULING_DIRS = ("sim", "network", "cache", "cluster", "faas")
+_SCHEDULING_RE = re.compile(
+    r"(^|/)repro/(%s)/" % "|".join(_SCHEDULING_DIRS)
+)
+
+#: Wall-clock reads are legitimate in the perf harness and the
+#: observability layer — both measure *real* time by design (D102).
+_WALLCLOCK_EXEMPT_RE = re.compile(r"(^|/)(repro/obs/|experiments/perf\.py$)")
+
+#: Environment reads are config loading's job (D105).
+_CONFIG_RE = re.compile(r"(^|/)(config|settings)\.py$")
+
+
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    def __init__(self, source: str, path: str = "<string>"):
+        self.source = source
+        self.path = path
+        #: Forward-slashed path used for exemption matching, so the same
+        #: rules fire identically on every platform and invocation dir.
+        self.posix_path = path.replace("\\", "/")
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        #: line number -> set of rule codes allowed on that line.
+        self.suppressions = self._parse_suppressions()
+        #: import alias -> fully dotted module ("np" -> "numpy"), plus
+        #: from-imports ("perf_counter" -> "time.perf_counter").
+        self.aliases, self.from_imports = self._parse_imports()
+
+    # ------------------------------------------------------------------ classification
+    @property
+    def in_scheduling_path(self) -> bool:
+        """Whether this module feeds the event schedule (D103 scope)."""
+        return _SCHEDULING_RE.search(self.posix_path) is not None
+
+    @property
+    def wallclock_exempt(self) -> bool:
+        """Whether wall-clock reads are expected here (D102 allowlist)."""
+        return _WALLCLOCK_EXEMPT_RE.search(self.posix_path) is not None
+
+    @property
+    def is_config_module(self) -> bool:
+        """Whether environment reads are this module's job (D105 allowlist)."""
+        return _CONFIG_RE.search(self.posix_path) is not None
+
+    # ------------------------------------------------------------------ suppressions
+    def _parse_suppressions(self) -> dict[int, set[str]]:
+        allowed: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _ALLOW_RE.search(line)
+            if match is None:
+                continue
+            codes = {code.strip() for code in match.group(1).split(",")}
+            allowed.setdefault(lineno, set()).update(codes)
+            # A standalone comment line suppresses the line below it, so a
+            # justification can sit above long statements.
+            if line.split("#", 1)[0].strip() == "":
+                allowed.setdefault(lineno + 1, set()).update(codes)
+        return allowed
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """Whether an inline ``allow`` comment covers this violation."""
+        return violation.code in self.suppressions.get(violation.line, ())
+
+    # ------------------------------------------------------------------ imports
+    def _parse_imports(self) -> tuple[dict[str, str], dict[str, str]]:
+        aliases: dict[str, str] = {}
+        from_imports: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.asname:
+                        aliases[item.asname] = item.name
+                    else:
+                        # `import numpy.random` binds the root name `numpy`.
+                        root = item.name.split(".")[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    from_imports[item.asname or item.name] = f"{node.module}.{item.name}"
+        return aliases, from_imports
+
+    def resolve_call_name(self, func: ast.expr) -> Optional[str]:
+        """Fully dotted name of a call target, through import aliases.
+
+        ``np.random.shuffle(...)`` resolves to ``"numpy.random.shuffle"``
+        when ``np`` aliases ``numpy``; a bare ``perf_counter(...)`` resolves
+        to ``"time.perf_counter"`` when imported ``from time``.  Returns
+        ``None`` for targets that are not plain dotted names (subscripts,
+        call results, locals of unknown origin).
+        """
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        parts.append(self.from_imports.get(root, self.aliases.get(root, root)))
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------ helpers
+    def snippet(self, lineno: int) -> str:
+        """The stripped source line at ``lineno`` (1-based), or ``""``."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def violation(self, code: str, message: str, node: ast.AST) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``'s location."""
+        lineno = getattr(node, "lineno", 1)
+        return Violation(
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+            snippet=self.snippet(lineno),
+        )
+
+    def functions(self) -> Iterator[ast.FunctionDef]:
+        """Every (sync) function definition in the file, outermost first."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield node

@@ -1,0 +1,329 @@
+"""D-rules: determinism hazards.
+
+Everything here guards the same invariant: a seeded run must replay
+byte-identically, so no decision feeding the event schedule may depend on
+process-global RNG state, real time, hash-randomised iteration order,
+object identity, or the environment.  See ``docs/static-analysis.md`` for
+the catalogue with per-rule rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register_rule
+from repro.lint.violations import Violation
+
+#: numpy.random entry points that *construct seeded generators* — the
+#: sanctioned pattern (see ``repro.utils.rng``) — rather than touching the
+#: module-global RNG state.
+_SEEDED_NUMPY_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+})
+
+#: Wall-clock entry points in the time module (D102).
+_TIME_READS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+})
+
+#: Wall-clock entry points in the datetime module (D102).
+_DATETIME_READS = frozenset({
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def _call_names(ctx: FileContext) -> Iterator[tuple[ast.Call, str]]:
+    """Every call in the file paired with its resolved dotted name."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = ctx.resolve_call_name(node.func)
+            if name is not None:
+                yield node, name
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    """D101 — calls into the process-global (unseeded) RNG."""
+
+    code = "D101"
+    name = "unseeded-global-random"
+    rationale = (
+        "Module-level random.* / numpy.random.* calls draw from process-global "
+        "state shared across components, so one extra draw anywhere reorders "
+        "every later decision; use a seeded repro.utils.rng.Rng instance."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node, name in _call_names(ctx):
+            if name.startswith("random.") and name.count(".") == 1:
+                attr = name.split(".", 1)[1]
+                # Constructing a Random instance is the seeded idiom; the
+                # module-level draws (random.random, random.choice, even
+                # random.seed) all mutate shared global state.
+                if attr == "Random":
+                    continue
+                yield ctx.violation(
+                    self.code,
+                    f"call to global RNG `{name}`; use a seeded "
+                    "repro.utils.rng.Rng (or random.Random(seed)) instead",
+                    node,
+                )
+            elif name.startswith("numpy.random."):
+                attr = name.split(".", 2)[2]
+                if attr in _SEEDED_NUMPY_CONSTRUCTORS:
+                    continue
+                yield ctx.violation(
+                    self.code,
+                    f"call to numpy global RNG `{name}`; construct a seeded "
+                    "generator via numpy.random.default_rng(seed) instead",
+                    node,
+                )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """D102 — reads of real (wall-clock) time outside the profiling allowlist."""
+
+    code = "D102"
+    name = "wall-clock-read"
+    rationale = (
+        "Real time varies run to run; any value of time.time()/perf_counter()/"
+        "datetime.now() that feeds simulation state breaks byte-identical "
+        "replay.  Use the SimClock.  (experiments/perf.py and repro.obs "
+        "measure real time by design and are exempt.)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if ctx.wallclock_exempt:
+            return
+        for node, name in _call_names(ctx):
+            if name in _TIME_READS or name in _DATETIME_READS:
+                yield ctx.violation(
+                    self.code,
+                    f"wall-clock read `{name}` outside the profiling allowlist; "
+                    "simulation code must read time from the SimClock",
+                    node,
+                )
+
+
+def _is_literal_set(node: ast.Set) -> bool:
+    """A set display whose every element is a constant literal."""
+    return all(isinstance(elt, ast.Constant) for elt in node.elts)
+
+
+class _SetTracker:
+    """Best-effort tracking of which local names hold set values."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+    def is_set_valued(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Set):
+            return not _is_literal_set(node)
+        if isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                # A no-arg set() is empty at that point; what matters is
+                # whether a populated one is *iterated*, and a populated
+                # local is caught through the assignment tracking below.
+                return bool(node.args)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_valued(node.left) or self.is_set_valued(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+    def note_assignments(self, scope: ast.AST) -> None:
+        """Record local names bound to set values anywhere in ``scope``."""
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if self.is_set_valued(node.value) or (
+                        isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Name)
+                        and node.value.func.id in ("set", "frozenset")
+                    ):
+                        self.set_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                annotation = ast.unparse(node.annotation)
+                if annotation.startswith(("set", "frozenset", "Set", "FrozenSet")):
+                    self.set_names.add(node.target.id)
+
+
+#: Order-insensitive consumers: a set argument to these cannot leak hash
+#: order into the schedule, so wrapping is the sanctioned fix.
+_ORDER_INSENSITIVE = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """D103 — iterating an unordered collection in a scheduling path."""
+
+    code = "D103"
+    name = "unordered-iteration"
+    rationale = (
+        "set/frozenset iteration order follows the per-process string hash "
+        "seed; in repro/{sim,network,cache,cluster,faas} that order can decide "
+        "event scheduling, so iterate sorted(...) or an insertion-ordered dict."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if not ctx.in_scheduling_path:
+            return
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(ctx.functions())
+        seen: set[tuple[int, int]] = set()
+        for scope in scopes:
+            tracker = _SetTracker()
+            tracker.note_assignments(scope)
+            for violation in self._check_scope(ctx, scope, tracker):
+                key = (violation.line, violation.col)
+                if key not in seen:
+                    seen.add(key)
+                    yield violation
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ast.AST, tracker: _SetTracker
+    ) -> Iterator[Violation]:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.FunctionDef) and node is not scope:
+                continue  # inner functions get their own scope pass
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                # list(<set>) / tuple(<set>) materialise the unordered order
+                # — unless they feed an order-insensitive consumer, which
+                # the parentless walk approximates by flagging only the
+                # bare materialisation.
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple")
+                    and len(node.args) == 1
+                    and tracker.is_set_valued(node.args[0])
+                ):
+                    yield ctx.violation(
+                        self.code,
+                        f"{node.func.id}() over an unordered set materialises "
+                        "hash order; wrap in sorted(...) instead",
+                        node,
+                    )
+                # sorted(<set>)/min/max/... consume the set order-insensitively;
+                # also stop their argument from being re-flagged below.
+                continue
+            for candidate in iters:
+                if isinstance(candidate, ast.Call) and isinstance(candidate.func, ast.Name):
+                    if candidate.func.id in _ORDER_INSENSITIVE:
+                        continue
+                if isinstance(candidate, ast.Call) and isinstance(candidate.func, ast.Attribute):
+                    if candidate.func.attr == "keys":
+                        receiver = candidate.func.value
+                        if not isinstance(receiver, (ast.Dict, ast.Constant)):
+                            yield ctx.violation(
+                                self.code,
+                                "iteration over .keys() of a non-literal receiver "
+                                "in a scheduling path; iterate the mapping "
+                                "directly (or sorted(...)) so intent is explicit",
+                                candidate,
+                            )
+                        continue
+                if tracker.is_set_valued(candidate):
+                    yield ctx.violation(
+                        self.code,
+                        "iteration over an unordered set/frozenset in a "
+                        "scheduling path; iterate sorted(...) or an "
+                        "insertion-ordered dict",
+                        candidate,
+                    )
+
+
+def _is_identity_key(node: ast.expr) -> Optional[str]:
+    """The offending builtin name if ``key=`` is identity/hash based."""
+    if isinstance(node, ast.Name) and node.id in ("id", "hash"):
+        return node.id
+    if isinstance(node, ast.Lambda) and isinstance(node.body, ast.Call):
+        func = node.body.func
+        if isinstance(func, ast.Name) and func.id in ("id", "hash"):
+            return func.id
+    return None
+
+
+@register_rule
+class IdentitySortKeyRule(Rule):
+    """D104 — sorting by object identity or default hash."""
+
+    code = "D104"
+    name = "identity-sort-key"
+    rationale = (
+        "id() is an allocation address and the default hash() of objects (and "
+        "of str) varies per process, so sorts keyed on them produce a "
+        "different order every run; sort by a stable domain key instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            is_sort = (
+                isinstance(node.func, ast.Name) and node.func.id == "sorted"
+            ) or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+            )
+            if not is_sort:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                offender = _is_identity_key(keyword.value)
+                if offender is not None:
+                    yield ctx.violation(
+                        self.code,
+                        f"sort keyed on `{offender}()` is process-dependent; "
+                        "use a stable domain key (sequence number, name, id "
+                        "field) instead",
+                        node,
+                    )
+
+
+@register_rule
+class EnvironReadRule(Rule):
+    """D105 — environment reads outside config loading."""
+
+    code = "D105"
+    name = "environ-read-outside-config"
+    rationale = (
+        "os.environ consulted deep in the library makes behaviour depend on "
+        "invisible machine state; environment lookups belong in the config "
+        "modules, which turn them into explicit, logged parameters."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if ctx.is_config_module:
+            return
+        for node in ast.walk(ctx.tree):
+            name: Optional[str] = None
+            if isinstance(node, ast.Attribute):
+                name = ctx.resolve_call_name(node)
+            elif isinstance(node, ast.Name):
+                name = ctx.from_imports.get(node.id)
+            if name in ("os.environ", "os.getenv"):
+                yield ctx.violation(
+                    self.code,
+                    f"`{name}` read outside a config module; thread the value "
+                    "through explicit configuration instead",
+                    node,
+                )

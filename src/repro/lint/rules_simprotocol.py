@@ -1,0 +1,303 @@
+"""S-rules: sim-protocol invariants for coroutine processes.
+
+The event engine's contract (see ``docs/simulation.md``): a ``*_process``
+generator runs on the virtual clock, may only yield the documented waitable
+types (a numeric delay, a SimFuture, a Process), must never block the real
+thread, and must pair every billed transfer with a ``finally`` so abandoned
+stragglers still settle their bills.  These rules machine-check that
+contract so refactors of the hot paths cannot silently break it.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register_rule
+from repro.lint.violations import Violation
+
+#: Calls that block the real thread (never legal on the event loop).
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.system", "os.popen", "os.waitpid",
+    "input",
+})
+_BLOCKING_PREFIXES = (
+    "socket.", "subprocess.", "requests.", "urllib.", "http.client.",
+    "shutil.", "select.",
+)
+
+
+def sim_coroutines(ctx: FileContext) -> Iterator[ast.FunctionDef]:
+    """Generator functions bound by the sim-protocol contract.
+
+    A function is a sim coroutine when it is a generator (contains a yield)
+    and either its name ends in ``_process`` (the repo-wide convention) or
+    it is passed to an ``EventLoop.spawn(...)`` call in the same file.
+    """
+    spawned: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "spawn" and node.args:
+                factory = node.args[0]
+                if isinstance(factory, ast.Call) and isinstance(factory.func, ast.Name):
+                    spawned.add(factory.func.id)
+                elif isinstance(factory, ast.Call) and isinstance(factory.func, ast.Attribute):
+                    spawned.add(factory.func.attr)
+    for func in ctx.functions():
+        if not _is_generator(func):
+            continue
+        if func.name.endswith("_process") or func.name in spawned:
+            yield func
+
+
+def _is_generator(func: ast.FunctionDef) -> bool:
+    for node in _walk_function(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _walk_function(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function's own body, not descending into nested defs."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class BlockingIoRule(Rule):
+    """S201 — blocking I/O inside a sim coroutine."""
+
+    code = "S201"
+    name = "blocking-io-in-coroutine"
+    rationale = (
+        "time.sleep/open/sockets/subprocess block the real thread, freezing "
+        "every other coroutine sharing the EventLoop; sleep by yielding a "
+        "delay and model I/O as flows or scheduled events."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for func in sim_coroutines(ctx):
+            for node in _walk_function(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = ctx.resolve_call_name(node.func)
+                if name is None:
+                    continue
+                if name in ("open", "io.open", "gzip.open", "bz2.open", "lzma.open"):
+                    blocking = f"{name}()"
+                elif name in _BLOCKING_CALLS or name.startswith(_BLOCKING_PREFIXES):
+                    blocking = f"{name}()"
+                else:
+                    continue
+                yield ctx.violation(
+                    self.code,
+                    f"blocking call {blocking} inside sim coroutine "
+                    f"`{func.name}`; it would stall the entire event loop — "
+                    "yield a delay or model the I/O as a flow",
+                    node,
+                )
+
+
+@register_rule
+class InvalidYieldRule(Rule):
+    """S202 — yielding a value the event loop cannot wait on."""
+
+    code = "S202"
+    name = "invalid-yield-type"
+    rationale = (
+        "A process may only yield a numeric delay, a SimFuture, or a Process "
+        "(Process._wait_on raises on anything else at runtime); yielding "
+        "strings/None/containers is a latent crash on a rarely-taken path."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for func in sim_coroutines(ctx):
+            for node in _walk_function(func):
+                if not isinstance(node, ast.Yield):
+                    continue
+                problem = self._invalid_reason(node.value)
+                if problem is not None:
+                    yield ctx.violation(
+                        self.code,
+                        f"sim coroutine `{func.name}` yields {problem}; only a "
+                        "non-negative delay, a SimFuture, or a Process are "
+                        "waitable",
+                        node,
+                    )
+
+    @staticmethod
+    def _invalid_reason(value: Optional[ast.expr]) -> Optional[str]:
+        if value is None:
+            return "nothing (bare yield sends None into the loop)"
+        if isinstance(value, ast.Constant):
+            if isinstance(value.value, bool) or not isinstance(value.value, (int, float)):
+                return f"the constant {value.value!r}"
+            return None
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.Tuple)):
+            return "a container literal"
+        if isinstance(value, ast.JoinedStr):
+            return "an f-string"
+        return None  # dynamic expressions are assumed waitable (runtime checks them)
+
+
+def _guarded_spans(func: ast.FunctionDef) -> list[tuple[int, int]]:
+    """Line ranges of try-bodies whose ``finally`` calls ``end_transfer``."""
+    spans: list[tuple[int, int]] = []
+    for node in _walk_function(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        closes = any(
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "end_transfer"
+            for stmt in node.finalbody
+            for call in ast.walk(stmt)
+        )
+        if closes:
+            start = node.body[0].lineno
+            end = max(
+                getattr(stmt, "end_lineno", stmt.lineno)
+                for stmt in (node.body + node.handlers + node.orelse)
+            )
+            spans.append((start, end))
+    return spans
+
+
+@register_rule
+class UnguardedBilledSessionRule(Rule):
+    """S203 — a billed transfer held across an unguarded yield/return."""
+
+    code = "S203"
+    name = "unguarded-billed-session"
+    rationale = (
+        "Between env.begin_transfer(node) and env.end_transfer(node) the "
+        "node's billed session is pinned open; a yield outside a try/finally "
+        "that calls end_transfer leaks the pin when the coroutine is "
+        "cancelled mid-wait (the straggler-abandonment path), inflating "
+        "billed duration forever."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for func in ctx.functions():
+            begins = [
+                node
+                for node in _walk_function(func)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "begin_transfer"
+            ]
+            if not begins:
+                continue
+            spans = _guarded_spans(func)
+            if not spans:
+                yield ctx.violation(
+                    self.code,
+                    f"`{func.name}` calls begin_transfer() but has no "
+                    "try/finally calling end_transfer(); a cancelled or "
+                    "early-returning coroutine would pin the billed session "
+                    "open forever",
+                    begins[0],
+                )
+                continue
+            first_begin = min(node.lineno for node in begins)
+            for node in _walk_function(func):
+                if not isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    continue
+                if node.lineno <= first_begin:
+                    continue
+                if any(start <= node.lineno <= end for start, end in spans):
+                    continue
+                yield ctx.violation(
+                    self.code,
+                    f"`{func.name}` yields while holding a billed transfer "
+                    "outside the try/finally that calls end_transfer(); "
+                    "cancellation at this yield leaks the session pin",
+                    node,
+                )
+
+
+def _literal_number(node: ast.expr) -> Optional[float]:
+    """The numeric value of a literal (including ``-x`` and ``float('nan')``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_number(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "float" and len(node.args) == 1:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                try:
+                    return float(arg.value)
+                except ValueError:
+                    return None
+    if isinstance(node, ast.Attribute) and node.attr in ("nan", "inf"):
+        return float(node.attr)
+    return None
+
+
+#: Scheduling entry points whose first argument is a delay or absolute time.
+_SCHEDULE_METHODS = frozenset({"schedule", "schedule_at", "timeout", "sleep"})
+
+
+@register_rule
+class NegativeDelayRule(Rule):
+    """S204 — scheduling an event at a negative or NaN delay."""
+
+    code = "S204"
+    name = "negative-or-nan-delay"
+    rationale = (
+        "Negative delays would run events in the past and NaN delays poison "
+        "the event heap's ordering invariant (every comparison is False); "
+        "EventQueue rejects both at runtime, and this rule catches the "
+        "literal cases before they ever run."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in _SCHEDULE_METHODS:
+                    continue
+                delay = self._delay_argument(node)
+                if delay is None:
+                    continue
+                value = _literal_number(delay)
+                if value is not None and (value < 0 or math.isnan(value)):
+                    yield ctx.violation(
+                        self.code,
+                        f"`{node.func.attr}({ast.unparse(delay)}, ...)` "
+                        "schedules at a negative/NaN delay; delays must be "
+                        "finite and non-negative",
+                        node,
+                    )
+        for func in sim_coroutines(ctx):
+            for node in _walk_function(func):
+                if isinstance(node, ast.Yield) and node.value is not None:
+                    value = _literal_number(node.value)
+                    if value is not None and (value < 0 or math.isnan(value)):
+                        yield ctx.violation(
+                            self.code,
+                            f"sim coroutine `{func.name}` yields the delay "
+                            f"{ast.unparse(node.value)}; sleeps must be finite "
+                            "and non-negative",
+                            node,
+                        )
+
+    @staticmethod
+    def _delay_argument(node: ast.Call) -> Optional[ast.expr]:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg in ("delay", "time", "interval_s"):
+                return keyword.value
+        return None

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Optional
+from typing import Any, Optional
 
 from repro.exceptions import SimulationError
 from repro.network.topology import HostNic, NetworkFabric
@@ -112,7 +112,7 @@ class Flow:
         nic: HostNic,
         proxy_id: str,
         started_at: float,
-    ):
+    ) -> None:
         self.flow_id = flow_id
         self.label = label
         self.size_bytes = size_bytes
@@ -133,7 +133,7 @@ class Flow:
         self._finish_label = "flow.finish:" + label
         #: Tracing linkage: the chunk-transfer span this flow serves, set by
         #: the request path when a tracer is attached (None otherwise).
-        self.parent_span = None
+        self.parent_span: Optional[Any] = None
 
     @property
     def bytes_moved(self) -> float:
@@ -166,7 +166,7 @@ class FlowNetwork:
         loop: EventLoop,
         fabric: NetworkFabric,
         trace_limit: Optional[int] = None,
-    ):
+    ) -> None:
         if trace_limit is not None and trace_limit < 0:
             raise SimulationError(f"trace_limit must be >= 0, got {trace_limit}")
         self.loop = loop
@@ -184,13 +184,15 @@ class FlowNetwork:
         #: start or cancel other transfers — those nested transitions must
         #: also repair the still-dirty groups, or flows in them would be
         #: re-aimed later than under the global-recompute reference (same
-        #: rates, different event order at equal timestamps).
-        self._dirty_hosts: set[str] = set()
-        self._dirty_proxies: set[str] = set()
+        #: rates, different event order at equal timestamps).  Kept as
+        #: insertion-ordered dicts (not sets) so nothing downstream can ever
+        #: observe hash order (lint rule D103).
+        self._dirty_hosts: dict[str, None] = {}
+        self._dirty_proxies: dict[str, None] = {}
         #: Optional :class:`~repro.obs.tracer.SpanTracer`; when attached,
         #: every retired flow is recorded as a ``net.flow`` span parented to
         #: the chunk transfer it served (see ``Flow.parent_span``).
-        self.tracer = None
+        self.tracer: Optional[Any] = None
         #: Chronological record of finished/abandoned transfers (the newest
         #: ``trace_limit`` of them when a limit is set).
         self.trace: list[FlowInterval] = []
@@ -324,13 +326,17 @@ class FlowNetwork:
             flow.remaining = max(0.0, flow.remaining - flow.rate_bps * elapsed)
         flow.last_progress_at = now
 
-    def _affected_flows(self, hosts: set[str], proxies: set[str]) -> list[Flow]:
+    def _affected_flows(
+        self, hosts: dict[str, None], proxies: dict[str, None]
+    ) -> list[Flow]:
         """Flows whose fair share a transition on the given groups can touch.
 
         A flow's rate depends only on its own caps and on the occupancy of
         its NIC and its uplink, so the union of the touched groups is exact
-        — no other flow's bottleneck can flip.  Returned in flow-id order so
-        event scheduling matches the global-recompute reference.
+        — no other flow's bottleneck can flip.  The group collections are
+        insertion-ordered dicts and the merged result is flow-id-sorted, so
+        event scheduling matches the global-recompute reference and never
+        depends on hash order.
         """
         groups = [
             group
@@ -359,15 +365,15 @@ class FlowNetwork:
         """
         profile = self.loop._profile
         if profile is not None:
-            transition_started = perf_counter()
+            transition_started = perf_counter()  # repro: allow[D102] (profiling meter)
         now = self.loop.now
-        hosts = {host_id}
-        proxies = {proxy_id}
+        hosts: dict[str, None] = {host_id: None}
+        proxies: dict[str, None] = {proxy_id: None}
         if self._dirty_hosts:
-            hosts |= self._dirty_hosts
+            hosts.update(self._dirty_hosts)
             self._dirty_hosts.clear()
         if self._dirty_proxies:
-            proxies |= self._dirty_proxies
+            proxies.update(self._dirty_proxies)
             self._dirty_proxies.clear()
         # Fair shares are group properties; compute each touched NIC's and
         # uplink's share once per transition instead of once per flow.
@@ -401,7 +407,7 @@ class FlowNetwork:
             )
         if profile is not None:
             profile.arbiter_transitions += 1
-            profile.arbiter_s += perf_counter() - transition_started
+            profile.arbiter_s += perf_counter() - transition_started  # repro: allow[D102] (profiling meter)
 
     def _complete(self, flow: Flow) -> None:
         if flow.flow_id not in self._active:
@@ -428,8 +434,8 @@ class FlowNetwork:
             flow._completion.cancel()
             flow._completion = None
         flow.nic.release()
-        self._dirty_hosts.add(flow.nic.host_id)
-        self._dirty_proxies.add(flow.proxy_id)
+        self._dirty_hosts[flow.nic.host_id] = None
+        self._dirty_proxies[flow.proxy_id] = None
         if completed:
             flow.remaining = 0.0
             self.completed_flows += 1
@@ -480,5 +486,7 @@ class ReferenceFlowNetwork(FlowNetwork):
     the incremental arbiter against.
     """
 
-    def _affected_flows(self, hosts: set[str], proxies: set[str]) -> list[Flow]:
+    def _affected_flows(
+        self, hosts: dict[str, None], proxies: dict[str, None]
+    ) -> list[Flow]:
         return list(self._active.values())

@@ -22,7 +22,7 @@ class Link:
     latency_s: float
     bandwidth_bps: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.latency_s < 0:
             raise ConfigurationError(f"latency must be non-negative, got {self.latency_s}")
         if self.bandwidth_bps <= 0:

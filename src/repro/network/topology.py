@@ -28,7 +28,7 @@ class HostNic:
     capacity_bps: float
     concurrent_flows: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.capacity_bps <= 0:
             raise ConfigurationError(f"NIC capacity must be positive, got {self.capacity_bps}")
 

@@ -46,7 +46,7 @@ class TransferModel:
         base_latency_s: float = 1.0 * MILLISECOND,
         jitter_fraction: float = 0.0,
         rng: SeededRNG | None = None,
-    ):
+    ) -> None:
         """Create a transfer model.
 
         Args:

@@ -16,7 +16,7 @@ from repro.exceptions import SimulationError
 class SimClock:
     """A monotonically non-decreasing virtual clock measured in seconds."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise SimulationError(f"clock cannot start at negative time {start}")
         self._now = float(start)

@@ -1,0 +1,27 @@
+"""D101 fixture: global RNG calls vs the seeded idiom."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # lint-expect: D101
+
+
+def pick(items):
+    return random.choice(items)  # lint-expect: D101
+
+
+def reseed():
+    random.seed(42)  # lint-expect: D101
+
+
+def shuffle_in_place(items):
+    np.random.shuffle(items)  # lint-expect: D101
+
+
+def seeded_ok(items):
+    rng = random.Random(7)  # guard: constructing a seeded RNG is the idiom
+    gen = np.random.default_rng(7)  # guard: seeded numpy generator
+    rng.shuffle(items)  # guard: instance method, not module-global state
+    return rng.random() + gen.random()

@@ -1,0 +1,28 @@
+"""D102 fixture: wall-clock reads vs sim-clock reads."""
+import datetime
+import time
+from time import monotonic
+
+
+def stamp():
+    return time.time()  # lint-expect: D102
+
+
+def measure():
+    return time.perf_counter()  # lint-expect: D102
+
+
+def today():
+    return datetime.datetime.now()  # lint-expect: D102
+
+
+def uptime():
+    return monotonic()  # lint-expect: D102
+
+
+def sim_now(clock):
+    return clock.now  # guard: the SimClock is the sanctioned time source
+
+
+def duration(interval):
+    return interval.time()  # guard: a .time() method on a domain object

@@ -1,0 +1,24 @@
+"""D103 fixture: unordered iteration in a scheduling path."""
+
+
+def drain(pending, registry):
+    hot = set(pending)
+    for item in hot:  # lint-expect: D103
+        registry[item] = None
+    for key in registry.keys():  # lint-expect: D103
+        print(key)
+    return [2 * item for item in hot]  # lint-expect: D103
+
+
+def materialise(pending):
+    hot = frozenset(pending)
+    return list(hot)  # lint-expect: D103
+
+
+def ordered(pending, registry):
+    hot = set(pending)
+    for item in sorted(hot):  # guard: sorted() consumes order-insensitively
+        registry[item] = None
+    for key in registry:  # guard: dicts iterate in insertion order
+        print(key)
+    return min(hot), len(hot)  # guard: order-insensitive consumers

@@ -1,0 +1,14 @@
+"""D104 fixture: identity/hash sort keys vs stable domain keys."""
+
+
+def by_identity(flows):
+    return sorted(flows, key=id)  # lint-expect: D104
+
+
+def by_hash_in_place(flows):
+    flows.sort(key=lambda flow: hash(flow))  # lint-expect: D104
+
+
+def by_stable_key(flows):
+    flows.sort(key=lambda flow: flow.flow_id)  # guard: stable domain key
+    return sorted(flows, key=len)  # guard: len is a stable key

@@ -1,0 +1,19 @@
+"""D105 fixture: environment reads outside config modules."""
+import os
+from os import environ
+
+
+def region():
+    return os.environ["AWS_REGION"]  # lint-expect: D105
+
+
+def debug_flag():
+    return os.getenv("REPRO_DEBUG")  # lint-expect: D105
+
+
+def fallback():
+    return environ.get("REPRO_SCALE", "1")  # lint-expect: D105
+
+
+def explicit(config):
+    return config.environ  # guard: an attribute named environ on a domain object

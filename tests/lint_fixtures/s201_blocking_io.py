@@ -1,0 +1,22 @@
+"""S201 fixture: blocking calls inside sim coroutines."""
+import subprocess
+import time
+
+
+def fetch_process(env):
+    time.sleep(0.5)  # lint-expect: S201
+    with open("chunk.bin") as handle:  # lint-expect: S201
+        data = handle.read()
+    subprocess.run(["curl", "example.com"])  # lint-expect: S201
+    yield 0.5
+    return data
+
+
+def helper(path):
+    time.sleep(0.1)  # guard: not a coroutine (no yield, never spawned)
+    return open(path)  # guard: plain functions may do real I/O
+
+
+def poll_process(conn):
+    conn.open()  # guard: a domain .open() method is not the builtin
+    yield 0.5

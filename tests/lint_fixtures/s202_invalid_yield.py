@@ -1,0 +1,11 @@
+"""S202 fixture: yields the event loop cannot wait on."""
+
+
+def chatter_process(env):
+    yield "warming up"  # lint-expect: S202
+    yield  # lint-expect: S202
+    yield [1.0, 2.0]  # lint-expect: S202
+    yield True  # lint-expect: S202
+    yield 0.5  # guard: a numeric delay is waitable
+    future = env.flows.start("chunk")
+    yield future  # guard: dynamic expressions are checked at runtime

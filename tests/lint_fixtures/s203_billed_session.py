@@ -1,0 +1,25 @@
+"""S203 fixture: billed transfer sessions and the mandatory finally."""
+
+
+def leaky_process(env, node):
+    env.begin_transfer(node)  # lint-expect: S203
+    yield 1.0
+    env.end_transfer(node)
+
+
+def half_guarded_process(env, node):
+    env.begin_transfer(node)
+    try:
+        yield 1.0  # guard: inside the try whose finally settles the bill
+    finally:
+        env.end_transfer(node)
+    yield 2.0  # lint-expect: S203
+
+
+def guarded_process(env, node):
+    env.begin_transfer(node)
+    try:
+        yield 1.0
+        yield 2.0  # guard: every yield sits inside the guarded span
+    finally:
+        env.end_transfer(node)

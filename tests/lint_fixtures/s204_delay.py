@@ -1,0 +1,20 @@
+"""S204 fixture: negative / NaN delay literals."""
+import math
+
+
+def schedule_all(loop, callback):
+    loop.schedule(-1.0, callback)  # lint-expect: S204
+    loop.schedule_at(float("nan"), callback)  # lint-expect: S204
+    loop.timeout(math.nan)  # lint-expect: S204
+    loop.schedule(delay=-2, callback=callback)  # lint-expect: S204
+    loop.schedule(0.0, callback)  # guard: zero delay is legal
+    loop.schedule(compute_delay(), callback)  # guard: dynamic delays check at runtime
+
+
+def backoff_process(loop):
+    yield -0.5  # lint-expect: S204
+    yield 0.5  # guard: non-negative sleeps are fine
+
+
+def compute_delay():
+    return 0.25

@@ -1,0 +1,20 @@
+"""Suppression fixture: inline allows silence specific codes only."""
+import random
+import time
+
+
+def seeded_elsewhere():
+    return random.random()  # repro: allow[D101]
+
+
+def metered():
+    # repro: allow[D102] (standalone justification covers the next line)
+    return time.time()
+
+
+def multi():
+    return random.random(), time.time()  # repro: allow[D101, D102]
+
+
+def still_flagged():
+    return random.random()  # repro: allow[D102] wrong code  # lint-expect: D101

@@ -363,3 +363,69 @@ class TestLoopProfiling:
             return fired, simulator.now
 
         assert run(profiled=True) == run(profiled=False)
+
+
+class TestDelayValidation:
+    """NaN/negative/infinite delays are rejected at the API boundary.
+
+    Regression for the heap-corruption hole: ``delay < 0`` is False for
+    NaN, so before these checks a ``schedule(float("nan"), ...)`` pushed a
+    NaN-keyed entry whose every comparison is False — sift-up parked it
+    arbitrarily and *other* events started popping out of order.
+    """
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_rejects_non_finite_delay(self, bad):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.schedule(bad, lambda: None, label="bad")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_at_rejects_non_finite_time(self, bad):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.schedule_at(bad, lambda: None, label="bad")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf"), -1.0])
+    def test_queue_push_rejects_bad_time(self, bad):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(bad, lambda: None, label="bad")
+
+    def test_timeout_rejects_nan_delay(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.timeout(float("nan"))
+
+    def test_negative_delay_still_raises_simulation_error(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule(-0.5, lambda: None)
+
+    def test_nan_push_does_not_corrupt_heap_order(self):
+        """A rejected NaN push leaves the queue fully ordered."""
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(3.0, lambda: fired.append(3.0))
+        with pytest.raises(ValueError):
+            simulator.schedule(float("nan"), lambda: fired.append(None))
+        simulator.schedule(1.0, lambda: fired.append(1.0))
+        simulator.schedule(2.0, lambda: fired.append(2.0))
+        simulator.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_periodic_task_rejects_nan_interval(self):
+        from repro.sim.loop import PeriodicTask
+
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTask(simulator, float("nan"), lambda: None)
+
+    def test_stats_unchanged_by_rejected_push(self):
+        """A rejected push must not bump counters or the peak-heap gauge."""
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        before = queue.stats()
+        with pytest.raises(ValueError):
+            queue.push(float("nan"), lambda: None)
+        assert queue.stats() == before
