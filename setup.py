@@ -27,8 +27,12 @@ setup(
     packages=find_packages("src"),
     package_dir={"": "src"},
     python_requires=">=3.10",
-    install_requires=["numpy"],
+    # The simulator is pure-python; numpy only accelerates the vectorized
+    # flow arbiter (``InfiniCacheConfig(flow_arbiter="vectorized")`` falls
+    # back to the byte-identical scalar arbiter without it).
+    install_requires=[],
     extras_require={
+        "perf": ["numpy"],
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
     },
     entry_points={

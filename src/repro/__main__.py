@@ -310,9 +310,11 @@ def _perf(argv: list[str]) -> int:
         help="CI smoke mode: small fleets only, seconds-fast",
     )
     parser.add_argument(
-        "--clients", type=int, nargs="+", default=None, metavar="N",
-        help="fleet sizes for the closed-loop sweep (default: 8 64 256 1024, "
-        "or 8 64 under --quick; explicit values are honored as given)",
+        "--rungs", "--clients", type=int, nargs="+", default=None, metavar="N",
+        dest="clients",
+        help="fleet-size rungs for the closed-loop macro sweep (default: "
+        "8 64 256 1024 4096, or 8 64 256 under --quick; explicit values "
+        "are honored as given)",
     )
     parser.add_argument(
         "--compare-clients", type=int, default=None, metavar="N",
@@ -327,6 +329,23 @@ def _perf(argv: list[str]) -> int:
         "--output", default="BENCH_perf.json", metavar="PATH",
         help="where to write the JSON payload (default: BENCH_perf.json)",
     )
+    parser.add_argument(
+        "--regression-baseline", default=None, metavar="PATH",
+        help="committed BENCH_perf.json to guard against: exit non-zero if "
+        "any macro rung present in both runs lost more than the threshold "
+        "of its committed events/s (read before --output is written, so "
+        "the same path can serve as both)",
+    )
+    parser.add_argument(
+        "--regression-threshold", type=float, default=0.30, metavar="FRACTION",
+        help="allowed fractional events/s drop before the regression guard "
+        "fails (default: 0.30)",
+    )
+    parser.add_argument(
+        "--regression-min-clients", type=int, default=256, metavar="N",
+        help="smallest macro rung the regression guard considers (default: "
+        "256 — sub-second rungs are too noisy to gate on)",
+    )
     args = parser.parse_args(argv)
     import json
 
@@ -335,7 +354,15 @@ def _perf(argv: list[str]) -> int:
     if args.compare_clients is not None and args.compare_clients < 1:
         parser.error("--compare-clients must be a positive client count")
     if args.clients is not None and any(count < 1 for count in args.clients):
-        parser.error("--clients values must be positive client counts")
+        parser.error("--rungs values must be positive client counts")
+    if not 0.0 <= args.regression_threshold < 1.0:
+        parser.error("--regression-threshold must be in [0, 1)")
+    if args.regression_min_clients < 0:
+        parser.error("--regression-min-clients must be non-negative")
+    baseline = None
+    if args.regression_baseline is not None:
+        with open(args.regression_baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
     payload = perf.run_suite(
         client_counts=tuple(args.clients) if args.clients else None,
         compare_clients=args.compare_clients,
@@ -354,11 +381,22 @@ def _perf(argv: list[str]) -> int:
     comparison = payload.get("arbiter_comparison")
     if comparison and not comparison["fingerprints_identical"]:
         print(
-            "FAIL: the incremental arbiter's replay fingerprint diverged from "
-            "the global-recompute reference",
+            "FAIL: the arbiters' replay fingerprints diverged (incremental "
+            "vs reference vs vectorized must be byte-identical)",
             file=sys.stderr,
         )
         return 1
+    if baseline is not None:
+        regressions = perf.check_regression(
+            payload,
+            baseline,
+            threshold=args.regression_threshold,
+            min_clients=args.regression_min_clients,
+        )
+        if regressions:
+            for regression in regressions:
+                print(f"FAIL: {regression}", file=sys.stderr)
+            return 1
     return 0
 
 

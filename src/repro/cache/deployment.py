@@ -29,7 +29,7 @@ from repro.cache.runtime import RequestEnv
 from repro.faas.billing import BillingModel
 from repro.faas.platform import FaaSPlatform
 from repro.faas.reclamation import ReclamationPolicy
-from repro.network.flows import FlowNetwork, ReferenceFlowNetwork
+from repro.network.flows import resolve_arbiter
 from repro.network.transfer import TransferModel
 from repro.exceptions import ConfigurationError
 from repro.sim.loop import PeriodicTask, Simulator
@@ -70,12 +70,11 @@ class InfiniCacheDeployment:
         #: Flow-level network arbitration + the context the event-driven
         #: (process-based) request path runs in; the synchronous facade
         #: ignores both and uses the static-snapshot estimates instead.
-        #: ``config.flow_arbiter`` selects the incremental bottleneck-group
-        #: arbiter (default) or the global-recompute reference sweep.
-        arbiter_cls = (
-            ReferenceFlowNetwork if self.config.flow_arbiter == "reference" else FlowNetwork
-        )
-        self.flows = arbiter_cls(
+        #: ``config.flow_arbiter`` selects the numpy batch-settlement
+        #: arbiter (default, falling back to the scalar incremental arbiter
+        #: without numpy), the incremental bottleneck-group arbiter, or the
+        #: global-recompute reference sweep — all byte-identical.
+        self.flows = resolve_arbiter(self.config.flow_arbiter)(
             self.simulator,
             self.transfer_model.fabric,
             trace_limit=self.config.flow_trace_limit,

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 from repro.faas.billing import BILLING_CYCLE_SECONDS
 from repro.network.flows import FlowNetwork
 from repro.obs.tracer import NULL_TRACER
-from repro.sim.loop import Event, EventLoop
+from repro.sim.loop import DeadlineTimer, EventLoop
 from repro.sim.process import SimFuture
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (node -> platform -> ...)
@@ -39,8 +39,10 @@ class RequestEnv:
         #: (every call a no-op) unless a run attaches a real one via
         #: :meth:`attach_tracer`.
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        #: node_id -> (pending close event, the window end it was aimed at).
-        self._session_watches: dict[str, tuple[Event, float]] = {}
+        #: node_id -> lazy close timer, reused across that node's sessions.
+        #: Window *extensions* (every request on a busy node) are plain
+        #: deadline-field writes instead of cancel+reschedule heap churn.
+        self._session_watches: dict[str, DeadlineTimer] = {}
         #: node_id -> number of chunk transfers currently in flight.
         self._inflight: dict[str, int] = {}
         #: node_id -> (session object, its open span); tracing only.
@@ -114,37 +116,43 @@ class RequestEnv:
         session = node.duration_controller.current
         if session is None:
             return
-        watched = self._session_watches.get(node.node_id)
-        if watched is not None:
-            event, aimed_at = watched
-            if aimed_at >= session.window_end and not event.cancelled:
-                return
-            event.cancel()
-        self._arm(node, session.window_end)
-
-    def _arm(self, node: "LambdaCacheNode", window_end: float) -> None:
-        event = self.loop.schedule_at(
-            window_end,
-            lambda: self._session_check(node),
-            label=f"billing.session_close:{node.node_id}",
-        )
-        self._session_watches[node.node_id] = (event, window_end)
+        timer = self._session_watches.get(node.node_id)
+        if timer is None:
+            self._session_watches[node.node_id] = self.loop.schedule_deadline(
+                session.window_end,
+                lambda: self._session_check(node),
+                label=f"billing.session_close:{node.node_id}",
+            )
+        elif not timer.active or session.window_end > timer.deadline:
+            # A deadline already at-or-past the window end is left alone (the
+            # check re-aims itself if the window grows); only a *later*
+            # window end moves it — a field write on the lazy timer.
+            timer.set_deadline(session.window_end)
 
     def _session_check(self, node: "LambdaCacheNode") -> None:
-        self._session_watches.pop(node.node_id, None)
         controller = node.duration_controller
+        timer = self._session_watches[node.node_id]
+        session = controller.current
+        now = self.loop.now
+        if session is not None and session.window_end > now:
+            # The window moved past the armed deadline without a
+            # ``watch_session`` call (an in-check keep-alive extension);
+            # nothing is due yet — re-aim, with no billing side effects,
+            # exactly as the eager idiom's cancel+reschedule had none.
+            timer.set_deadline(session.window_end)
+            return
         if self.keep_alive(node):
             # Transfers still in flight: the window was just extended; the
             # session must not be billed out from under a running request.
-            self._arm(node, controller.current.window_end)
+            timer.set_deadline(controller.current.window_end)
             return
-        controller.expire_if_due(self.loop.now)
+        controller.expire_if_due(now)
         if self.tracer.enabled:
             self._trace_session(node)
         session = controller.current
-        if session is not None and session.window_end > self.loop.now:
+        if session is not None and session.window_end > now:
             # The window was extended after this event was armed; re-aim.
-            self._arm(node, session.window_end)
+            timer.set_deadline(session.window_end)
 
     def _trace_session(self, node: "LambdaCacheNode") -> None:
         """Keep one open ``lambda.session`` span per open billed session.

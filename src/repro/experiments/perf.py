@@ -13,9 +13,10 @@ benchmark their event cores.  This module is that measurement layer:
   fleet sizes (8 → 1024 clients) and report wall-clock, events/sec, and
   the peak number of simultaneously active flows;
 * the **arbiter comparison** runs the same closed-loop scenario under the
-  incremental bottleneck-group arbiter and under the global-recompute
-  :class:`~repro.network.flows.ReferenceFlowNetwork`, asserting the two
-  produce byte-identical replay fingerprints and reporting the speedup.
+  incremental bottleneck-group arbiter, the global-recompute
+  :class:`~repro.network.flows.ReferenceFlowNetwork`, and (when numpy is
+  installed) the vectorized batch-settlement arbiter, asserting all of
+  them produce byte-identical replay fingerprints and reporting speedups.
 
 ``python -m repro perf`` runs the suite and writes ``BENCH_perf.json``;
 CI runs it with ``--quick`` and fails the build on fingerprint drift
@@ -31,14 +32,14 @@ from dataclasses import dataclass, field
 
 from repro.cache.config import InfiniCacheConfig, StragglerModel
 from repro.cache.deployment import InfiniCacheDeployment
-from repro.network.flows import FlowNetwork, ReferenceFlowNetwork
+from repro.network.flows import HAVE_NUMPY, resolve_arbiter
 from repro.network.topology import NetworkFabric
 from repro.sim.loop import EventLoop
 from repro.utils.units import MB, MIB
 from repro.workload.replay import ClosedLoopDriver
 
 #: The fleet sizes the full suite sweeps (the quick CI variant trims this).
-DEFAULT_CLIENT_COUNTS = (8, 64, 256, 1024)
+DEFAULT_CLIENT_COUNTS = (8, 64, 256, 1024, 4096)
 
 #: Fleet size used for the incremental-vs-reference arbiter comparison.
 DEFAULT_COMPARE_CLIENTS = 256
@@ -101,17 +102,19 @@ def micro_flow_churn(
     hosts: int = 32,
     proxies: int = 8,
     arbiter: str = "incremental",
+    tag: str = "",
 ) -> PerfSample:
     """Raw arbitration churn: staggered transfers joining and leaving.
 
     Drives the flow network directly (no cache on top): ``flows`` transfers
     start at staggered times across ``hosts`` NICs and ``proxies`` uplinks,
     so every start and finish is a rate transition on a populated network.
+    ``tag`` distinguishes non-default geometries in the sample name (the
+    suite uses it for the dense large-group variant).
     """
     loop = EventLoop()
     fabric = NetworkFabric(proxy_uplink_bps=2_000 * MB)
-    network_cls = ReferenceFlowNetwork if arbiter == "reference" else FlowNetwork
-    network = network_cls(loop, fabric)
+    network = resolve_arbiter(arbiter)(loop, fabric)
 
     start = time.perf_counter()
     for index in range(flows):
@@ -130,8 +133,9 @@ def micro_flow_churn(
     loop.run_all()
     wall = time.perf_counter() - start
     assert network.completed_flows == flows
+    suffix = f"{arbiter},{tag}" if tag else arbiter
     return PerfSample(
-        name=f"micro.flow_churn[{arbiter}]",
+        name=f"micro.flow_churn[{suffix}]",
         wall_s=wall,
         events=loop.events_processed,
         extra={
@@ -349,22 +353,71 @@ def compare_arbiters(
     """
     incremental = macro_closed_loop(clients, arbiter="incremental", **macro_kwargs)
     reference = macro_closed_loop(clients, arbiter="reference", **macro_kwargs)
-    return {
+    identical = incremental.extra["fingerprint"] == reference.extra["fingerprint"]
+    payload = {
         "clients": clients,
         "incremental_wall_s": incremental.wall_s,
         "reference_wall_s": reference.wall_s,
         "speedup": reference.wall_s / incremental.wall_s if incremental.wall_s > 0 else 0.0,
         "incremental_events_per_s": incremental.events_per_s,
         "reference_events_per_s": reference.events_per_s,
-        "fingerprints_identical": (
-            incremental.extra["fingerprint"] == reference.extra["fingerprint"]
-        ),
         "fingerprint": incremental.extra["fingerprint"],
     }
+    if HAVE_NUMPY:
+        vectorized = macro_closed_loop(clients, arbiter="vectorized", **macro_kwargs)
+        identical = identical and (
+            vectorized.extra["fingerprint"] == incremental.extra["fingerprint"]
+        )
+        payload["vectorized_wall_s"] = vectorized.wall_s
+        payload["vectorized_events_per_s"] = vectorized.events_per_s
+    payload["fingerprints_identical"] = identical
+    return payload
 
 
 # ---------------------------------------------------------------------- suite
-QUICK_CLIENT_COUNTS = (8, 64)
+#: Quick-mode rungs: 256 stays in so the CI throughput guard has a committed
+#: ``events_per_s`` to compare against at a meaningful fleet size.
+QUICK_CLIENT_COUNTS = (8, 64, 256)
+
+
+def check_regression(
+    payload: dict[str, object],
+    baseline: dict[str, object],
+    threshold: float = 0.30,
+    min_clients: int = 256,
+) -> list[str]:
+    """Compare a fresh suite payload against a committed baseline.
+
+    Returns one error string per macro rung present in *both* payloads whose
+    fresh ``events_per_s`` fell more than ``threshold`` below the committed
+    value.  Rungs only one side ran (quick mode trims the sweep) are
+    skipped, as are rungs below ``min_clients`` — the small fleets finish
+    in well under a second, so their events/s swings ±30 % run to run on
+    interpreter warm-up alone and would make the gate flake.  Everything
+    other than macro throughput is likewise ignored: micro timings and
+    wall-clocks are too noisy to gate on.
+    """
+    errors: list[str] = []
+    committed = {
+        sample["clients"]: sample
+        for sample in baseline.get("macro", ())
+        if isinstance(sample, dict) and "clients" in sample
+    }
+    for sample in payload.get("macro", ()):
+        if (sample.get("clients") or 0) < min_clients:
+            continue
+        reference = committed.get(sample.get("clients"))
+        if reference is None:
+            continue
+        committed_rate = reference.get("events_per_s", 0.0)
+        fresh_rate = sample.get("events_per_s", 0.0)
+        if committed_rate > 0 and fresh_rate < (1.0 - threshold) * committed_rate:
+            errors.append(
+                f"macro.closed_loop[{sample['clients']}] throughput regressed: "
+                f"{fresh_rate:.0f} events/s is more than {threshold:.0%} below "
+                f"the committed {committed_rate:.0f} events/s"
+            )
+    return errors
 
 
 def run_suite(
@@ -395,6 +448,18 @@ def run_suite(
         micro_flow_churn(flows=500 if quick else 2_000, arbiter="incremental"),
         micro_flow_churn(flows=500 if quick else 2_000, arbiter="reference"),
     ]
+    if HAVE_NUMPY:
+        # The default churn geometry (32 hosts / 8 proxies) keeps bottleneck
+        # groups small, where the scalar arbiter's lower constant factor
+        # wins; the batched-settlement payoff appears once a group holds
+        # thousands of flows.  Record both regimes under both arbiters so
+        # the crossover stays a measured fact rather than folklore.
+        dense = dict(flows=300 if quick else 1_000, hosts=2, proxies=1)
+        micro.append(
+            micro_flow_churn(flows=500 if quick else 2_000, arbiter="vectorized")
+        )
+        micro.append(micro_flow_churn(arbiter="incremental", tag="dense", **dense))
+        micro.append(micro_flow_churn(arbiter="vectorized", tag="dense", **dense))
     # The comparison runs before the big sweeps so its timing is not skewed
     # by heap growth from the larger fleets; the micro pass above doubles as
     # cache warm-up (hash-ring points, shared RS matrices).
@@ -477,11 +542,16 @@ def format_report(payload: dict[str, object]) -> str:
     comparison = payload.get("arbiter_comparison")
     if comparison:
         lines.append("")
+        vectorized = (
+            f" (vectorized {comparison['vectorized_wall_s']:.2f}s)"
+            if "vectorized_wall_s" in comparison
+            else ""
+        )
         lines.append(
             f"arbiter comparison at {comparison['clients']} clients: "
             f"incremental {comparison['incremental_wall_s']:.2f}s vs "
             f"reference {comparison['reference_wall_s']:.2f}s "
-            f"-> {comparison['speedup']:.1f}x speedup; "
+            f"-> {comparison['speedup']:.1f}x speedup{vectorized}; "
             "fingerprints "
             + ("identical" if comparison["fingerprints_identical"] else "DIVERGED")
         )

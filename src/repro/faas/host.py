@@ -83,6 +83,15 @@ class HostManager:
         #: pop, so placement is O(log hosts) instead of a full fleet scan —
         #: the scan was a superlinear term at thousand-client fleet sizes.
         self._open: list[tuple[int, int, str]] = []
+        #: Heap entries for hosts whose leftover memory was too small for a
+        #: placement, parked out of the heap until a request small enough to
+        #: possibly fit one arrives (tracked via the free-byte high-water
+        #: mark).  Without parking, every placement in a
+        #: one-function-per-host fleet re-pops and re-pushes the entire
+        #: too-full fleet — an O(hosts log hosts) term per cold start that
+        #: dominated macro-benchmark seeding.
+        self._parked: dict[str, tuple[int, int, str]] = {}
+        self._parked_max_free = -1
 
     def _note_open(self, host: VMHost) -> None:
         if host.memory_in_use < host.memory_bytes:
@@ -109,10 +118,17 @@ class HostManager:
         # Greedy bin-packing: the fullest host that still fits, host-id as
         # the tie break — identical to scanning every host with
         # ``max(key=(memory_in_use, host_id))``, but served from the lazy
-        # heap.  Live-but-too-small entries (possible when function sizes
-        # are heterogeneous) are stashed and pushed back unchanged.
+        # heap.  Live-but-too-small entries are parked rather than pushed
+        # back, and return to the heap only when a request small enough to
+        # possibly fit one arrives (stale parked entries — the host's
+        # occupancy changed since, which always pushes a fresh entry — are
+        # skipped on pop like any other stale entry).
+        if 0 <= self._parked_max_free >= memory_bytes:
+            for parked in self._parked.values():
+                heapq.heappush(self._open, parked)
+            self._parked.clear()
+            self._parked_max_free = -1
         host: Optional[VMHost] = None
-        stashed: list[tuple[int, int, str]] = []
         while self._open:
             entry = heapq.heappop(self._open)
             candidate = self.hosts[entry[2]]
@@ -121,9 +137,10 @@ class HostManager:
             if candidate.can_fit(memory_bytes):
                 host = candidate
                 break
-            stashed.append(entry)
-        for entry in stashed:
-            heapq.heappush(self._open, entry)
+            self._parked[entry[2]] = entry
+            free = candidate.memory_bytes - candidate.memory_in_use
+            if free > self._parked_max_free:
+                self._parked_max_free = free
         if host is None:
             host = self._new_host()
         host.place(function_name, memory_bytes)

@@ -46,14 +46,29 @@ independently of the retained window and do not change.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from time import perf_counter
 from typing import Any, Optional
 
 from repro.exceptions import SimulationError
 from repro.network.topology import HostNic, NetworkFabric
-from repro.sim.loop import Event, EventLoop
+from repro.sim.loop import EventLoop
 from repro.sim.process import SimFuture
+
+try:  # pragma: no cover - exercised via the forced-fallback parametrized test
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without the [perf] extra
+    _np = None  # type: ignore[assignment]
+
+#: Whether the numpy batch-settlement arbiter can be used in this
+#: environment (the ``[perf]`` extra); without it, ``vectorized`` resolves
+#: to the byte-identical scalar incremental arbiter.
+HAVE_NUMPY = _np is not None
+
+#: Valid ``InfiniCacheConfig.flow_arbiter`` names (see :func:`resolve_arbiter`).
+ARBITER_NAMES = ("vectorized", "incremental", "reference")
 
 
 def peak_concurrency(intervals: list[tuple[float, float]]) -> int:
@@ -127,7 +142,11 @@ class Flow:
         #: (directly or through a process abandoning the fetch) tears the
         #: flow down and releases its bandwidth shares.
         self.future: SimFuture = SimFuture(label=f"flow:{label}")
-        self._completion: Optional[Event] = None
+        #: Pending completion: a lazy :class:`~repro.sim.loop.DeadlineTimer`
+        #: under the incremental/vectorized arbiters, a plain eager
+        #: :class:`~repro.sim.loop.Event` under the reference arbiter (kept
+        #: that way as the differential baseline for the lazy mechanism).
+        self._completion: Optional[Any] = None
         #: Precomputed completion-event label: re-aims happen on every rate
         #: transition, so building the string once per flow matters at scale.
         self._finish_label = "flow.finish:" + label
@@ -154,11 +173,10 @@ class FlowNetwork:
         loop: the shared event loop flows are scheduled on.
         fabric: NIC registry plus proxy-side uplink capacity.
         trace_limit: if given, retain at most this many finished/abandoned
-            :class:`FlowInterval` records (the oldest are evicted; eviction
-            costs O(trace_limit) per retirement, so keep limits modest).
-            The aggregate statistics (``completed_flows``,
-            ``abandoned_flows``, byte totals, ``max_concurrent``) are
-            unaffected by eviction.
+            :class:`FlowInterval` records (the oldest are evicted in O(1)
+            per retirement from the underlying deque).  The aggregate
+            statistics (``completed_flows``, ``abandoned_flows``, byte
+            totals, ``max_concurrent``) are unaffected by eviction.
     """
 
     def __init__(
@@ -189,13 +207,34 @@ class FlowNetwork:
         #: observe hash order (lint rule D103).
         self._dirty_hosts: dict[str, None] = {}
         self._dirty_proxies: dict[str, None] = {}
+        #: Transition-coalescing depth.  While positive (inside a retire
+        #: cascade — a completion resolving its future, which can cancel
+        #: straggler siblings and start follow-up transfers synchronously),
+        #: ``_transition`` only records the touched groups as dirty; the
+        #: outermost caller runs one batched re-aim for the whole cascade.
+        #: First-d-of-n fan-in retires d flows and cancels n-d stragglers on
+        #: the same uplink in one event, so this folds up to n transitions
+        #: into one without changing any settled byte count or finish time.
+        self._defer = 0
+        #: Rates (and heap tie-break sequence numbers) reserved during a
+        #: deferred cascade, by flow id.  Each entry records the rate an
+        #: eager inner transition would have re-aimed the flow at and the
+        #: sequence number that re-aim's heap push would have consumed;
+        #: the flush transition pushes the real completion entries under
+        #: these reserved numbers, so every ``(time, sequence)`` heap key
+        #: — and therefore all same-timestamp dispatch ordering (which
+        #: decides first-d-of-n quorum losers) — is bitwise identical to
+        #: the uncoalesced schedule.
+        self._pending: dict[int, tuple[float, int]] = {}
         #: Optional :class:`~repro.obs.tracer.SpanTracer`; when attached,
         #: every retired flow is recorded as a ``net.flow`` span parented to
         #: the chunk transfer it served (see ``Flow.parent_span``).
         self.tracer: Optional[Any] = None
         #: Chronological record of finished/abandoned transfers (the newest
-        #: ``trace_limit`` of them when a limit is set).
-        self.trace: list[FlowInterval] = []
+        #: ``trace_limit`` of them when a limit is set).  A deque so that
+        #: eviction under ``trace_limit`` is O(1) per retirement; exposed as
+        #: a list through the :attr:`trace` property.
+        self._trace: deque[FlowInterval] = deque(maxlen=trace_limit)
         self._trace_dropped = 0
         self._peak_active = 0
         #: Aggregate retirement statistics, independent of trace eviction.
@@ -220,6 +259,15 @@ class FlowNetwork:
         """Number of trace intervals evicted under ``trace_limit``."""
         return self._trace_dropped
 
+    @property
+    def trace(self) -> list[FlowInterval]:
+        """The retained finished/abandoned intervals, oldest first.
+
+        A fresh list copy of the retained window; use :meth:`trace_since`
+        for incremental reads and :meth:`flow_stats` for O(1) aggregates.
+        """
+        return list(self._trace)
+
     def flows_on_host(self, host_id: str) -> int:
         """Live flow count through one host NIC (the dynamic accounting)."""
         nic = self.fabric.hosts.get(host_id)
@@ -238,14 +286,18 @@ class FlowNetwork:
         return self._peak_active
 
     def flow_stats(self) -> dict[str, float]:
-        """Aggregate transfer statistics (stable under ``trace_limit`` eviction)."""
+        """Aggregate transfer statistics (stable under ``trace_limit`` eviction).
+
+        Every value is a running aggregate maintained at retire time, so the
+        call is O(1) no matter how many intervals were retired or truncated.
+        """
         return {
             "completed_flows": float(self.completed_flows),
             "abandoned_flows": float(self.abandoned_flows),
             "bytes_completed": self.bytes_completed,
             "bytes_abandoned": self.bytes_abandoned,
             "peak_concurrent_flows": float(self._peak_active),
-            "trace_retained": float(len(self.trace)),
+            "trace_retained": float(len(self._trace)),
             "trace_dropped": float(self._trace_dropped),
         }
 
@@ -261,7 +313,7 @@ class FlowNetwork:
 
     def trace_since(self, marker: int) -> list[FlowInterval]:
         """The retained intervals retired after ``marker`` was taken."""
-        return list(self.trace[max(0, marker - self._trace_dropped):])
+        return list(islice(self._trace, max(0, marker - self._trace_dropped), None))
 
     # ------------------------------------------------------------------ flow lifecycle
     def transfer(
@@ -295,6 +347,7 @@ class FlowNetwork:
         self._active[flow.flow_id] = flow
         self._by_host.setdefault(nic.host_id, {})[flow.flow_id] = flow
         self._by_proxy.setdefault(proxy_id, {})[flow.flow_id] = flow
+        self._on_flow_added(flow)
         if len(self._active) > self._peak_active:
             self._peak_active = len(self._active)
         flow.future.on_cancel(lambda: self.cancel(flow))
@@ -314,7 +367,14 @@ class FlowNetwork:
         self._settle_flow(flow, now)
         self._retire(flow, now, completed=False)
         if not flow.future.done:
-            flow.future.cancel()
+            # Cancelling the future can resume the abandoning process, which
+            # may tear down sibling transfers in turn; defer so the whole
+            # cascade is repaired by one batched transition below.
+            self._defer += 1
+            try:
+                flow.future.cancel()
+            finally:
+                self._defer -= 1
         self._transition(flow.nic.host_id, flow.proxy_id)
         return True
 
@@ -363,6 +423,17 @@ class FlowNetwork:
         linear between rate changes, so both remain exact.  Heap churn and
         settlement work stay proportional to the flows actually affected.
         """
+        if self._defer:
+            # A retire cascade is in progress: fold this transition into the
+            # batched re-aim the outermost caller runs once the cascade ends.
+            # The groups stay dirty until then, and the rates an eager
+            # transition would have assigned here are computed (no settle,
+            # no heap traffic) so their tie-break sequence numbers can be
+            # reserved at exactly the point eager pushes would consume them.
+            self._dirty_hosts[host_id] = None
+            self._dirty_proxies[proxy_id] = None
+            self._reserve_pending()
+            return
         profile = self.loop._profile
         if profile is not None:
             transition_started = perf_counter()  # repro: allow[D102] (profiling meter)
@@ -391,23 +462,80 @@ class FlowNetwork:
                 proxy_share = self.fabric.proxy_share(streams)
                 proxy_shares[flow.proxy_id] = proxy_share
             rate = min(flow.function_bandwidth_bps, host_share, proxy_share)
-            if (
-                flow._completion is not None
-                and not flow._completion.cancelled
-                and rate == flow.rate_bps
-            ):
+            entry = self._pending.pop(flow.flow_id, None) if self._pending else None
+            if entry is None and flow._completion is not None and rate == flow.rate_bps:
                 continue
             self._settle_flow(flow, now)
             flow.rate_bps = rate
-            finish = now + flow.remaining / flow.rate_bps
-            if flow._completion is not None:
-                flow._completion.cancel()
-            flow._completion = self.loop.schedule_at(
-                finish, lambda f=flow: self._complete(f), label=flow._finish_label
+            self._aim(
+                flow,
+                now + flow.remaining / flow.rate_bps,
+                entry[1] if entry is not None else None,
             )
         if profile is not None:
             profile.arbiter_transitions += 1
             profile.arbiter_s += perf_counter() - transition_started  # repro: allow[D102] (profiling meter)
+
+    def _reserve_pending(self) -> None:
+        """Reserve rates + tie-break sequences for one deferred transition.
+
+        Runs in place of an eager transition while a cascade is deferred:
+        it computes, from the *current* group membership, the rate every
+        affected flow would have been re-aimed at, and — for each flow
+        whose rate actually changed — consumes the sequence number the
+        eager cancel+push would have taken.  No settle, no heap traffic;
+        flow objects are untouched (``rate_bps`` must keep the pre-cascade
+        rate so the flush settles progress correctly).  Covering the
+        accumulated dirty groups is a superset of what the eager inner
+        transition would visit; the extra flows see an unchanged rate and
+        reserve nothing, so consumption order is identical.
+        """
+        pending = self._pending
+        reserve = self.loop.queue.reserve_sequence
+        host_shares: dict[str, float] = {}
+        proxy_shares: dict[str, float] = {}
+        for flow in self._affected_flows(self._dirty_hosts, self._dirty_proxies):
+            nic = flow.nic
+            host_share = host_shares.get(nic.host_id)
+            if host_share is None:
+                host_share = nic.effective_bandwidth()
+                host_shares[nic.host_id] = host_share
+            proxy_share = proxy_shares.get(flow.proxy_id)
+            if proxy_share is None:
+                streams = len(self._by_proxy.get(flow.proxy_id, ()))
+                proxy_share = self.fabric.proxy_share(streams)
+                proxy_shares[flow.proxy_id] = proxy_share
+            rate = min(flow.function_bandwidth_bps, host_share, proxy_share)
+            entry = pending.get(flow.flow_id)
+            if entry is not None:
+                if rate == entry[0]:
+                    continue
+            elif flow._completion is not None and rate == flow.rate_bps:
+                continue
+            pending[flow.flow_id] = (rate, reserve())
+
+    def _aim(self, flow: Flow, finish: float, sequence: Optional[int] = None) -> None:
+        """(Re-)aim a flow's completion at ``finish``.
+
+        Uses a lazy :class:`~repro.sim.loop.DeadlineTimer` per flow: the
+        common competing-flow-joined case (finish moves *later*) is a field
+        write instead of a cancel+reschedule, so a flow costs at most a few
+        heap entries over its whole lifetime regardless of how many rate
+        transitions it sees.  Firing times are identical to the eager idiom,
+        and so is same-timestamp tie-breaking: ``sequence`` (reserved during
+        a deferred cascade) or the timer's own reservation stands in for the
+        number an eager push would have consumed.
+        """
+        timer = flow._completion
+        if timer is None:
+            flow._completion = self.loop.schedule_deadline(
+                finish,
+                lambda: self._complete(flow),
+                label=flow._finish_label,
+                sequence=sequence,
+            )
+        else:
+            timer.set_deadline(finish, sequence)
 
     def _complete(self, flow: Flow) -> None:
         if flow.flow_id not in self._active:
@@ -415,8 +543,22 @@ class FlowNetwork:
         now = self.loop.now
         self._settle_flow(flow, now)
         self._retire(flow, now, completed=True)
-        flow.future.resolve(flow)
+        # Resolving the future synchronously resumes the waiting fetch — a
+        # satisfied first-d-of-n quorum then cancels its straggler siblings
+        # and the client may start its next transfer, all at this instant;
+        # defer so the cascade is repaired by one batched transition.
+        self._defer += 1
+        try:
+            flow.future.resolve(flow)
+        finally:
+            self._defer -= 1
         self._transition(flow.nic.host_id, flow.proxy_id)
+
+    def _on_flow_added(self, flow: Flow) -> None:
+        """Subclass hook: ``flow`` just joined the active set and its groups."""
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        """Subclass hook: ``flow`` just left the active set and its groups."""
 
     def _retire(self, flow: Flow, now: float, completed: bool) -> None:
         del self._active[flow.flow_id]
@@ -430,6 +572,9 @@ class FlowNetwork:
             proxy_group.pop(flow.flow_id, None)
             if not proxy_group:
                 del self._by_proxy[flow.proxy_id]
+        self._on_flow_removed(flow)
+        if self._pending:
+            self._pending.pop(flow.flow_id, None)
         if flow._completion is not None:
             flow._completion.cancel()
             flow._completion = None
@@ -443,7 +588,12 @@ class FlowNetwork:
         else:
             self.abandoned_flows += 1
             self.bytes_abandoned += flow.bytes_moved
-        self.trace.append(
+        trace = self._trace
+        if trace.maxlen is not None and len(trace) == trace.maxlen:
+            # The deque evicts the oldest interval on append — O(1), where
+            # the old list-shift was O(trace_limit) per retirement.
+            self._trace_dropped += 1
+        trace.append(
             FlowInterval(
                 flow_id=flow.flow_id,
                 label=flow.label,
@@ -456,10 +606,6 @@ class FlowNetwork:
                 bytes_moved=flow.bytes_moved,
             )
         )
-        if self.trace_limit is not None and len(self.trace) > self.trace_limit:
-            overflow = len(self.trace) - self.trace_limit
-            del self.trace[:overflow]
-            self._trace_dropped += overflow
         tracer = self.tracer
         if tracer is not None:
             tracer.record(
@@ -481,12 +627,262 @@ class ReferenceFlowNetwork(FlowNetwork):
     Numerically identical to :class:`FlowNetwork` — every transition visits
     *all* active flows, but a flow outside the touched groups recomputes the
     same rate and is skipped without settling, exactly as the incremental
-    arbiter skips it without visiting.  Kept as the byte-for-byte reference
-    for the differential tests and as the baseline the perf harness measures
-    the incremental arbiter against.
+    arbiter skips it without visiting.  It also keeps the original *eager*
+    cancel+reschedule completion events, making it the differential baseline
+    for the lazy-deadline timers as well as for the group indexing.  Kept as
+    the byte-for-byte reference for the differential tests and as the
+    baseline the perf harness measures the other arbiters against.
     """
 
     def _affected_flows(
         self, hosts: dict[str, None], proxies: dict[str, None]
     ) -> list[Flow]:
         return list(self._active.values())
+
+    def _aim(self, flow: Flow, finish: float, sequence: Optional[int] = None) -> None:
+        if flow._completion is not None:
+            flow._completion.cancel()
+        if sequence is None:
+            flow._completion = self.loop.schedule_at(
+                finish, lambda f=flow: self._complete(f), label=flow._finish_label
+            )
+        else:
+            flow._completion = self.loop.queue.push_reserved(
+                max(finish, self.loop.clock.now),
+                sequence,
+                lambda f=flow: self._complete(f),
+                label=flow._finish_label,
+            )
+
+
+class _SlotGroup:
+    """Contiguous slot-index array for one bottleneck group (numpy arbiter).
+
+    Maintained incrementally — join appends, leave swap-removes — so the
+    gather side of a batched settlement is a ready-made index array instead
+    of a per-transition rebuild.  Order within the array is arbitrary;
+    settlement orders by flow id for deterministic event scheduling.
+    """
+
+    __slots__ = ("slots", "count", "_pos")
+
+    def __init__(self) -> None:
+        self.slots: Any = _np.empty(8, dtype=_np.intp)
+        self.count = 0
+        self._pos: dict[int, int] = {}
+
+    def add(self, slot: int) -> None:
+        if self.count == len(self.slots):
+            grown = _np.empty(2 * len(self.slots), dtype=_np.intp)
+            grown[: self.count] = self.slots
+            self.slots = grown
+        self.slots[self.count] = slot
+        self._pos[slot] = self.count
+        self.count += 1
+
+    def remove(self, slot: int) -> None:
+        index = self._pos.pop(slot)
+        last = self.count - 1
+        if index != last:
+            moved = int(self.slots[last])
+            self.slots[index] = moved
+            self._pos[moved] = index
+        self.count -= 1
+
+    @property
+    def view(self) -> Any:
+        """The live prefix of the slot array."""
+        return self.slots[: self.count]
+
+
+class VectorizedFlowNetwork(FlowNetwork):
+    """Numpy batch-settlement arbiter: flow state lives in contiguous arrays.
+
+    Per-flow state (remaining bytes, rate, last-settle time, bandwidth cap)
+    is mirrored into structure-of-arrays storage indexed by a recycled
+    *slot* per active flow, and every bottleneck group keeps an
+    incrementally maintained slot-index array (:class:`_SlotGroup`).  A
+    transition gathers the touched groups, refreshes their cached fair
+    shares, recomputes rates, settles, and derives finish times as a
+    handful of elementwise numpy kernels; Python is re-entered only for the
+    flows whose rate actually changed (to update their scalar mirrors and
+    re-aim their completion timers).
+
+    Every arithmetic step is the same IEEE-754 double operation the scalar
+    arbiters perform, applied per element, so settled byte counts and
+    finish times — and the replay/golden fingerprints built from them —
+    are byte-identical to the ``incremental`` and ``reference`` arbiters.
+    The :class:`Flow` objects remain the authoritative externally-visible
+    state: their ``remaining``/``rate_bps``/``last_progress_at`` mirrors
+    are written back at exactly the points the scalar arbiters write them.
+
+    Requires numpy (the ``[perf]`` extra); :func:`resolve_arbiter` falls
+    back to the scalar incremental arbiter when it is missing.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        fabric: NetworkFabric,
+        trace_limit: Optional[int] = None,
+    ) -> None:
+        if _np is None:  # pragma: no cover - resolve_arbiter guards this
+            raise SimulationError("the vectorized flow arbiter requires numpy")
+        super().__init__(loop, fabric, trace_limit=trace_limit)
+        capacity = 64
+        self._rem: Any = _np.zeros(capacity)
+        self._rate_arr: Any = _np.zeros(capacity)
+        self._last: Any = _np.zeros(capacity)
+        self._fbw: Any = _np.zeros(capacity)
+        #: Cached fair share of each flow's host NIC / proxy uplink, indexed
+        #: by slot.  A share changes only when its group's occupancy does,
+        #: and every occupancy change dirties that group, so the refresh in
+        #: ``_transition`` keeps these exact without per-flow recomputes.
+        self._hshare: Any = _np.zeros(capacity)
+        self._pshare: Any = _np.zeros(capacity)
+        self._fid: Any = _np.zeros(capacity, dtype=_np.int64)
+        self._slot_flow: list[Optional[Flow]] = [None] * capacity
+        self._slot_of: dict[int, int] = {}
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._host_groups: dict[str, _SlotGroup] = {}
+        self._proxy_groups: dict[str, _SlotGroup] = {}
+
+    def _grow(self) -> None:
+        old_capacity = len(self._slot_flow)
+        self._rem = _np.concatenate([self._rem, _np.zeros(old_capacity)])
+        self._rate_arr = _np.concatenate([self._rate_arr, _np.zeros(old_capacity)])
+        self._last = _np.concatenate([self._last, _np.zeros(old_capacity)])
+        self._fbw = _np.concatenate([self._fbw, _np.zeros(old_capacity)])
+        self._hshare = _np.concatenate([self._hshare, _np.zeros(old_capacity)])
+        self._pshare = _np.concatenate([self._pshare, _np.zeros(old_capacity)])
+        self._fid = _np.concatenate(
+            [self._fid, _np.zeros(old_capacity, dtype=_np.int64)]
+        )
+        self._slot_flow.extend([None] * old_capacity)
+        self._free.extend(range(2 * old_capacity - 1, old_capacity - 1, -1))
+
+    def _on_flow_added(self, flow: Flow) -> None:
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._slot_of[flow.flow_id] = slot
+        self._slot_flow[slot] = flow
+        self._rem[slot] = flow.remaining
+        self._rate_arr[slot] = 0.0
+        self._last[slot] = flow.last_progress_at
+        self._fbw[slot] = flow.function_bandwidth_bps
+        self._fid[slot] = flow.flow_id
+        self._host_groups.setdefault(flow.nic.host_id, _SlotGroup()).add(slot)
+        self._proxy_groups.setdefault(flow.proxy_id, _SlotGroup()).add(slot)
+
+    def _on_flow_removed(self, flow: Flow) -> None:
+        slot = self._slot_of.pop(flow.flow_id)
+        self._slot_flow[slot] = None
+        host_group = self._host_groups[flow.nic.host_id]
+        host_group.remove(slot)
+        if not host_group.count:
+            del self._host_groups[flow.nic.host_id]
+        proxy_group = self._proxy_groups[flow.proxy_id]
+        proxy_group.remove(slot)
+        if not proxy_group.count:
+            del self._proxy_groups[flow.proxy_id]
+        self._free.append(slot)
+
+    def _transition(self, host_id: str, proxy_id: str) -> None:
+        if self._defer:
+            self._dirty_hosts[host_id] = None
+            self._dirty_proxies[proxy_id] = None
+            self._reserve_pending()
+            return
+        profile = self.loop._profile
+        if profile is not None:
+            transition_started = perf_counter()  # repro: allow[D102] (profiling meter)
+        now = self.loop.now
+        hosts: dict[str, None] = {host_id: None}
+        proxies: dict[str, None] = {proxy_id: None}
+        if self._dirty_hosts:
+            hosts.update(self._dirty_hosts)
+            self._dirty_hosts.clear()
+        if self._dirty_proxies:
+            proxies.update(self._dirty_proxies)
+            self._dirty_proxies.clear()
+        # Refresh the cached fair shares of every touched group (a C-level
+        # scatter per group) and collect their slot views.
+        views = []
+        fabric_hosts = self.fabric.hosts
+        for touched_host in hosts:
+            host_group = self._host_groups.get(touched_host)
+            if host_group is not None and host_group.count:
+                view = host_group.view
+                self._hshare[view] = fabric_hosts[touched_host].effective_bandwidth()
+                views.append(view)
+        for touched_proxy in proxies:
+            proxy_group = self._proxy_groups.get(touched_proxy)
+            if proxy_group is not None and proxy_group.count:
+                view = proxy_group.view
+                self._pshare[view] = self.fabric.proxy_share(proxy_group.count)
+                views.append(view)
+        if views:
+            slots = views[0] if len(views) == 1 else _np.concatenate(views)
+            # Order by flow id (deduplicating flows present in both a
+            # touched host and a touched proxy group) so completion events
+            # are re-aimed in the same order as the scalar arbiters.
+            slots = slots[_np.unique(self._fid[slots], return_index=True)[1]]
+            new_rates = _np.minimum(
+                self._fbw[slots],
+                _np.minimum(self._hshare[slots], self._pshare[slots]),
+            )
+            changed = new_rates != self._rate_arr[slots]
+            pending = self._pending
+            if pending:
+                # Flows whose rate moved during a deferred cascade and moved
+                # back still owe a re-push under their reserved sequence.
+                changed |= _np.isin(
+                    self._fid[slots],
+                    _np.fromiter(pending.keys(), dtype=_np.int64, count=len(pending)),
+                )
+            if changed.any():
+                idx = slots[changed]
+                rates = new_rates[changed]
+                elapsed = now - self._last[idx]
+                self._rem[idx] = _np.maximum(
+                    0.0, self._rem[idx] - self._rate_arr[idx] * elapsed
+                )
+                self._last[idx] = now
+                self._rate_arr[idx] = rates
+                finishes = now + self._rem[idx] / rates
+                slot_flow = self._slot_flow
+                for slot, remaining, rate, finish in zip(
+                    idx.tolist(),
+                    self._rem[idx].tolist(),
+                    rates.tolist(),
+                    finishes.tolist(),
+                ):
+                    flow = slot_flow[slot]
+                    assert flow is not None
+                    flow.remaining = remaining
+                    flow.rate_bps = rate
+                    flow.last_progress_at = now
+                    entry = pending.pop(flow.flow_id, None) if pending else None
+                    self._aim(flow, finish, entry[1] if entry is not None else None)
+        if profile is not None:
+            profile.arbiter_transitions += 1
+            profile.arbiter_s += perf_counter() - transition_started  # repro: allow[D102] (profiling meter)
+
+
+def resolve_arbiter(name: str) -> type[FlowNetwork]:
+    """Map an ``InfiniCacheConfig.flow_arbiter`` name to an arbiter class.
+
+    ``vectorized`` resolves to the scalar incremental arbiter when numpy is
+    not installed — the two are byte-identical, so environments without the
+    ``[perf]`` extra run every experiment unchanged, just slower.
+    """
+    if name == "reference":
+        return ReferenceFlowNetwork
+    if name == "vectorized" and HAVE_NUMPY:
+        return VectorizedFlowNetwork
+    if name in ("incremental", "vectorized"):
+        return FlowNetwork
+    raise SimulationError(
+        f"unknown flow arbiter {name!r} (expected one of {ARBITER_NAMES})"
+    )

@@ -183,6 +183,121 @@ class Event:
             queue._note_cancel(self)
 
 
+class DeadlineTimer:
+    """A timer whose deadline can move *later* without touching the heap.
+
+    The cancel-and-reschedule idiom turns every deadline extension into a
+    tombstone plus a fresh heap push; under extension-heavy workloads (flow
+    re-aims when a competing flow joins, billed-session windows stretched by
+    every request) the queue ends up mostly tombstones.  A ``DeadlineTimer``
+    instead keeps **at most one** live heap entry, aimed at the earliest
+    deadline requested since it was last (re)armed, and treats the
+    ``deadline`` field as authoritative at fire time:
+
+    * moving the deadline *later* is a plain field write — the stale entry
+      fires early, notices the stored deadline is still ahead, and re-arms
+      itself once at the current deadline;
+    * moving it *earlier* (or to the entry's exact time) still cancels and
+      re-pushes eagerly, because the entry must fire no later than the
+      deadline;
+    * the callback runs only when the loop reaches the stored deadline, so
+      firing times are identical to the eager idiom.
+
+    Tie-breaking is *also* identical: every extension reserves the
+    sequence number the eager cancel-and-push would have consumed (a
+    counter increment, no heap traffic), and the eventual re-arm pushes
+    under that reserved number.  Same-timestamp ordering is observable —
+    simultaneous chunk completions decide which flow loses a
+    first-``d``-of-``n`` quorum — so the lazy timer must not perturb it.
+
+    Obtained from :meth:`EventLoop.schedule_deadline`.
+    """
+
+    __slots__ = ("loop", "callback", "label", "deadline", "_event", "_sequence")
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        deadline: float,
+        callback: Callable[[], None],
+        label: str = "",
+        sequence: Optional[int] = None,
+    ) -> None:
+        self.loop = loop
+        self.callback = callback
+        self.label = label
+        self.deadline = deadline
+        if sequence is None:
+            self._event: Optional[Event] = loop.schedule_at(deadline, self._fire, label)
+        else:
+            self._event = loop.queue.push_reserved(
+                max(deadline, loop.clock.now), sequence, self._fire, label
+            )
+        self._sequence: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether a firing is pending (the timer has not run or been cancelled)."""
+        return self._event is not None
+
+    def set_deadline(self, when: float, sequence: Optional[int] = None) -> None:
+        """Move the deadline; re-arms a fired/cancelled timer.
+
+        Extensions are O(1) field writes; only moving the deadline to or
+        before the pending entry's time costs a cancel plus a push.  A
+        ``sequence`` pre-reserved via :meth:`EventQueue.reserve_sequence`
+        is used for the (re-)armed entry's tie-break instead of consuming
+        a fresh one — callers that batch several would-be re-aims reserve
+        at the point the eager idiom would have pushed.
+        """
+        self.deadline = when
+        event = self._event
+        if event is None or when <= event.time:
+            if event is not None:
+                event.cancel()
+            self._sequence = None
+            if sequence is None:
+                self._event = self.loop.schedule_at(when, self._fire, self.label)
+            else:
+                self._event = self.loop.queue.push_reserved(
+                    max(when, self.loop.clock.now), sequence, self._fire, self.label
+                )
+        else:
+            # Extension: keep the pending entry (it will fire early and
+            # re-arm) but hold the sequence number an eager re-push would
+            # have consumed — the caller's pre-reserved one, else a fresh
+            # reservation — so the re-armed entry ties against
+            # same-timestamp events exactly like the eager one.
+            self._sequence = (
+                sequence if sequence is not None else self.loop.queue.reserve_sequence()
+            )
+
+    def cancel(self) -> None:
+        """Cancel the pending firing (``set_deadline`` re-arms afterwards)."""
+        event, self._event = self._event, None
+        self._sequence = None
+        if event is not None:
+            event.cancel()
+
+    def _fire(self) -> None:
+        if self.deadline > self.loop.clock.now:
+            # The deadline moved later since this entry was pushed: re-arm
+            # once at the stored deadline instead of having churned the heap
+            # on every extension, under the sequence number reserved by the
+            # (most recent) extension.
+            sequence, self._sequence = self._sequence, None
+            if sequence is None:
+                self._event = self.loop.schedule_at(self.deadline, self._fire, self.label)
+            else:
+                self._event = self.loop.queue.push_reserved(
+                    self.deadline, sequence, self._fire, self.label
+                )
+            return
+        self._event = None
+        self._sequence = None
+        self.callback()
+
+
 class EventQueue:
     """A deterministic min-heap of :class:`Event` objects.
 
@@ -223,7 +338,34 @@ class EventQueue:
                 f"event time must be finite and non-negative, got {time!r} "
                 f"(label={label!r})"
             )
-        sequence = next(self._counter)
+        return self._push_entry(time, next(self._counter), callback, label)
+
+    def reserve_sequence(self) -> int:
+        """Consume and return the next tie-breaking sequence number.
+
+        :class:`DeadlineTimer` extensions call this so the entry pushed by
+        the eventual early-fire re-arm carries the sequence number the
+        eager cancel-and-push idiom would have consumed at extension time,
+        keeping every ``(time, sequence)`` heap key — and therefore all
+        same-timestamp dispatch ordering — bitwise identical to the eager
+        schedule.
+        """
+        return next(self._counter)
+
+    def push_reserved(
+        self, time: float, sequence: int, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Insert a callback at ``time`` under a previously reserved sequence."""
+        if not math.isfinite(time) or time < 0:
+            raise ValueError(
+                f"event time must be finite and non-negative, got {time!r} "
+                f"(label={label!r})"
+            )
+        return self._push_entry(time, sequence, callback, label)
+
+    def _push_entry(
+        self, time: float, sequence: int, callback: Callable[[], None], label: str
+    ) -> Event:
         event = Event(time, sequence, callback, label, _queue=self)
         heapq.heappush(self._heap, (time, sequence, event))
         self._live += 1
@@ -371,6 +513,23 @@ class EventLoop:
                 f"cannot schedule an event at {time}, which is before now={self.clock.now}"
             )
         return self.queue.push(max(time, self.clock.now), callback, label)
+
+    def schedule_deadline(
+        self,
+        deadline: float,
+        callback: Callable[[], None],
+        label: str = "",
+        sequence: Optional[int] = None,
+    ) -> DeadlineTimer:
+        """A lazily re-aimed timer: extending the deadline is a field write.
+
+        Use instead of the cancel+reschedule idiom when a deadline is
+        extended far more often than it is shortened (billed-session close
+        watchdogs, flow-finish re-aims); see :class:`DeadlineTimer`.  A
+        ``sequence`` pre-reserved via :meth:`EventQueue.reserve_sequence`
+        fixes the initial entry's tie-break.
+        """
+        return DeadlineTimer(self, deadline, callback, label, sequence)
 
     # ------------------------------------------------------------------ awaitables
     def timeout(self, delay: float, label: str = "sim.timeout") -> SimFuture:

@@ -182,3 +182,61 @@ class TestTenantAttribution:
         controller.flush()
         assert list(controller.closed_sessions[0].busy_by_tenant) == ["media"]
         assert list(controller.closed_sessions[1].busy_by_tenant) == ["api"]
+
+
+class TestLazySessionWatchdog:
+    """The billed-session close event uses a lazy deadline, not cancel+push.
+
+    Every request extends its node's billing window; the old idiom cancelled
+    and rescheduled the close event on each extension, so a closed-loop run
+    produced roughly one tombstone per chunk operation just for session
+    watching.  The lazy ``DeadlineTimer`` extends with a field write — the
+    per-label profiler must show *zero* cancellations for the watchdog
+    label across a run with many extensions.
+    """
+
+    def test_closed_loop_run_never_cancels_the_watchdog(self):
+        from repro.cache.config import InfiniCacheConfig, StragglerModel
+        from repro.cache.deployment import InfiniCacheDeployment
+        from repro.utils.units import MIB
+        from repro.workload.replay import ClosedLoopDriver
+
+        config = InfiniCacheConfig(
+            num_proxies=2,
+            lambdas_per_proxy=8,
+            lambda_memory_bytes=1536 * MIB,
+            data_shards=4,
+            parity_shards=2,
+            flow_arbiter="incremental",
+            straggler=StragglerModel(probability=0.05),
+            seed=2020,
+        )
+        deployment = InfiniCacheDeployment(config)
+        seeder = deployment.new_client("seeder")
+        clients, rounds, size = 8, 6, 2_000_000
+        for index in range(clients):
+            for obj in range(2):
+                seeder.put_sized(f"k/{index}/{obj}", size)
+        plans = [
+            [(f"k/{index}/{r % 2}", size) for r in range(rounds)]
+            for index in range(clients)
+        ]
+        deployment.simulator.enable_profiling()
+        report = ClosedLoopDriver(deployment).run(plans)
+        profile = deployment.simulator.profile
+
+        armed = profile.scheduled.get("billing.session_close", 0)
+        assert armed > 0
+        # Far more window extensions happened than watchdog arms (every one
+        # of the ~requests * chunks operations extends a window), yet the
+        # lazy timer never cancelled a single close event.  The eager idiom
+        # cancelled on every extension beyond the first per session.
+        assert report.requests * config.total_chunks > 4 * armed
+        assert profile.cancelled.get("billing.session_close", 0) == 0
+        # Flow-finish timers are lazy too: cancellations come only from
+        # genuinely abandoned flows (quorum losers), never from re-aims, so
+        # they stay strictly below the number of finish events armed.
+        assert (
+            profile.cancelled.get("flow.finish", 0)
+            < profile.scheduled.get("flow.finish", 0)
+        )

@@ -152,3 +152,38 @@ class TestCostAccounting:
         survived = sum(1 for i in range(10) if client.get(f"obj-{i}").hit)
         deployment.stop()
         assert survived >= 7
+
+
+class TestArbiterSelection:
+    """``config.flow_arbiter`` picks the flow network; numpy is optional.
+
+    The default config says ``"vectorized"``; deployments built without the
+    ``[perf]`` extra must transparently get the byte-identical scalar
+    arbiter — same API, same simulation — instead of an import error.
+    """
+
+    @pytest.mark.parametrize("have_numpy", [True, False])
+    def test_default_config_builds_with_and_without_numpy(self, have_numpy, monkeypatch):
+        import repro.network.flows as flows_module
+        from repro.network.flows import HAVE_NUMPY, FlowNetwork, VectorizedFlowNetwork
+
+        if have_numpy and not HAVE_NUMPY:
+            pytest.skip("numpy is not installed")
+        monkeypatch.setattr(flows_module, "HAVE_NUMPY", have_numpy)
+        deployment = InfiniCacheDeployment(make_config())
+        assert deployment.config.flow_arbiter == "vectorized"
+        expected = VectorizedFlowNetwork if have_numpy else FlowNetwork
+        assert type(deployment.flows) is expected
+        # The deployment serves traffic identically either way.
+        client = deployment.new_client("fallback-probe")
+        client.put_sized("probe/key", 2 * MB)
+        result = client.get("probe/key")
+        assert result.hit
+
+    def test_explicit_scalar_arbiters_are_honoured(self):
+        from repro.network.flows import FlowNetwork, ReferenceFlowNetwork
+
+        incremental = InfiniCacheDeployment(make_config(flow_arbiter="incremental"))
+        assert type(incremental.flows) is FlowNetwork
+        reference = InfiniCacheDeployment(make_config(flow_arbiter="reference"))
+        assert type(reference.flows) is ReferenceFlowNetwork

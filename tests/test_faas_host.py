@@ -103,3 +103,57 @@ class TestHostManager:
         manager.place_function("b", 512 * MIB)
         manager.place_function("c", 512 * MIB)
         assert manager.host_count == 2
+
+
+class TestLazyHeapMatchesBruteForceGreedy:
+    """The parked-entry lazy heap is an optimisation, not a policy change.
+
+    Placement must stay identical to the obvious oracle — scan every host
+    and pick ``max(key=(memory_in_use, host_id))`` among those that fit,
+    provisioning a new host only when nothing does — across an adversarial
+    mix of placements and removals that churns parked and stale entries.
+    """
+
+    def _expected_host(self, manager: HostManager, memory_bytes: int) -> str | None:
+        fitting = [h for h in manager.hosts.values() if h.can_fit(memory_bytes)]
+        if not fitting:
+            return None
+        return max(fitting, key=lambda h: (h.memory_in_use, h.host_id)).host_id
+
+    def test_randomized_placements_match_the_oracle(self):
+        import random
+
+        rng = random.Random(7)
+        manager = HostManager()
+        placed: list[str] = []
+        sizes = [256 * MIB, 512 * MIB, 1024 * MIB, 1536 * MIB]
+        for index in range(300):
+            if placed and rng.random() < 0.35:
+                victim = placed.pop(rng.randrange(len(placed)))
+                manager.remove_function(victim)
+                continue
+            memory = rng.choice(sizes)
+            expected = self._expected_host(manager, memory)
+            name = f"fn-{index}"
+            host = manager.place_function(name, memory)
+            if expected is None:
+                # Nothing fit: a freshly provisioned host must serve it.
+                assert host.occupancy == 1
+            else:
+                assert host.host_id == expected
+            placed.append(name)
+        # Accounting stayed coherent through the churn.
+        assert sum(h.occupancy for h in manager.hosts.values()) == len(placed)
+
+    def test_parked_hosts_return_when_a_small_request_arrives(self):
+        manager = HostManager()
+        # Fill hosts so their leftover memory is too small for 1536 MiB
+        # requests (parking them), then verify a small request still finds
+        # the fullest parked host rather than provisioning a new one.
+        manager.place_function("big-0", 1536 * MIB)
+        manager.place_function("big-1", 1536 * MIB)
+        count_before = manager.host_count
+        expected = self._expected_host(manager, 512 * MIB)
+        host = manager.place_function("small", 512 * MIB)
+        assert host.host_id == expected
+        assert manager.host_count == count_before

@@ -13,12 +13,27 @@ import random
 
 import pytest
 
+import repro.network.flows as flows_module
 from repro.exceptions import SimulationError
-from repro.network.flows import FlowNetwork, ReferenceFlowNetwork
+from repro.network.flows import (
+    HAVE_NUMPY,
+    FlowNetwork,
+    ReferenceFlowNetwork,
+    VectorizedFlowNetwork,
+    resolve_arbiter,
+)
 from repro.network.topology import NetworkFabric
-from repro.sim import EventLoop
+from repro.sim import EventLoop, first_n
 
 MB = 1_000_000.0
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy is not installed")
+
+#: The two fast arbiters, each pinned against the reference sweep below.
+FAST_ARBITERS = [
+    pytest.param(FlowNetwork, id="incremental"),
+    pytest.param(VectorizedFlowNetwork, id="vectorized", marks=requires_numpy),
+]
 
 
 def make_network(proxy_uplink_bps: float = 10_000 * MB) -> tuple[EventLoop, FlowNetwork]:
@@ -242,20 +257,26 @@ def _drive(network_cls, seed: int):
 
 
 class TestIncrementalMatchesReference:
-    """The tentpole's correctness pin: both arbiters are byte-identical."""
+    """The tentpole's correctness pin: all arbiters are byte-identical."""
 
+    @pytest.mark.parametrize("network_cls", FAST_ARBITERS)
     @pytest.mark.parametrize("seed", [0, 1, 7, 42, 2020, 31337])
-    def test_differential_random_schedules(self, seed):
-        incremental, inc_loop = _drive(FlowNetwork, seed)
+    def test_differential_random_schedules(self, network_cls, seed):
+        incremental, inc_loop = _drive(network_cls, seed)
         reference, ref_loop = _drive(ReferenceFlowNetwork, seed)
         # Byte-for-byte: every retired interval (timestamps, byte counts,
         # completion flags) and the retirement order itself must match.
         assert incremental.trace == reference.trace
         assert incremental.max_concurrent() == reference.max_concurrent()
         assert incremental.flow_stats() == reference.flow_stats()
-        # Event-level equivalence: same dispatch count, same final clock.
-        assert inc_loop.events_processed == ref_loop.events_processed
+        # Virtual time is identical; the *dispatch* counts may differ (the
+        # lazy completion timers add cheap early firings that re-arm, while
+        # the eager reference cancels and reschedules instead) — but the
+        # lazy idiom must never cancel more events than the eager one.
         assert inc_loop.now == ref_loop.now
+        assert (
+            inc_loop.queue.stats()["cancelled"] <= ref_loop.queue.stats()["cancelled"]
+        )
 
     def test_groups_empty_after_drain(self):
         net, _loop = _drive(FlowNetwork, seed=3)
@@ -363,3 +384,86 @@ class TestTraceLimit:
         # whatever is still retained instead of mis-slicing by stale index.
         assert [i.label for i in net.trace_since(marker)] == ["t3", "t4"]
         assert net.trace_since(net.trace_marker()) == []
+
+
+class TestQuorumTieOrder:
+    """Heap tie-breaking is observable: which straggler a first-d quorum
+    abandons is decided by the ``(time, sequence)`` order of completion
+    events that all land on the same float instant.  The lazy deadline
+    timers and deferred-transition coalescing must reserve exactly the
+    sequence numbers the eager cancel-and-reschedule idiom would have
+    consumed, or a *different* chunk loses the race and every erasure-coded
+    fingerprint flips.  This pins that invariant across all three arbiters.
+    """
+
+    CHUNKS = 11
+    QUORUM = 10
+
+    def _drive_quorum(self, network_cls):
+        loop = EventLoop()
+        net = network_cls(loop, NetworkFabric(proxy_uplink_bps=400 * MB))
+        flows = [
+            net.transfer(
+                size_bytes=10 * MB,
+                function_bandwidth_bps=80 * MB,
+                host_id=f"h{index}",
+                host_capacity_bps=100 * MB,
+                proxy_id="p0",
+                label=f"chunk-{index}",
+            )
+            for index in range(self.CHUNKS)
+        ]
+        gate = first_n(self.QUORUM, [flow.future for flow in flows])
+
+        def abandon_stragglers(_):
+            for flow in flows:
+                if not flow.future.done:
+                    net.cancel(flow)
+
+        gate.add_done_callback(abandon_stragglers)
+        loop.run_all()
+        return [
+            (interval.label, interval.completed, interval.ended_at)
+            for interval in net.trace
+        ]
+
+    def test_all_arbiters_abandon_the_same_chunk(self):
+        # Equal-size chunks through one shared proxy uplink finish at the
+        # same instant; the quorum callback cancels whichever chunk's
+        # completion event drew the *last* sequence number.
+        expected = self._drive_quorum(ReferenceFlowNetwork)
+        abandoned = [label for label, completed, _ in expected if not completed]
+        assert len(abandoned) == 1
+        ends = {end for _, _, end in expected}
+        assert len(ends) == 1  # a genuine tie: every interval ends together
+        assert self._drive_quorum(FlowNetwork) == expected
+        if HAVE_NUMPY:
+            assert self._drive_quorum(VectorizedFlowNetwork) == expected
+
+
+class TestArbiterResolution:
+    """``resolve_arbiter`` and the numpy fallback for the vectorized path."""
+
+    def test_scalar_names_resolve(self):
+        assert resolve_arbiter("incremental") is FlowNetwork
+        assert resolve_arbiter("reference") is ReferenceFlowNetwork
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_arbiter("quantum")
+
+    @requires_numpy
+    def test_vectorized_resolves_when_numpy_present(self):
+        assert resolve_arbiter("vectorized") is VectorizedFlowNetwork
+
+    def test_vectorized_falls_back_to_incremental_without_numpy(self, monkeypatch):
+        # Environments without the ``[perf]`` extra still accept the default
+        # ``flow_arbiter="vectorized"`` config; they get the byte-identical
+        # scalar arbiter instead of an import error.
+        monkeypatch.setattr(flows_module, "HAVE_NUMPY", False)
+        assert resolve_arbiter("vectorized") is FlowNetwork
+
+    def test_vectorized_class_itself_requires_numpy(self, monkeypatch):
+        monkeypatch.setattr(flows_module, "_np", None)
+        with pytest.raises(SimulationError):
+            VectorizedFlowNetwork(EventLoop(), NetworkFabric(proxy_uplink_bps=100 * MB))

@@ -146,3 +146,94 @@ class TestCliFingerprintGate:
         never exercised, so a broken exit code would have shipped green."""
         assert self._run_cli(tmp_path, monkeypatch, drifted=True) == 1
         assert "diverged" in capsys.readouterr().err
+
+
+class TestRegressionGuard:
+    """``check_regression``: the CI throughput floor on macro rungs."""
+
+    def _payload(self, rate: float, clients: int = 256) -> dict:
+        return {
+            "macro": [
+                {
+                    "name": f"macro.closed_loop[{clients}]",
+                    "clients": clients,
+                    "events_per_s": rate,
+                }
+            ]
+        }
+
+    def test_within_threshold_passes(self):
+        assert perf.check_regression(self._payload(80.0), self._payload(100.0)) == []
+
+    def test_drop_beyond_threshold_fails(self):
+        errors = perf.check_regression(self._payload(60.0), self._payload(100.0))
+        assert len(errors) == 1
+        assert "macro.closed_loop[256]" in errors[0]
+
+    def test_threshold_is_configurable(self):
+        tight = perf.check_regression(
+            self._payload(80.0), self._payload(100.0), threshold=0.10
+        )
+        assert len(tight) == 1
+
+    def test_rungs_only_one_side_ran_are_skipped(self):
+        # Quick mode trims the sweep; a 1024 baseline rung must not fail a
+        # payload that only ran 256 (and vice versa).
+        quick = self._payload(50.0, clients=256)
+        full_baseline = self._payload(100.0, clients=1024)
+        assert perf.check_regression(quick, full_baseline) == []
+
+    def test_sub_second_rungs_are_exempt_by_default(self):
+        # The 8/64-client rungs finish in well under a second and swing
+        # past the threshold on warm-up noise alone; the guard ignores
+        # anything below min_clients unless the caller opts in.
+        small = self._payload(10.0, clients=8)
+        baseline = self._payload(100.0, clients=8)
+        assert perf.check_regression(small, baseline) == []
+        assert len(perf.check_regression(small, baseline, min_clients=8)) == 1
+
+    def test_improvements_never_fail(self):
+        assert perf.check_regression(self._payload(500.0), self._payload(100.0)) == []
+
+
+class TestCliRegressionGate:
+    """``repro perf --regression-baseline`` must fail on throughput floors."""
+
+    def _run_cli(self, tmp_path, monkeypatch, committed_rate: float) -> int:
+        from repro import __main__ as cli
+
+        def fake_compare(clients=perf.DEFAULT_COMPARE_CLIENTS, **kwargs):
+            return {
+                "clients": clients,
+                "incremental_wall_s": 0.1,
+                "reference_wall_s": 0.2,
+                "speedup": 2.0,
+                "incremental_events_per_s": 10.0,
+                "reference_events_per_s": 5.0,
+                "fingerprints_identical": True,
+                "fingerprint": "f" * 64,
+            }
+
+        monkeypatch.setattr(perf, "compare_arbiters", fake_compare)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "macro": [{"clients": 2, "events_per_s": committed_rate}],
+        }))
+        output = tmp_path / "bench.json"
+        exit_code = cli.main([
+            "perf", "--quick", "--clients", "2", "--compare-clients", "2",
+            "--output", str(output),
+            "--regression-baseline", str(baseline),
+            "--regression-min-clients", "2",
+        ])
+        assert output.exists()
+        return exit_code
+
+    def test_exit_zero_when_throughput_holds(self, tmp_path, monkeypatch):
+        # A microscopic committed rate can never be regressed against.
+        assert self._run_cli(tmp_path, monkeypatch, committed_rate=1e-6) == 0
+
+    def test_exit_nonzero_on_throughput_regression(self, tmp_path, monkeypatch, capsys):
+        # An absurd committed rate guarantees the fresh run lands >30% below.
+        assert self._run_cli(tmp_path, monkeypatch, committed_rate=1e15) == 1
+        assert "regressed" in capsys.readouterr().err

@@ -214,3 +214,116 @@ class TestBackwardsCompatibility:
             return "ok"
 
         assert loop.run_until_complete(loop.spawn(proc()).future) == "ok"
+
+
+class TestDeadlineTimer:
+    """Lazy deadlines: O(1) extensions with eager-identical fire order."""
+
+    def test_fires_at_the_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_deadline(1.5, lambda: fired.append(loop.now))
+        loop.run_all()
+        assert fired == [1.5]
+
+    def test_extension_is_heap_free_until_the_early_fire(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.schedule_deadline(1.0, lambda: fired.append(loop.now))
+        pushed_after_arm = loop.queue.stats()["pushed"]
+        timer.set_deadline(2.0)
+        timer.set_deadline(3.0)
+        # Extensions are field writes: no pushes, no tombstones.
+        assert loop.queue.stats()["pushed"] == pushed_after_arm
+        assert loop.queue.stats()["cancelled"] == 0
+        loop.run_all()
+        assert fired == [3.0]
+        # The one stale entry fired early and re-armed once — a single
+        # extra push for any number of extensions, and still no cancels.
+        assert loop.queue.stats()["pushed"] == pushed_after_arm + 1
+        assert loop.queue.stats()["cancelled"] == 0
+
+    def test_moving_earlier_cancels_and_repushes(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.schedule_deadline(5.0, lambda: fired.append(loop.now))
+        timer.set_deadline(1.0)
+        assert loop.queue.stats()["cancelled"] == 1
+        loop.run_all()
+        assert fired == [1.0]
+
+    def test_moving_to_the_exact_entry_time_takes_the_eager_path(self):
+        # ``when == entry.time`` must cancel-and-push (not no-op) so the
+        # entry consumes a fresh sequence number exactly like the eager
+        # idiom — same-timestamp tie order is observable.
+        loop = EventLoop()
+        order = []
+        timer = loop.schedule_deadline(1.0, lambda: order.append("timer"))
+        loop.schedule_at(1.0, lambda: order.append("other"))
+        timer.set_deadline(1.0)
+        assert loop.queue.stats()["cancelled"] == 1
+        loop.run_all()
+        assert order == ["other", "timer"]
+
+    def test_cancel_then_rearm(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.schedule_deadline(1.0, lambda: fired.append(loop.now))
+        timer.cancel()
+        assert not timer.active
+        loop.run_all()
+        assert fired == []
+        timer.set_deadline(2.0)
+        assert timer.active
+        loop.run_all()
+        assert fired == [2.0]
+
+    def test_rearm_after_firing(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.schedule_deadline(1.0, lambda: fired.append(loop.now))
+        loop.run_all()
+        timer.set_deadline(4.0)
+        loop.run_all()
+        assert fired == [1.0, 4.0]
+
+    def test_extension_reserves_the_eager_tie_break(self):
+        # Extending *before* a same-deadline push must fire first (the
+        # reservation holds the earlier sequence number), extending *after*
+        # must fire second — exactly the order the eager cancel-and-push
+        # idiom produces, even though the lazy re-arm push physically
+        # happens later, at the early firing.
+        def drive(extend_first: bool) -> list[str]:
+            loop = EventLoop()
+            order: list[str] = []
+            timer = loop.schedule_deadline(1.0, lambda: order.append("timer"))
+            if extend_first:
+                timer.set_deadline(2.0)
+                loop.schedule_at(2.0, lambda: order.append("other"))
+            else:
+                loop.schedule_at(2.0, lambda: order.append("other"))
+                timer.set_deadline(2.0)
+            loop.run_all()
+            return order
+
+        assert drive(extend_first=True) == ["timer", "other"]
+        assert drive(extend_first=False) == ["other", "timer"]
+
+    def test_reserved_sequence_matches_eager_cancel_and_push(self):
+        # The eager reference implementation of the same schedule.
+        eager_loop = EventLoop()
+        eager_order: list[str] = []
+        event = eager_loop.schedule_at(1.0, lambda: eager_order.append("timer"))
+        eager_loop.schedule_at(2.0, lambda: eager_order.append("other"))
+        event.cancel()
+        eager_loop.schedule_at(2.0, lambda: eager_order.append("timer"))
+        eager_loop.run_all()
+
+        lazy_loop = EventLoop()
+        lazy_order: list[str] = []
+        timer = lazy_loop.schedule_deadline(1.0, lambda: lazy_order.append("timer"))
+        lazy_loop.schedule_at(2.0, lambda: lazy_order.append("other"))
+        timer.set_deadline(2.0)
+        lazy_loop.run_all()
+
+        assert eager_order == lazy_order == ["other", "timer"]
