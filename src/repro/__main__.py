@@ -32,6 +32,16 @@ non-zero if the incremental flow arbiter's replay fingerprint drifts from
 the global-recompute reference — a correctness gate immune to timing
 noise.  See ``docs/performance.md``.
 
+``python -m repro chaos [--seed N] [--clients N] [--rounds N] [--json
+PATH]`` replays the canonical fault storm (:mod:`repro.faults.scenario`)
+twice through the deterministic chaos engine, asserts the two runs produce
+byte-identical replay fingerprints, and prints the resilience report:
+per-fault-window availability, degraded-hit and RESET counts, recovery
+times, and the faulted-vs-clean SLO percentile deltas.  Exits non-zero on
+fingerprint divergence, on any unhandled request failure, or if the
+degraded-fallback path never engaged.  CI runs it as the ``chaos-smoke``
+job.  See ``docs/robustness.md``.
+
 ``python -m repro lint [PATHS] [--format text|json|github] [--baseline
 PATH] [--write-baseline | --check-baseline]`` runs the determinism &
 sim-protocol static analyser (:mod:`repro.lint`) over the source tree and
@@ -183,6 +193,77 @@ def _sim_smoke(argv: list[str]) -> int:
     if args.clients > 1 and overlap == 0:
         print("FAIL: concurrent clients produced no overlapping transfers", file=sys.stderr)
         return 1
+    return 0
+
+
+def _chaos(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Replay the canonical fault storm twice, assert same-seed "
+        "fingerprint stability, and print the resilience report.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020, help="simulation seed (default: 2020)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=6, metavar="N",
+        help="closed-loop clients (default: 6)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=70, metavar="N",
+        help="requests per client (default: 70)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the resilience report as JSON",
+    )
+    args = parser.parse_args(argv)
+    from repro.faults import run_chaos_scenario
+
+    def run_once():
+        return run_chaos_scenario(
+            seed=args.seed, clients=args.clients, rounds=args.rounds,
+        )
+
+    first, second = run_once(), run_once()
+    expected = args.clients * args.rounds
+    print(
+        f"chaos storm: requests={first.replay.requests}/{expected} "
+        f"hits={first.replay.hits} degraded_hits={first.replay.degraded_hits} "
+        f"resets={first.replay.resets} duration={first.replay.duration_s:.1f}s"
+    )
+    for line in first.resilience.format_lines():
+        print(line)
+    print(f"fingerprint run 1: {first.fingerprint}")
+    print(f"fingerprint run 2: {second.fingerprint}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(first.resilience.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"(wrote {args.json})")
+    if first.fingerprint != second.fingerprint:
+        print(
+            "FAIL: same seed + same fault schedule produced divergent "
+            "fingerprints — the chaos engine is non-deterministic",
+            file=sys.stderr,
+        )
+        return 1
+    if first.replay.requests != expected:
+        print(
+            f"FAIL: {expected - first.replay.requests} requests never "
+            "completed — the hardened path leaked a failure",
+            file=sys.stderr,
+        )
+        return 1
+    if first.replay.degraded_hits == 0:
+        print(
+            "FAIL: the storm never engaged the degraded-fallback path — "
+            "the scenario lost its teeth",
+            file=sys.stderr,
+        )
+        return 1
+    print("determinism: OK (two runs byte-identical)")
     return 0
 
 
@@ -410,6 +491,8 @@ def main(argv: list[str] | None = None) -> int:
         return _chargeback(argv[1:])
     if argv and argv[0] == "sim-smoke":
         return _sim_smoke(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos(argv[1:])
     if argv and argv[0] == "perf":
         return _perf(argv[1:])
     if argv and argv[0] == "trace":

@@ -25,7 +25,7 @@ from repro.cache.chunk import CacheChunk
 from repro.cache.namespacing import owner_of
 from repro.cache.node import LambdaCacheNode
 from repro.cache.proxy import Proxy
-from repro.exceptions import BackupError
+from repro.exceptions import BackupError, BackupSyncInterruptedError, TransientFaultError
 from repro.faas.platform import FaaSPlatform
 from repro.simulation.metrics import MetricRegistry
 from repro.utils.units import MILLISECOND
@@ -111,11 +111,18 @@ class BackupManager:
         delta_bytes = sum(chunk.size for chunk in delta)
 
         created_new_peer = False
-        if node.backup_peer is not None and node.backup_peer.is_alive:
-            invocation = self.platform.invoke_instance(node.backup_peer)
-        else:
-            invocation = self.platform.invoke(node.node_id, force_new_instance=True)
-            created_new_peer = True
+        try:
+            if node.backup_peer is not None and node.backup_peer.is_alive:
+                invocation = self.platform.invoke_instance(node.backup_peer)
+            else:
+                invocation = self.platform.invoke(node.node_id, force_new_instance=True)
+                created_new_peer = True
+        except TransientFaultError as exc:
+            # The peer died (or an injected fault hit) mid-sync: surface the
+            # interruption as retryable so the next backup round re-invokes a
+            # fresh peer and re-sends the still-unsynced delta, instead of the
+            # caller treating the protocol as broken.
+            raise BackupSyncInterruptedError(node.node_id, str(exc)) from exc
         peer = invocation.instance
         if peer is node.primary:
             raise BackupError(
@@ -149,5 +156,21 @@ class BackupManager:
         )
 
     def backup_all(self, now: float) -> list[BackupReport]:
-        """Run one backup round for every node in the proxy's pool."""
-        return [self.backup_node(node, now) for node in self.proxy.nodes]
+        """Run one backup round for every node in the proxy's pool.
+
+        A node whose sync is interrupted by a retryable fault (its peer was
+        reclaimed mid-round, an injected invocation fault) is skipped for
+        this round — its delta stays unsynced and is retried on the next
+        periodic tick — so one lost peer never aborts the whole sweep.
+        """
+        reports: list[BackupReport] = []
+        for node in self.proxy.nodes:
+            try:
+                reports.append(self.backup_node(node, now))
+            except BackupSyncInterruptedError:
+                self.metrics.counter("backup.interrupted_rounds").increment()
+                reports.append(BackupReport(
+                    node_id=node.node_id, performed=False, delta_chunks=0,
+                    delta_bytes=0, duration_s=0.0, created_new_peer=False,
+                ))
+        return reports

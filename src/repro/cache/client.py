@@ -67,6 +67,11 @@ class GetResult:
     #: chunks were lost to function reclamation — the condition that triggers
     #: a RESET (re-fetch from the backing store) in the paper's replay.
     data_lost: bool = False
+    #: Hardened path only: the object is still cached but fewer than
+    #: ``data_shards`` chunks were reachable after retries and hedging; the
+    #: caller serves this request from the backing store (a degraded hit,
+    #: not an error) and leaves the stripe for the failure detector to heal.
+    degraded: bool = False
 
 
 class InfiniCacheClient:
@@ -327,6 +332,22 @@ class InfiniCacheClient:
         proxy = self._proxy_for(key)
         outcome = yield from proxy.get_process(key, env, span=op_span)
         self.gets += 1
+        if outcome.degraded:
+            # The mapping survived but the chunks were transiently
+            # unreachable: no bytes to decode, the caller falls back to the
+            # backing store without invalidating or re-inserting the object.
+            self.misses += 1
+            tracer.finish(op_span, hit=False, degraded=True)
+            return GetResult(
+                key=key,
+                hit=False,
+                size=outcome.descriptor.object_size if outcome.descriptor else 0,
+                latency_s=env.now - start,
+                proxy_id=proxy.proxy_id,
+                chunks_lost=outcome.chunks_lost,
+                hosts_touched=outcome.hosts_touched,
+                degraded=True,
+            )
         if outcome.is_miss:
             self.misses += 1
             tracer.finish(op_span, hit=False)

@@ -37,6 +37,85 @@ class StragglerModel:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry for transient chunk-transfer failures.
+
+    The first retry sleeps ``base_backoff_s``; each further retry multiplies
+    the sleep by ``backoff_multiplier``.  Every sleep is stretched by a
+    seeded-jitter factor in ``[1, 1 + jitter_fraction]`` drawn from the
+    proxy's dedicated retry stream — the draw happens only when a retry
+    actually fires, so a fault-free run consumes no randomness.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 10 * MILLISECOND
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry max_attempts must be at least 1")
+        if self.base_backoff_s <= 0:
+            raise ConfigurationError("retry base backoff must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("retry backoff multiplier must be >= 1")
+        if self.jitter_fraction < 0:
+            raise ConfigurationError("retry jitter fraction must be non-negative")
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Per-node circuit breaker thresholds (see
+    :class:`repro.cache.connection.CircuitBreaker`)."""
+
+    failure_threshold: int = 3
+    reset_timeout_s: float = 30.0
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ConfigurationError("breaker failure threshold must be >= 1")
+        if self.reset_timeout_s <= 0:
+            raise ConfigurationError("breaker reset timeout must be positive")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Request-path hardening knobs; everything defaults to *off*.
+
+    With the default (all-``None``) configuration the proxy takes the
+    original un-instrumented GET/PUT code path byte for byte — no extra
+    events, no extra RNG draws — which is what keeps the committed golden
+    figure fingerprints stable.  Chaos scenarios switch the knobs on.
+    """
+
+    #: Retry transient chunk failures with exponential backoff; ``None``
+    #: disables retries (a failed chunk is immediately unreachable).
+    retry: RetryPolicy | None = None
+    #: Per-chunk transfer deadline; on expiry a hedged re-fetch races the
+    #: original attempt.  ``None`` disables timeouts and hedging.
+    chunk_timeout_s: float | None = None
+    #: Per-node circuit breaker; ``None`` disables it.
+    circuit_breaker: CircuitBreakerPolicy | None = None
+    #: When a GET cannot reach ``data_shards`` chunks, report a *degraded*
+    #: result (the caller serves from the backing store and counts a degraded
+    #: hit) instead of dropping the object and reporting a miss.
+    degraded_fallback: bool = True
+
+    def __post_init__(self):
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ConfigurationError("chunk timeout must be positive when set")
+
+    @property
+    def hardened(self) -> bool:
+        """Whether any hardening feature is active (selects the proxy path)."""
+        return (
+            self.retry is not None
+            or self.chunk_timeout_s is not None
+            or self.circuit_breaker is not None
+        )
+
+
+@dataclass(frozen=True)
 class InfiniCacheConfig:
     """Complete configuration of an InfiniCache deployment."""
 
@@ -94,6 +173,10 @@ class InfiniCacheConfig:
     #: Re-insert chunks lost to reclamation when the object is still
     #: recoverable (the "Recovery" activity of Figure 14).
     repair_degraded_objects: bool = True
+    #: Request-path hardening (retry/hedging/circuit breaker/degraded
+    #: fallback); ``None`` behaves exactly like an all-defaults
+    #: :class:`ResilienceConfig` — everything off.
+    resilience: ResilienceConfig | None = None
 
     # --- determinism -----------------------------------------------------------------------
     seed: int = 2020

@@ -18,7 +18,10 @@ destination replica and a late "return" from the source must be ignored.
 
 These classes model the *control protocol*: which messages flow and what
 overhead they add to a request.  Data transfer timing lives in
-:mod:`repro.network.transfer`.
+:mod:`repro.network.transfer`.  :class:`CircuitBreaker` sits alongside them:
+a per-node health gate the hardened request path consults before issuing a
+chunk transfer, so a node that keeps failing is skipped for a cool-down
+instead of burning the retry budget of every request that maps onto it.
 """
 
 from __future__ import annotations
@@ -26,7 +29,85 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.exceptions import ConnectionClosedError
+from repro.exceptions import ConfigurationError, ConnectionClosedError
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states (classic closed / open / half-open)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-node failure gate over simulated time.
+
+    * **CLOSED** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker.
+    * **OPEN** — :meth:`allow` refuses until ``reset_timeout_s`` of virtual
+      time has passed since the trip.
+    * **HALF_OPEN** — one probe request is let through; success re-closes
+      the breaker, failure re-opens it for another full timeout.
+
+    Purely a state machine on the caller-supplied clock: it schedules no
+    events and draws no randomness, so attaching one to every node perturbs
+    nothing when no faults ever trip it.
+    """
+
+    __slots__ = ("failure_threshold", "reset_timeout_s", "state", "failures",
+                 "opened_at", "trips")
+
+    def __init__(self, failure_threshold: int = 3, reset_timeout_s: float = 30.0):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"breaker failure threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ConfigurationError(
+                f"breaker reset timeout must be positive, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may be issued at virtual time ``now``."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.reset_timeout_s:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        # HALF_OPEN: the single probe in flight decides; further requests
+        # arriving before it settles are refused.
+        return False
+
+    def record_success(self, now: float) -> None:
+        """A request completed: reset the failure streak, close the breaker."""
+        self.failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self, now: float) -> None:
+        """A request failed: advance the streak, trip or re-open the breaker."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.trips += 1
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.failures = 0
+            self.trips += 1
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state.value}, trips={self.trips})"
 
 
 class ProxyLinkState(enum.Enum):

@@ -28,7 +28,7 @@ from typing import Optional
 from repro.cache.billed_duration import BilledDurationController, SessionCharge
 from repro.cache.chunk import CacheChunk
 from repro.cache.clock_lru import ClockLRU
-from repro.cache.connection import LambdaSideConnection, ProxyConnection
+from repro.cache.connection import CircuitBreaker, LambdaSideConnection, ProxyConnection
 from repro.exceptions import CacheError
 from repro.faas.function import FunctionInstance, FunctionState
 from repro.faas.limits import bandwidth_for_memory, usable_cache_bytes
@@ -76,6 +76,10 @@ class LambdaCacheNode:
             on_close=self._bill_session,
         )
         self._session_instance: Optional[FunctionInstance] = None
+        #: Per-node circuit breaker, installed by the proxy when the
+        #: deployment's :class:`~repro.cache.config.ResilienceConfig` asks for
+        #: one; ``None`` means requests always flow (the default).
+        self.breaker: Optional[CircuitBreaker] = None
         #: Chunks lost because the node had no alive replica when asked.
         self.chunks_lost = 0
         #: Number of failovers from the primary to the backup peer.

@@ -26,16 +26,22 @@ from typing import Callable, Optional
 
 from repro.cache.chunk import CacheChunk, ObjectDescriptor
 from repro.cache.clock_lru import ClockLRU
-from repro.cache.config import InfiniCacheConfig
+from repro.cache.config import InfiniCacheConfig, ResilienceConfig, StragglerModel
+from repro.cache.connection import CircuitBreaker
 from repro.cache.namespacing import owner_of
 from repro.cache.node import LambdaCacheNode
 from repro.cache.runtime import RequestEnv
 from repro.erasure.codec import Chunk as ErasureChunk
 from repro.erasure.codec import ErasureCodec, StripeMetadata
-from repro.exceptions import CacheError, DecodingError, ObjectTooLargeError
+from repro.exceptions import (
+    CacheError,
+    DecodingError,
+    ObjectTooLargeError,
+    TransientFaultError,
+)
 from repro.faas.platform import FaaSPlatform
 from repro.network.transfer import TransferModel
-from repro.sim.process import all_of, first_n
+from repro.sim.process import SimFuture, all_of, first_n
 from repro.simulation.metrics import MetricRegistry
 from repro.utils.rng import SeededRNG
 
@@ -69,6 +75,11 @@ class ProxyGetResult:
     chunks_lost: int = 0
     recovery_performed: bool = False
     hosts_touched: int = 0
+    #: Hardened path only: fewer than ``data_shards`` chunks were *reachable*
+    #: after retries and hedging, but the mapping table still holds the
+    #: object — the caller serves the request from the backing store (a
+    #: degraded hit, not a miss) and the failure detector heals the stripe.
+    degraded: bool = False
 
     @property
     def is_miss(self) -> bool:
@@ -85,6 +96,10 @@ class ProxyPutResult:
     node_ids: list[str]
     evicted_keys: list[str] = field(default_factory=list)
     hosts_touched: int = 0
+    #: Hardened path only: ``False`` when at least one chunk store exhausted
+    #: its retries, in which case the partial object was rolled back out of
+    #: the mapping table (the caller may re-try the PUT later).
+    complete: bool = True
 
 
 @dataclass
@@ -113,6 +128,17 @@ class Proxy:
         self.transfer_model = transfer_model
         self.rng = rng
         self.metrics = metrics or MetricRegistry()
+        #: Request-path hardening knobs; the all-defaults config keeps every
+        #: feature off and the proxy on the original un-instrumented path.
+        self.resilience = config.resilience or ResilienceConfig()
+        #: Chaos-engine override of the configured straggler model during a
+        #: straggler-inflation fault window; ``None`` outside windows.
+        self.straggler_override: Optional[StragglerModel] = None
+        #: Jitter stream for retry backoff and hedging.  Child derivation is
+        #: hash-based (consumes nothing from the placement stream) and the
+        #: stream itself is drawn from only when a retry actually fires, so a
+        #: fault-free run's randomness is untouched.
+        self._retry_rng = rng.child("retry")
         self.nodes: list[LambdaCacheNode] = []
         self._nodes_by_id: dict[str, LambdaCacheNode] = {}
         self._nodes_by_function: dict[str, LambdaCacheNode] = {}
@@ -138,6 +164,12 @@ class Proxy:
             billing_extension_threshold=self.config.billing_extension_threshold,
             runtime_overhead_fraction=self.config.runtime_overhead_fraction,
         )
+        if self.resilience.circuit_breaker is not None:
+            policy = self.resilience.circuit_breaker
+            node.breaker = CircuitBreaker(
+                failure_threshold=policy.failure_threshold,
+                reset_timeout_s=policy.reset_timeout_s,
+            )
         self._next_node_index += 1
         self.nodes.append(node)
         self._nodes_by_id[node.node_id] = node
@@ -401,7 +433,11 @@ class Proxy:
         """
         repaired = lost = 0
         for key in list(self._objects):
-            entry = self._objects[key]
+            entry = self._objects.get(key)
+            if entry is None:
+                # Dropped by a reclaim listener while an earlier repair in
+                # this same sweep cold-started a replacement node.
+                continue
             missing = [
                 ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=None,
                            time_s=float("inf"), lost=True)
@@ -418,7 +454,15 @@ class Proxy:
                 if on_loss is not None:
                     on_loss(key)
                 continue
-            if self._repair_object(key, entry, missing, now, category="repair"):
+            try:
+                healed = self._repair_object(key, entry, missing, now, category="repair")
+            except TransientFaultError:
+                # A replacement node failed to come up (injected invocation
+                # fault, reclaim racing the repair): leave the stale
+                # placement for the next sweep instead of aborting it.
+                self.metrics.counter("proxy.repair_faults").increment()
+                continue
+            if healed and key in self._objects:
                 repaired += 1
         return repaired, lost
 
@@ -468,7 +512,7 @@ class Proxy:
 
     def _straggler_factor(self) -> float:
         """One multiplicative straggler draw from the proxy's seeded stream."""
-        straggler = self.config.straggler
+        straggler = self.straggler_override or self.config.straggler
         if straggler.probability > 0 and self.rng.random() < straggler.probability:
             return self.rng.uniform(straggler.min_factor, straggler.max_factor)
         return 1.0
@@ -764,6 +808,9 @@ class Proxy:
         *abandoned* (billed for their partial transfer), as in the paper's
         first-d streaming.
         """
+        if self.resilience.hardened:
+            result = yield from self._get_process_hardened(key, env, span)
+            return result
         start = env.now
         tracer = env.tracer
         op_span = tracer.begin("proxy.get", span, proxy=self.proxy_id, key=key)
@@ -878,6 +925,11 @@ class Proxy:
         cannot oversubscribe a node's memory) and the coroutine completes
         when the slowest upload lands.
         """
+        if self.resilience.hardened:
+            result = yield from self._put_process_hardened(
+                key, descriptor, chunks, env, placement, category, span
+            )
+            return result
         if len(chunks) != descriptor.total_chunks:
             raise CacheError(
                 f"object {key!r} descriptor expects {descriptor.total_chunks} chunks, "
@@ -925,6 +977,428 @@ class Proxy:
         self._lru.insert(key, descriptor.stored_bytes)
 
         yield all_of([task.future for task in tasks], label=f"{self.proxy_id}:put:{key}")
+
+        if category == "serving":
+            self.requests_served += 1
+            self.metrics.counter("proxy.puts").increment()
+        else:
+            self.metrics.counter(f"proxy.{category}_puts").increment()
+        self.metrics.gauge("proxy.bytes_used").set(self.pool_bytes_used())
+
+        tracer.finish(op_span)
+        return ProxyPutResult(
+            key=key,
+            latency_s=env.now - start,
+            node_ids=list(placement),
+            evicted_keys=evicted,
+            hosts_touched=self._hosts_touched(target_nodes),
+        )
+
+    # ------------------------------------------------------------------ hardened path
+    #
+    # The methods below are taken only when ``config.resilience`` switches a
+    # hardening feature on (chaos scenarios).  The un-hardened coroutines
+    # above stay byte-for-byte on their original event/RNG sequence, which is
+    # what keeps the committed golden figure fingerprints stable.
+
+    def _attempt_chunk_process(
+        self,
+        key: str,
+        chunk_index: int,
+        chunk: CacheChunk,
+        node: LambdaCacheNode,
+        env: RequestEnv,
+        owner: Optional[str],
+        category: str,
+        fetch: Optional[ChunkFetch] = None,
+        store: bool = False,
+        span_parent=None,
+    ):
+        """One guarded transfer attempt: resolves ``True`` on success.
+
+        Transient failures (injected invocation faults, reclaimed-mid-flight)
+        resolve ``False`` instead of raising — an exception out of a spawned
+        process would escape into the event loop's callback chain and abort
+        the whole run.  The node's circuit breaker (when installed) gates the
+        attempt and records the outcome.
+        """
+        breaker = node.breaker
+        if breaker is not None and not breaker.allow(env.now):
+            self.metrics.counter("proxy.breaker_rejections").increment()
+            return False
+        effective = (
+            chunk.size * self._straggler_factor() * self.transfer_model.draw_jitter()
+        )
+        try:
+            yield from self._chunk_transfer_process(
+                key, chunk_index, chunk, effective, node, env, owner, category,
+                fetch=fetch, store=store, span_parent=span_parent,
+            )
+        except TransientFaultError:
+            if breaker is not None:
+                breaker.record_failure(env.now)
+            self.metrics.counter("proxy.chunk_faults").increment()
+            return False
+        if breaker is not None:
+            breaker.record_success(env.now)
+        return True
+
+    def _chunk_supervisor_process(
+        self,
+        key: str,
+        chunk_index: int,
+        chunk: CacheChunk,
+        node: LambdaCacheNode,
+        env: RequestEnv,
+        owner: Optional[str],
+        category: str,
+        fetch: Optional[ChunkFetch] = None,
+        store: bool = False,
+        span_parent=None,
+    ):
+        """Retry/timeout/hedge harness around one chunk's transfer attempts.
+
+        Per attempt: race the transfer against the configured chunk deadline;
+        on deadline expiry spawn one *hedged* second attempt and take
+        whichever settles first.  Between attempts sleep an exponential
+        backoff stretched by seeded jitter (drawn from the dedicated retry
+        stream only when a retry actually fires).  Resolves ``True`` once an
+        attempt lands the chunk, ``False`` when the budget is exhausted;
+        never raises.  Cancellation (straggler abandonment by the first-d
+        quorum) propagates to the in-flight attempt, whose ``finally`` block
+        bills the partial transfer as usual.
+        """
+        policy = self.resilience.retry
+        timeout_s = self.resilience.chunk_timeout_s
+        max_attempts = policy.max_attempts if policy is not None else 1
+        task = hedge = None
+        timer: Optional[SimFuture] = None
+        try:
+            for attempt in range(max_attempts):
+                if attempt > 0:
+                    backoff = (
+                        policy.base_backoff_s
+                        * policy.backoff_multiplier ** (attempt - 1)
+                        * (1.0 + policy.jitter_fraction * self._retry_rng.random())
+                    )
+                    self.metrics.counter("proxy.chunk_retries").increment()
+                    yield backoff
+                hedge = None
+                timer = None
+                task = env.loop.spawn(
+                    self._attempt_chunk_process(
+                        key, chunk_index, chunk, node, env, owner, category,
+                        fetch=fetch, store=store, span_parent=span_parent,
+                    ),
+                    label=f"{self.proxy_id}:attempt{attempt}:{key}#{chunk_index}",
+                )
+                if timeout_s is None:
+                    succeeded = yield task.future
+                else:
+                    timer = env.loop.timeout(
+                        timeout_s, label=f"{self.proxy_id}:deadline:{key}#{chunk_index}"
+                    )
+                    yield first_n(
+                        1, [task.future, timer],
+                        label=f"{self.proxy_id}:race:{key}#{chunk_index}",
+                    )
+                    if task.done:
+                        timer.cancel()
+                        succeeded = task.future.result
+                    else:
+                        # Deadline passed: hedge a second attempt against the
+                        # original, under a second deadline of its own — if
+                        # neither lands (the node's link is blackholed, say)
+                        # the attempt pair counts as failed and the backoff/
+                        # retry loop takes over instead of stalling until the
+                        # fault clears.
+                        self.metrics.counter("proxy.chunk_hedges").increment()
+                        hedge = env.loop.spawn(
+                            self._attempt_chunk_process(
+                                key, chunk_index, chunk, node, env, owner,
+                                category, store=store, span_parent=span_parent,
+                            ),
+                            label=f"{self.proxy_id}:hedge{attempt}:{key}#{chunk_index}",
+                        )
+                        timer = env.loop.timeout(
+                            timeout_s,
+                            label=f"{self.proxy_id}:hedge_deadline:{key}#{chunk_index}",
+                        )
+                        yield first_n(
+                            1, [task.future, hedge.future, timer],
+                            label=f"{self.proxy_id}:hedge_race:{key}#{chunk_index}",
+                        )
+                        if task.done or hedge.done:
+                            timer.cancel()
+                            winner, loser = (task, hedge) if task.done else (hedge, task)
+                            succeeded = bool(winner.future.result)
+                            loser.cancel()
+                        else:
+                            task.cancel()
+                            hedge.cancel()
+                            succeeded = False
+                if succeeded:
+                    return True
+            return False
+        finally:
+            for running in (task, hedge):
+                if running is not None and not running.done:
+                    running.cancel()
+            if timer is not None and not timer.done:
+                timer.cancel()
+
+    def _chunk_quorum(
+        self,
+        tasks: list[tuple[SimFuture, Optional[ChunkFetch]]],
+        needed: int,
+        label: str,
+    ) -> SimFuture:
+        """A future resolving with the first ``needed`` winning fetches, or
+        ``None`` as soon as reaching the quorum becomes impossible.
+
+        ``first_n`` cannot express this: a failed supervisor *resolves* (with
+        ``False``) rather than cancelling, so counting resolutions would
+        declare victory on failures.
+        """
+        quorum = SimFuture(label=label)
+        winners: list[Optional[ChunkFetch]] = []
+        state = {"failures": 0}
+        total = len(tasks)
+
+        def make_callback(fetch: Optional[ChunkFetch]):
+            def on_done(future: SimFuture) -> None:
+                if quorum.done:
+                    return
+                success = (not future.cancelled) and bool(future.result)
+                if success:
+                    winners.append(fetch)
+                    if len(winners) >= needed:
+                        quorum.resolve(list(winners))
+                else:
+                    state["failures"] += 1
+                    if total - state["failures"] < needed:
+                        quorum.resolve(None)
+            return on_done
+
+        for future, fetch in tasks:
+            future.add_done_callback(make_callback(fetch))
+        return quorum
+
+    def _get_process_hardened(self, key: str, env: RequestEnv, span=None):
+        """The GET coroutine with the request path hardened.
+
+        Identical to :meth:`get_process` except that every chunk transfer
+        runs under a retry/timeout/hedge supervisor, and a request that
+        cannot reach ``data_shards`` chunks degrades gracefully (backing
+        store fallback, mapping left intact for the failure detector)
+        instead of raising or dropping the object.
+        """
+        start = env.now
+        tracer = env.tracer
+        op_span = tracer.begin("proxy.get", span, proxy=self.proxy_id, key=key)
+        self.requests_served += 1
+        entry = self._objects.get(key)
+        if entry is None:
+            self.metrics.counter("proxy.misses").increment()
+            tracer.finish(op_span, outcome="miss")
+            return ProxyGetResult(key=key, found=False, recoverable=False, descriptor=None)
+
+        self._lru.touch(key)
+        descriptor = entry.descriptor
+        involved_nodes = [self.node(node_id) for node_id in entry.placement.values()]
+        owner = owner_of(key)
+        fetches: list[ChunkFetch] = []
+        pending: list[tuple[ChunkFetch, LambdaCacheNode]] = []
+        for chunk_index, node_id in sorted(entry.placement.items()):
+            node = self.node(node_id)
+            chunk = node.fetch_chunk(f"{key}#{chunk_index}") if node.is_alive else None
+            if chunk is None:
+                fetches.append(
+                    ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=None,
+                               time_s=float("inf"), lost=True)
+                )
+                continue
+            fetch = ChunkFetch(chunk_index=chunk_index, node_id=node_id, chunk=chunk,
+                               time_s=0.0, lost=False)
+            fetches.append(fetch)
+            pending.append((fetch, node))
+
+        lost_count = descriptor.total_chunks - len(pending)
+        hosts_touched = self._hosts_touched(involved_nodes)
+
+        if len(pending) < descriptor.data_shards:
+            # More than ``p`` chunks already gone from the mapping: this is
+            # the ordinary RESET path, not a transient fault — the caller
+            # re-fetches and re-inserts from the backing store.
+            self._remove_object(key)
+            self.metrics.counter("proxy.object_losses").increment()
+            self.metrics.counter("proxy.misses").increment()
+            tracer.finish(op_span, outcome="lost")
+            return ProxyGetResult(
+                key=key,
+                found=True,
+                recoverable=False,
+                descriptor=descriptor,
+                fetches=fetches,
+                chunks_lost=lost_count,
+                hosts_touched=hosts_touched,
+            )
+
+        tasks = []
+        for fetch, node in pending:
+            tasks.append(env.loop.spawn(
+                self._chunk_supervisor_process(
+                    key, fetch.chunk_index, fetch.chunk, node, env, owner,
+                    "serving", fetch=fetch, span_parent=op_span,
+                ),
+                label=f"{self.proxy_id}:fetch:{key}#{fetch.chunk_index}",
+            ))
+
+        winners = yield self._chunk_quorum(
+            [(task.future, fetch) for task, (fetch, _node) in zip(tasks, pending)],
+            descriptor.data_shards,
+            label=f"{self.proxy_id}:quorum:{key}",
+        )
+        latency = env.now - start
+        for (fetch, _node), task in zip(pending, tasks):
+            if not task.done:
+                fetch.abandoned = True
+                task.cancel()
+
+        if winners is None:
+            # Fewer than d chunks reachable after retries and hedging.
+            self.metrics.counter("proxy.degraded_fallbacks").increment()
+            if self.resilience.degraded_fallback:
+                tracer.finish(op_span, outcome="degraded")
+                return ProxyGetResult(
+                    key=key,
+                    found=True,
+                    recoverable=True,
+                    descriptor=descriptor,
+                    fetches=fetches,
+                    latency_s=latency,
+                    chunks_lost=lost_count,
+                    hosts_touched=hosts_touched,
+                    degraded=True,
+                )
+            self._remove_object(key)
+            self.metrics.counter("proxy.object_losses").increment()
+            self.metrics.counter("proxy.misses").increment()
+            tracer.finish(op_span, outcome="lost")
+            return ProxyGetResult(
+                key=key,
+                found=True,
+                recoverable=False,
+                descriptor=descriptor,
+                fetches=fetches,
+                chunks_lost=lost_count,
+                hosts_touched=hosts_touched,
+            )
+
+        used_chunks = [fetch.chunk for fetch in winners]
+        recovery_performed = False
+        if lost_count > 0:
+            self.metrics.counter("proxy.degraded_reads").increment()
+            if self.config.repair_degraded_objects:
+                try:
+                    recovery_performed = self._repair_object(key, entry, fetches, env.now)
+                except TransientFaultError:
+                    # A repair node faulted mid-repair; the stripe keeps its
+                    # stale placement and the next audit sweep re-detects it.
+                    self.metrics.counter("proxy.repair_faults").increment()
+
+        self.metrics.counter("proxy.hits").increment()
+        tracer.finish(op_span, outcome="hit", chunks_lost=lost_count)
+        return ProxyGetResult(
+            key=key,
+            found=True,
+            recoverable=True,
+            descriptor=descriptor,
+            fetches=fetches,
+            used_chunks=used_chunks,
+            latency_s=latency,
+            chunks_lost=lost_count,
+            recovery_performed=recovery_performed,
+            hosts_touched=hosts_touched,
+        )
+
+    def _put_process_hardened(
+        self,
+        key: str,
+        descriptor: ObjectDescriptor,
+        chunks: list[CacheChunk],
+        env: RequestEnv,
+        placement: Optional[list[str]] = None,
+        category: str = "serving",
+        span=None,
+    ):
+        """The PUT coroutine with every chunk store under a retry supervisor.
+
+        A chunk store that exhausts its retries rolls the partial object back
+        out of the mapping table and flags the result ``complete=False``
+        instead of raising into the driver.
+        """
+        if len(chunks) != descriptor.total_chunks:
+            raise CacheError(
+                f"object {key!r} descriptor expects {descriptor.total_chunks} chunks, "
+                f"got {len(chunks)}"
+            )
+        if placement is None:
+            placement = self.choose_placement(descriptor.total_chunks)
+        if len(placement) != descriptor.total_chunks:
+            raise CacheError("placement vector length does not match the chunk count")
+        if len(set(placement)) != len(placement):
+            raise CacheError("placement vector must name distinct nodes")
+
+        start = env.now
+        tracer = env.tracer
+        op_span = tracer.begin("proxy.put", span, proxy=self.proxy_id, key=key,
+                               category=category)
+        self._remove_object(key)
+        needed_by_node = {
+            node_id: chunk.size for node_id, chunk in zip(placement, chunks)
+        }
+        evicted = self._evict_until_fits(needed_by_node, sum(needed_by_node.values()))
+
+        target_nodes = [self.node(node_id) for node_id in placement]
+        owner = owner_of(key)
+        tasks = []
+        for chunk, node in zip(chunks, target_nodes):
+            tasks.append(env.loop.spawn(
+                self._chunk_supervisor_process(
+                    key, chunk.index, chunk, node, env, owner, category,
+                    store=True, span_parent=op_span,
+                ),
+                label=f"{self.proxy_id}:store:{key}#{chunk.index}",
+            ))
+
+        entry = _ObjectEntry(
+            descriptor=descriptor,
+            placement={chunk.index: node_id for chunk, node_id in zip(chunks, placement)},
+            inserted_at=start,
+        )
+        self._objects[key] = entry
+        self._lru.insert(key, descriptor.stored_bytes)
+
+        results = yield all_of(
+            [task.future for task in tasks], label=f"{self.proxy_id}:put:{key}"
+        )
+
+        if not all(bool(result) for result in results):
+            # At least one chunk store exhausted its retries: roll the
+            # partial object back so a later GET is a clean miss rather than
+            # a permanently degraded stripe.
+            self._remove_object(key)
+            self.metrics.counter("proxy.put_failures").increment()
+            tracer.finish(op_span, outcome="failed")
+            return ProxyPutResult(
+                key=key,
+                latency_s=env.now - start,
+                node_ids=list(placement),
+                evicted_keys=evicted,
+                hosts_touched=self._hosts_touched(target_nodes),
+                complete=False,
+            )
 
         if category == "serving":
             self.requests_served += 1

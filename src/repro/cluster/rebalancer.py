@@ -28,7 +28,7 @@ from typing import Callable, Optional
 from repro.cache.consistent_hash import ConsistentHashRing
 from repro.cache.deployment import InfiniCacheDeployment
 from repro.cache.proxy import Proxy
-from repro.exceptions import CacheError
+from repro.exceptions import CacheError, TransientFaultError
 from repro.simulation.events import PeriodicTask
 from repro.simulation.metrics import MetricRegistry
 from repro.utils.units import MINUTE
@@ -161,6 +161,11 @@ class FailureDetector:
             deployment.simulator, interval_s, self.sweep_once,
             label="cluster.failure_detector",
         )
+        #: Re-entrancy guard: a repair can cold-start replacement nodes,
+        #: whose host placement can reclaim residents and fire arbitrary
+        #: listeners — if one of those lands back here, the nested sweep is
+        #: skipped rather than corrupting the outer sweep's iteration.
+        self._sweeping = False
 
     def start(self) -> None:
         """Begin periodic sweeps on the deployment's simulator."""
@@ -171,16 +176,38 @@ class FailureDetector:
         self._task.stop()
 
     def sweep_once(self) -> tuple[int, int]:
-        """Audit every proxy now; returns total ``(repaired, lost)`` objects."""
-        now = self.deployment.simulator.now
-        repaired_total = lost_total = 0
-        dead_nodes = 0
-        for proxy in self.deployment.proxies:
-            dead_nodes += sum(1 for node in proxy.nodes if not node.is_alive)
-            repaired, lost = proxy.audit_and_repair(now, on_loss=self.on_object_gone)
-            repaired_total += repaired
-            lost_total += lost
-        self.metrics.counter("cluster.failure_detector.repairs").increment(repaired_total)
-        self.metrics.counter("cluster.failure_detector.losses").increment(lost_total)
-        self.metrics.series("cluster.dead_nodes").record(now, float(dead_nodes))
-        return repaired_total, lost_total
+        """Audit every proxy now; returns total ``(repaired, lost)`` objects.
+
+        Robust to nodes lost *during* the sweep itself: a nested sweep
+        (triggered through reclaim listeners while a repair cold-starts
+        replacement nodes) is skipped, and a proxy whose audit dies on a
+        transient fault is left for the next interval instead of aborting
+        the remaining proxies.
+        """
+        if self._sweeping:
+            self.metrics.counter("cluster.failure_detector.reentrant_skips").increment()
+            return 0, 0
+        self._sweeping = True
+        try:
+            now = self.deployment.simulator.now
+            repaired_total = lost_total = 0
+            dead_nodes = 0
+            for proxy in list(self.deployment.proxies):
+                dead_nodes += sum(1 for node in proxy.nodes if not node.is_alive)
+                try:
+                    repaired, lost = proxy.audit_and_repair(
+                        now, on_loss=self.on_object_gone
+                    )
+                except TransientFaultError:
+                    self.metrics.counter(
+                        "cluster.failure_detector.aborted_audits"
+                    ).increment()
+                    continue
+                repaired_total += repaired
+                lost_total += lost
+            self.metrics.counter("cluster.failure_detector.repairs").increment(repaired_total)
+            self.metrics.counter("cluster.failure_detector.losses").increment(lost_total)
+            self.metrics.series("cluster.dead_nodes").record(now, float(dead_nodes))
+            return repaired_total, lost_total
+        finally:
+            self._sweeping = False

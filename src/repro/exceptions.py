@@ -3,6 +3,15 @@
 All library-specific errors derive from :class:`ReproError` so applications
 can catch a single base class.  Subsystems raise the most specific subclass
 that describes the failure; nothing in the library raises bare ``Exception``.
+
+The hierarchy distinguishes **retryable** from **fatal** failures: anything
+deriving from :class:`TransientFaultError` (a reclaimed function, an injected
+invocation fault, a chunk timeout, an open circuit breaker, an interrupted
+backup sync) describes a condition that a later attempt may not hit again, so
+the hardened request path retries it with backoff.  Everything else — config
+errors, protocol misuse, unrecoverable data loss — is fatal and propagates.
+Use :func:`is_retryable` rather than ``isinstance`` checks so callers stay
+agnostic of the concrete fault class.
 """
 
 from __future__ import annotations
@@ -10,6 +19,25 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
+
+    #: Whether a later attempt of the same operation may succeed.  Fatal by
+    #: default; :class:`TransientFaultError` flips it for the retryable branch.
+    retryable = False
+
+
+class TransientFaultError(ReproError):
+    """A failure a later attempt may not hit again (safe to retry).
+
+    The hardened request path treats every subclass uniformly: back off with
+    seeded jitter and re-attempt, up to the configured retry budget.
+    """
+
+    retryable = True
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether the request path may retry after this error."""
+    return bool(getattr(error, "retryable", False))
 
 
 class ConfigurationError(ReproError):
@@ -54,8 +82,12 @@ class ObjectTooLargeError(CacheError):
     """The object cannot fit into the configured Lambda pool."""
 
 
-class FunctionReclaimedError(ReproError):
-    """A simulated Lambda function instance was reclaimed by the provider."""
+class FunctionReclaimedError(TransientFaultError):
+    """A simulated Lambda function instance was reclaimed by the provider.
+
+    Retryable: a fresh invocation cold-starts a replacement container, so a
+    reclaimed-mid-flight chunk transfer can be re-attempted.
+    """
 
     def __init__(self, function_name: str):
         super().__init__(f"function {function_name!r} was reclaimed by the provider")
@@ -66,12 +98,51 @@ class InvocationError(ReproError):
     """A simulated Lambda invocation failed (timeout, limit, platform error)."""
 
 
+class InvocationFaultError(TransientFaultError, InvocationError):
+    """An invocation failed transiently (injected fault or provider error)."""
+
+    def __init__(self, function_name: str, reason: str = "injected fault"):
+        super().__init__(f"invocation of {function_name!r} failed: {reason}")
+        self.function_name = function_name
+        self.reason = reason
+
+
+class ChunkTimeoutError(TransientFaultError):
+    """A chunk transfer exceeded its per-chunk deadline (hedge/retry it)."""
+
+    def __init__(self, chunk_id: str, timeout_s: float):
+        super().__init__(f"chunk {chunk_id!r} timed out after {timeout_s:g}s")
+        self.chunk_id = chunk_id
+        self.timeout_s = timeout_s
+
+
+class CircuitOpenError(TransientFaultError):
+    """A per-node circuit breaker is open; the node is presumed unhealthy."""
+
+    def __init__(self, node_id: str):
+        super().__init__(f"circuit breaker for node {node_id!r} is open")
+        self.node_id = node_id
+
+
 class ConnectionClosedError(ReproError):
     """A simulated TCP connection between proxy and Lambda node was closed."""
 
 
 class BackupError(ReproError):
     """The delta-sync backup protocol failed to complete."""
+
+
+class BackupSyncInterruptedError(TransientFaultError, BackupError):
+    """A backup peer failed mid-sync (reclaimed or faulted while delta-syncing).
+
+    Retryable: the next backup round re-invokes a fresh peer and re-sends the
+    still-unsynced delta, so losing the peer mid-sync is not a protocol error.
+    """
+
+    def __init__(self, node_id: str, reason: str):
+        super().__init__(f"backup sync for node {node_id!r} interrupted: {reason}")
+        self.node_id = node_id
+        self.reason = reason
 
 
 class WorkloadError(ReproError):

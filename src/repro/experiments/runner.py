@@ -30,6 +30,7 @@ from typing import Callable
 from repro.experiments import (
     autoscale_policies,
     availability,
+    chaos_availability,
     cluster_scale,
     figure1,
     figure4,
@@ -112,6 +113,10 @@ def _quick_specs() -> dict[str, ExperimentSpec]:
         ),
         "figure17": (figure17.run, figure17.format_report),
         "availability": (availability.run, availability.format_report),
+        "chaos_availability": (
+            lambda: chaos_availability.run(clients=5, rounds=50),
+            chaos_availability.format_report,
+        ),
         "cluster_scale": (
             lambda: cluster_scale.run(duration_s=300.0), cluster_scale.format_report,
         ),

@@ -158,6 +158,19 @@ class HostManager:
         host.evict(function_name, memory_bytes)
         self._note_open(host)
 
+    def residents_by_host(self) -> dict[str, list[str]]:
+        """Instance ids currently placed on each host, deterministically ordered.
+
+        Hosts appear in host-id order and each host's residents in placement-id
+        order, so callers that sample from this map (the chaos engine's
+        correlated reclamation storms hit whole hosts at a time) never observe
+        set/dict hash order.
+        """
+        by_host: dict[str, list[str]] = {}
+        for function_name, (host_id, _memory) in sorted(self._placement.items()):
+            by_host.setdefault(host_id, []).append(function_name)
+        return dict(sorted(by_host.items()))
+
     def host_of(self, function_name: str) -> Optional[VMHost]:
         """The host a function instance currently lives on, if any."""
         placement = self._placement.get(function_name)

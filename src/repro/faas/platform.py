@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.exceptions import ConfigurationError, FunctionReclaimedError, InvocationError
+from repro.exceptions import (
+    ConfigurationError,
+    FunctionReclaimedError,
+    InvocationError,
+    InvocationFaultError,
+)
 from repro.faas.billing import BillingModel
 from repro.faas.function import FunctionInstance, FunctionState
 from repro.faas.host import HostManager
@@ -90,6 +95,55 @@ class FaaSPlatform:
         self._sweep_task = PeriodicTask(
             simulator, sweep_interval_s, self._sweep, label="faas.reclaim_sweep"
         )
+        #: Fault-injection window state (set by the chaos engine): each
+        #: invocation fails with ``_fault_failure_probability`` and pays
+        #: ``_fault_extra_overhead_s`` of additional invoke overhead (the
+        #: provider-side timeout/straggler-inflation model).  With the
+        #: probability at its 0.0 default no RNG draw ever happens, so a
+        #: fault-free run consumes no randomness here.
+        self._fault_failure_probability = 0.0
+        self._fault_extra_overhead_s = 0.0
+        self._fault_rng = None
+
+    # --- fault injection --------------------------------------------------------
+    def set_invocation_faults(
+        self,
+        *,
+        failure_probability: float = 0.0,
+        extra_overhead_s: float = 0.0,
+        rng=None,
+    ) -> None:
+        """Arm (or, with defaults, disarm) the invocation fault window.
+
+        ``rng`` must be a seeded stream when ``failure_probability`` is
+        positive; the chaos engine derives a dedicated child per fault spec
+        so the draw order is independent of other subsystems.
+        """
+        if not 0.0 <= failure_probability <= 1.0:
+            raise ConfigurationError("fault failure probability must be in [0, 1]")
+        if extra_overhead_s < 0:
+            raise ConfigurationError("fault extra overhead must be non-negative")
+        if failure_probability > 0 and rng is None:
+            raise ConfigurationError("injecting invocation failures requires an RNG")
+        self._fault_failure_probability = failure_probability
+        self._fault_extra_overhead_s = extra_overhead_s
+        self._fault_rng = rng
+
+    def clear_invocation_faults(self) -> None:
+        """Disarm the invocation fault window (revert to healthy behaviour)."""
+        self.set_invocation_faults()
+
+    def _maybe_inject_invocation_fault(self, function_name: str) -> float:
+        """Roll for an injected failure; returns the extra invoke overhead.
+
+        Raises:
+            InvocationFaultError: when the armed failure probability fires.
+        """
+        probability = self._fault_failure_probability
+        if probability > 0 and self._fault_rng.random() < probability:
+            self.metrics.counter("faas.injected_faults").increment()
+            raise InvocationFaultError(function_name)
+        return self._fault_extra_overhead_s
 
     # --- deployment -------------------------------------------------------------
     def register_function(self, name: str, memory_bytes: int) -> FunctionConfig:
@@ -132,6 +186,7 @@ class FaaSPlatform:
         with the duration to bill.
         """
         registered = self._require(name)
+        fault_overhead = self._maybe_inject_invocation_fault(name)
         instance: Optional[FunctionInstance] = None
         if not force_new_instance:
             for candidate in registered.alive_instances():
@@ -145,6 +200,7 @@ class FaaSPlatform:
             self.metrics.counter("faas.cold_starts").increment()
         else:
             overhead = self.limits.warm_invocation_overhead
+        overhead += fault_overhead
         instance.state = FunctionState.RUNNING
         instance.mark_invoked(self.simulator.now)
         self.metrics.counter("faas.invocations").increment()
@@ -166,6 +222,7 @@ class FaaSPlatform:
         """
         if not instance.is_alive:
             raise FunctionReclaimedError(instance.instance_id)
+        fault_overhead = self._maybe_inject_invocation_fault(instance.function_name)
         if instance.state is FunctionState.RUNNING:
             raise InvocationError(
                 f"instance {instance.instance_id} is already running an invocation"
@@ -176,7 +233,7 @@ class FaaSPlatform:
         return InvocationResult(
             instance=instance,
             cold_start=False,
-            invoke_overhead_s=self.limits.warm_invocation_overhead,
+            invoke_overhead_s=self.limits.warm_invocation_overhead + fault_overhead,
             started_at=self.simulator.now,
         )
 

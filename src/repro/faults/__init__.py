@@ -1,0 +1,57 @@
+"""Deterministic fault injection for the simulated InfiniCache deployment.
+
+``repro.faults`` is the chaos side of the reproduction: declarative
+:mod:`fault specs <repro.faults.spec>` sequenced by a
+:class:`~repro.faults.spec.FaultSchedule`, injected as clock events by the
+:class:`~repro.faults.engine.ChaosEngine`, and accounted for by the
+:class:`~repro.faults.report.ResilienceReport`.  See ``docs/robustness.md``
+for the full model and the request-path hardening it exercises.
+"""
+
+from repro.faults.engine import ChaosEngine
+from repro.faults.report import (
+    FaultWindow,
+    ResilienceReport,
+    WindowStats,
+    build_resilience_report,
+)
+from repro.faults.scenario import (
+    ChaosRunResult,
+    demo_config,
+    demo_resilience,
+    demo_schedule,
+    run_chaos_scenario,
+)
+from repro.faults.spec import (
+    BLACKHOLE_FACTOR,
+    FaultSchedule,
+    FaultSpec,
+    InvocationFaults,
+    LinkBlackhole,
+    LinkDegradation,
+    ProxyCrash,
+    ReclamationStorm,
+    StragglerInflation,
+)
+
+__all__ = [
+    "BLACKHOLE_FACTOR",
+    "ChaosEngine",
+    "ChaosRunResult",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultWindow",
+    "InvocationFaults",
+    "LinkBlackhole",
+    "LinkDegradation",
+    "ProxyCrash",
+    "ReclamationStorm",
+    "ResilienceReport",
+    "StragglerInflation",
+    "WindowStats",
+    "build_resilience_report",
+    "demo_config",
+    "demo_resilience",
+    "demo_schedule",
+    "run_chaos_scenario",
+]

@@ -301,3 +301,63 @@ class NegativeDelayRule(Rule):
             if keyword.arg in ("delay", "time", "interval_s"):
                 return keyword.value
         return None
+
+
+#: Exception names too broad for a silent handler in a sim coroutine.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """S205 — a sim coroutine swallowing exceptions wholesale."""
+
+    code = "S205"
+    name = "swallowed-exception-in-coroutine"
+    rationale = (
+        "A bare `except:` (or `except Exception:`) without a re-raise inside "
+        "a sim coroutine hides protocol bugs as silent request corruption: "
+        "the process keeps running with half-applied state and the replay "
+        "stays 'green' while diverging.  Hardened paths must catch the "
+        "*typed* transient-fault exceptions and account for them; anything "
+        "unexpected should crash the run loudly."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for func in sim_coroutines(ctx):
+            for node in _walk_function(func):
+                if not isinstance(node, ast.Try):
+                    continue
+                for handler in node.handlers:
+                    label = self._broad_label(handler.type)
+                    if label is None:
+                        continue
+                    if self._reraises(handler):
+                        continue
+                    yield ctx.violation(
+                        self.code,
+                        f"sim coroutine `{func.name}` swallows all errors "
+                        f"with `{label}` and never re-raises; catch the typed "
+                        "transient-fault exceptions instead so real protocol "
+                        "bugs still crash the run",
+                        handler,
+                    )
+
+    @staticmethod
+    def _broad_label(kind: Optional[ast.expr]) -> Optional[str]:
+        if kind is None:
+            return "except:"
+        if isinstance(kind, ast.Name) and kind.id in _BROAD_EXCEPTIONS:
+            return f"except {kind.id}:"
+        if isinstance(kind, ast.Tuple):
+            for element in kind.elts:
+                if isinstance(element, ast.Name) and element.id in _BROAD_EXCEPTIONS:
+                    return f"except (..., {element.id}):"
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(node, ast.Raise)
+            for stmt in handler.body
+            for node in ast.walk(stmt)
+        )

@@ -378,6 +378,18 @@ class FlowNetwork:
         self._transition(flow.nic.host_id, flow.proxy_id)
         return True
 
+    def reassess_host(self, host_id: str) -> None:
+        """Re-arbitrate every flow sharing one host NIC (fault-injection hook).
+
+        The arbiters only recompute a group's fair share when its *occupancy*
+        changes; a link fault changes the NIC's capacity (via
+        ``HostNic.degradation_factor``) without any flow joining or leaving,
+        so the chaos engine calls this after flipping the factor.  In-flight
+        progress is settled at the old rate first — exactly as for any other
+        transition — so injected faults never rewrite history.
+        """
+        self._transition(host_id, "")
+
     # ------------------------------------------------------------------ internals
     def _settle_flow(self, flow: Flow, now: float) -> None:
         """Advance one flow's byte count at the rate held since its last settle."""

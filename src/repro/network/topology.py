@@ -27,6 +27,12 @@ class HostNic:
     host_id: str
     capacity_bps: float
     concurrent_flows: int = 0
+    #: Fault-injection hook: multiplies the NIC capacity.  ``1.0`` is the
+    #: healthy link; a link-degradation fault lowers it and a blackhole sets
+    #: it to a tiny epsilon (never zero — flow finish times divide by the
+    #: rate).  Flipping it only changes bandwidth from the *next* arbiter
+    #: transition, so the chaos engine re-arbitrates the host after a flip.
+    degradation_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.capacity_bps <= 0:
@@ -36,7 +42,7 @@ class HostNic:
         """Per-flow bandwidth when ``flows`` transfers share the NIC."""
         active = flows if flows is not None else max(self.concurrent_flows, 1)
         active = max(active, 1)
-        return self.capacity_bps / active
+        return self.capacity_bps * self.degradation_factor / active
 
     def acquire(self) -> None:
         """Register one in-flight transfer."""

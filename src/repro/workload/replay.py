@@ -119,6 +119,12 @@ class RequestSample:
     #: Distinct VM hosts the request's chunks touched (Figure 4's x-axis);
     #: zero for baseline systems, which have no chunk fan-out.
     hosts_touched: int = 0
+    #: Hardened path only: the request was served from the backing store
+    #: because fewer than ``data_shards`` chunks were reachable (a degraded
+    #: hit).  Deliberately *not* part of :meth:`ConcurrentReplayReport.
+    #: fingerprint` — fault-free runs never set it, so the golden figure
+    #: fingerprints are untouched.
+    degraded: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -144,6 +150,12 @@ class ConcurrentReplayReport:
     misses: int = 0
     resets: int = 0
     recoveries: int = 0
+    #: Requests served from the backing store because the cache's chunks
+    #: were transiently unreachable (hardened path under fault injection).
+    degraded_hits: int = 0
+    #: Resilience counters harvested from the deployment after the run
+    #: (chunk retries, hedges, breaker rejections, injected faults, ...).
+    resilience: dict[str, float] = field(default_factory=dict)
     samples: list[RequestSample] = field(default_factory=list)
     #: RESET / recovery occurrences on the virtual clock (Figure 14's
     #: per-hour activity series).  Each event is stamped at the clock
@@ -383,6 +395,28 @@ class _EventDriver:
                 # the arrival time): the clock only moves forward, so the
                 # series stays monotone even when requests overlap.
                 report.recovery_events.record(env.now, 1.0)
+        elif result.degraded:
+            # Hardened path: the object is still cached but its chunks were
+            # transiently unreachable — serve from the backing store and
+            # count a degraded hit (not an error, not a RESET), leaving the
+            # mapping for the failure detector to heal.
+            report.degraded_hits += 1
+            fetched = self.backing_store.get(key)
+            if fetched is None:
+                raise WorkloadError(f"object {key!r} is missing from the backing store")
+            _size, store_latency = fetched
+            fetch_span = tracer.begin("store.fetch", span, key=key)
+            yield store_latency
+            tracer.finish(fetch_span)
+            report.total_bytes += size
+            tracer.finish(span, hit=True, reset=False, degraded=True)
+            report.samples.append(RequestSample(
+                client_id=client_id, key=key, size=size,
+                started_at=started, finished_at=env.now,
+                hit=True, reset=False, degraded=True,
+                hosts_touched=result.hosts_touched,
+            ))
+            return
         else:
             report.misses += 1
             reset = result.data_lost
@@ -417,8 +451,28 @@ class _EventDriver:
         report.flow_intervals_dropped = retired_during_run - len(report.flow_intervals)
         report.fold_sample_bounds()
 
+    #: Deployment counters folded into ``report.resilience`` after a run.
+    RESILIENCE_COUNTERS = (
+        "proxy.chunk_retries",
+        "proxy.chunk_hedges",
+        "proxy.chunk_faults",
+        "proxy.breaker_rejections",
+        "proxy.degraded_fallbacks",
+        "proxy.put_failures",
+        "proxy.repair_faults",
+        "faas.injected_faults",
+        "faas.reclaims",
+        "backup.interrupted_rounds",
+    )
+
     def _finish(self, report: ConcurrentReplayReport, trace_marker: int) -> ConcurrentReplayReport:
         self._collect(report, trace_marker)
+        all_counters = self.deployment.counters()
+        report.resilience = {
+            name: all_counters[name]
+            for name in self.RESILIENCE_COUNTERS
+            if name in all_counters
+        }
         self.deployment.stop()
         report.total_cost = self.deployment.total_cost()
         report.cost_breakdown = self.deployment.cost_breakdown()

@@ -1,0 +1,43 @@
+"""S205 fixture: broad exception handlers swallowing errors in sim coroutines."""
+
+
+def fetch_process(env, node):
+    try:
+        yield env.transfer(node)
+    except Exception:  # lint-expect: S205
+        pass
+    try:
+        yield 0.5
+    except:  # noqa: E722  # lint-expect: S205
+        return None
+    try:
+        yield env.transfer(node)
+    except (ValueError, Exception):  # lint-expect: S205
+        env.log("oops")
+
+
+def hardened_process(env, node):
+    try:
+        yield env.transfer(node)
+    except TransientFaultError:  # guard: typed fault handling is the point
+        env.record_fault()
+    try:
+        yield env.transfer(node)
+    except Exception:  # guard: re-raising is not swallowing
+        env.record_fault()
+        raise
+    try:
+        yield env.transfer(node)
+    except Exception as error:  # guard: wrapping and re-raising is fine
+        raise RuntimeError("transfer died") from error
+
+
+def helper(env):
+    try:
+        return env.read()
+    except Exception:  # guard: not a sim coroutine (no yield)
+        return None
+
+
+class TransientFaultError(Exception):
+    pass

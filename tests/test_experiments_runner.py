@@ -12,6 +12,7 @@ class TestRunnerSpecs:
             "figure1", "figure4", "figure8", "figure9", "figure11", "figure12",
             "figure13", "figure14", "figure15", "figure16", "figure17",
             "table1", "availability", "cluster_scale", "autoscale_policies",
+            "chaos_availability",
         }
         assert expected == set(specs)
 

@@ -56,6 +56,7 @@ FIXTURES = {
     "s202_invalid_yield.py": "src/repro/sim/fixture.py",
     "s203_billed_session.py": "src/repro/sim/fixture.py",
     "s204_delay.py": "src/repro/sim/fixture.py",
+    "s205_swallowed_exception.py": "src/repro/sim/fixture.py",
     "suppressions.py": "src/repro/sim/fixture.py",
 }
 
@@ -131,7 +132,7 @@ class TestRegistry:
     def test_all_expected_codes_registered(self):
         assert set(rule_codes()) == {
             "D101", "D102", "D103", "D104", "D105",
-            "S201", "S202", "S203", "S204",
+            "S201", "S202", "S203", "S204", "S205",
         }
 
     def test_get_rule_round_trips(self):
