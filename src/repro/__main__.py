@@ -42,6 +42,14 @@ fingerprint divergence, on any unhandled request failure, or if the
 degraded-fallback path never engaged.  CI runs it as the ``chaos-smoke``
 job.  See ``docs/robustness.md``.
 
+``python -m repro scenarios {list,describe,run}`` drives the declarative
+scenario engine (:mod:`repro.scenarios`): list the built-in grid library,
+inspect a grid's axes and cells, or expand and execute one —
+``run NAME --parallel N`` fans the (cell, replication) units over a spawn
+process pool with per-unit fingerprints byte-identical to a serial run,
+and ``--output PATH`` writes the grid summary JSON (fingerprints,
+collector digests, per-cell metric rows).  See ``docs/scenarios.md``.
+
 ``python -m repro lint [PATHS] [--format text|json|github] [--baseline
 PATH] [--write-baseline | --check-baseline]`` runs the determinism &
 sim-protocol static analyser (:mod:`repro.lint`) over the source tree and
@@ -497,6 +505,10 @@ def main(argv: list[str] | None = None) -> int:
         return _perf(argv[1:])
     if argv and argv[0] == "trace":
         return _trace(argv[1:])
+    if argv and argv[0] == "scenarios":
+        from repro.scenarios.cli import main as scenarios_main
+
+        return scenarios_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.lint.cli import main as lint_main
 

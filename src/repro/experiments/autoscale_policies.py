@@ -23,18 +23,10 @@ from repro.experiments import cluster_scale
 from repro.experiments.report import format_table
 from repro.faas.billing import UNATTRIBUTED_TENANT
 
-#: The compared configurations, by policy name.
-DEFAULT_POLICIES: dict[str, AutoscalerConfig] = {
-    "reactive": AutoscalerConfig(interval_s=30.0, policy="reactive"),
-    "predictive": AutoscalerConfig(
-        interval_s=30.0, policy="predictive", ewma_alpha=0.3,
-        target_requests_per_node=1.0,
-    ),
-    "predictive_trend": AutoscalerConfig(
-        interval_s=30.0, policy="predictive_trend", ewma_alpha=0.3,
-        trend_beta=0.3, target_requests_per_node=1.0,
-    ),
-}
+# The compared configurations live next to the ported replay body so the
+# scenario library's policy axis and this experiment share one definition;
+# re-exported here because this was their historical home.
+from repro.scenarios.cluster import DEFAULT_POLICIES  # noqa: F401  (re-export)
 
 
 @dataclass

@@ -12,134 +12,40 @@ with different working sets and quotas share one autoscaling cluster:
 * ``batch`` — a bulk tenant with a byte quota well under its working set,
   so its PUTs are rejected once it reaches its cap.
 
-The replay injects all tenants' requests **open-loop** at their arrival
-timestamps through :meth:`repro.workload.replay.OpenLoopDriver.run_schedule`:
-each request runs as a coroutine process, so a slow RESET (backing-store
-fetch plus re-insert) is still in flight while later arrivals — this
-tenant's or another's — proceed concurrently through the flow-level network
-model.  Misses RESET through a simulated backing store, as in the paper's
-replays.  Reported per tenant: hit ratio, latency
-percentiles, throttle/rejection counts, bytes cached (stored and logical),
-and the **chargeback** — the GB-seconds and dollars the billing pipeline
-attributed to each tenant's invocations, which sum to the cluster-wide
-bill.  The pool-size timeline shows the autoscaler reacting to the
-aggregate load, and the driver report's fingerprint pins the whole replay
-for the golden differential suite.
+The execution body lives in :mod:`repro.scenarios.cluster` — this module is
+the experiment-facing wrapper: it builds a
+:class:`~repro.scenarios.spec.ClusterScenarioSpec` (whose defaults are this
+experiment's historical constants), runs it, and renders the report.  The
+golden differential suite pins the driver fingerprint, so the wrapper is
+replay-identical to the pre-port implementation.  The scenario engine runs
+the same replay as the ``cluster_scale`` library grid (``repro scenarios
+run cluster_scale``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.baselines.s3 import ObjectStore
-from repro.cache.config import InfiniCacheConfig, StragglerModel
-from repro.cluster import AutoscalerConfig, InfiniCacheCluster, TenantQuota
-from repro.exceptions import QuotaExceededError, RateLimitedError
+from repro.cluster import AutoscalerConfig
 from repro.experiments.harness import ExperimentHarness
 from repro.experiments.report import format_table
 from repro.faas.billing import UNATTRIBUTED_TENANT
-from repro.utils.rng import SeededRNG
-from repro.utils.stats import summarize
-from repro.utils.units import MB, MIB
-from repro.workload.replay import ConcurrentReplayReport, RequestSample
+from repro.scenarios.cluster import (
+    ClusterScaleResult,
+    TenantOutcome,
+    TenantSpec,
+    default_tenants,
+    run_cluster_scale,
+)
+from repro.scenarios.spec import ClusterScenarioSpec
+from repro.utils.units import MB
 
-
-@dataclass(frozen=True)
-class TenantSpec:
-    """Workload and quota description of one tenant in the experiment."""
-
-    tenant_id: str
-    requests: int
-    num_objects: int
-    object_size: int
-    zipf_exponent: float = 0.9
-    quota: TenantQuota = field(default_factory=TenantQuota)
-
-
-def default_tenants(requests_per_tenant: int = 300) -> list[TenantSpec]:
-    """The three-tenant mix described in the module docstring."""
-    return [
-        TenantSpec(
-            tenant_id="media",
-            requests=requests_per_tenant,
-            num_objects=120,
-            object_size=12 * MB,
-        ),
-        TenantSpec(
-            tenant_id="api",
-            requests=requests_per_tenant,
-            num_objects=10,
-            object_size=1 * MB,
-            quota=TenantQuota(max_requests_per_s=1.0, burst_requests=5),
-        ),
-        TenantSpec(
-            tenant_id="batch",
-            requests=requests_per_tenant,
-            num_objects=40,
-            object_size=10 * MB,
-            quota=TenantQuota(max_bytes=120 * MB),
-        ),
-    ]
-
-
-@dataclass
-class TenantOutcome:
-    """Everything measured for one tenant during the replay."""
-
-    tenant_id: str
-    requests_issued: int = 0
-    hits: int = 0
-    misses: int = 0
-    throttled: int = 0
-    rejected_puts: int = 0
-    latencies_s: list[float] = field(default_factory=list)
-    bytes_stored: int = 0
-    #: GB-seconds of Lambda time the billing pipeline attributed to this
-    #: tenant's invocations (serving, warm-up, backup, rebalance, repair).
-    billed_gb_seconds: float = 0.0
-    #: Dollars charged back to this tenant; all tenants' costs plus the
-    #: unattributed remainder sum to the cluster-wide bill.
-    billed_cost: float = 0.0
-
-    @property
-    def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    @property
-    def miss_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.misses / total if total else 0.0
-
-    def latency_summary(self) -> dict[str, float]:
-        return summarize(self.latencies_s)
-
-
-@dataclass
-class ClusterScaleResult:
-    """Outcome of the multi-tenant cluster replay."""
-
-    duration_s: float
-    tenants: dict[str, TenantOutcome]
-    pool_size_timeline: list[tuple[float, float]]
-    initial_pool_size: int
-    peak_pool_size: int
-    final_pool_size: int
-    total_cost: float
-    cost_breakdown: dict[str, float]
-    counters: dict[str, float]
-    #: Full chargeback decomposition of the bill, including the
-    #: ``UNATTRIBUTED_TENANT`` row for maintenance no tenant caused.
-    chargeback: dict[str, dict[str, float]] = field(default_factory=dict)
-    #: The open-loop driver's report (request samples + flow intervals).
-    replay_report: ConcurrentReplayReport | None = None
-    #: Driver fingerprints (golden differential suite).
-    fingerprints: dict[str, str] = field(default_factory=dict)
-
-    @property
-    def chargeback_total_cost(self) -> float:
-        """Sum of the chargeback rows — equals ``total_cost`` (conservation)."""
-        return sum(row["cost"] for row in self.chargeback.values())
+__all__ = [
+    "TenantSpec",
+    "TenantOutcome",
+    "ClusterScaleResult",
+    "default_tenants",
+    "run",
+    "format_report",
+]
 
 
 def run(
@@ -150,151 +56,12 @@ def run(
     harness: ExperimentHarness | None = None,
 ) -> ClusterScaleResult:
     """Replay the multi-tenant mix against an autoscaling cluster."""
-    harness = harness or ExperimentHarness("cluster_scale", seed)
-    specs = tenants if tenants is not None else default_tenants()
-    config = InfiniCacheConfig(
-        num_proxies=2,
-        lambdas_per_proxy=8,
-        lambda_memory_bytes=192 * MIB,
-        data_shards=4,
-        parity_shards=2,
-        min_lambdas_per_proxy=6,
-        max_lambdas_per_proxy=48,
-        straggler=StragglerModel(probability=0.0),
-        # Open-loop replays retire thousands of transfer intervals; the
-        # experiment only consumes aggregate flow statistics, so retain a
-        # bounded window instead of the whole run (peak/throughput numbers
-        # are maintained independently of the retained trace).
-        flow_trace_limit=512,
-        seed=seed,
-    )
-    cluster = InfiniCacheCluster(
-        config,
-        autoscaler_config=autoscaler_config or AutoscalerConfig(interval_s=30.0),
-    )
-    cluster.start()
-    backing_store = ObjectStore()
-
-    rng = SeededRNG(seed).child("cluster_scale")
-    clients = {spec.tenant_id: cluster.register_tenant(spec.tenant_id, spec.quota)
-               for spec in specs}
-    outcomes = {spec.tenant_id: TenantOutcome(spec.tenant_id) for spec in specs}
-
-    # All tenants' requests interleave in timestamp order on one event loop;
-    # keys are pre-drawn in arrival order so the schedule (and the RNG
-    # stream) is identical however the in-flight requests overlap.
-    schedule: list[tuple[float, TenantSpec]] = []
-    for spec in specs:
-        tenant_rng = rng.child(spec.tenant_id)
-        times = sorted(tenant_rng.uniform(0.0, duration_s) for _ in range(spec.requests))
-        schedule.extend((time, spec) for time in times)
-    schedule.sort(key=lambda item: item[0])
-    key_rngs = {spec.tenant_id: rng.child(spec.tenant_id, "keys") for spec in specs}
-    keyed_schedule: list[tuple[float, TenantSpec, str]] = []
-    for timestamp, spec in schedule:
-        rank = key_rngs[spec.tenant_id].bounded_zipf(spec.num_objects, spec.zipf_exponent)
-        keyed_schedule.append((timestamp, spec, f"obj-{rank:05d}"))
-
-    env = cluster.deployment.request_env
-    loop = cluster.simulator
-    report = ConcurrentReplayReport(
-        system="infinicache-cluster", mode="open-loop", clients=len(specs),
-    )
-
-    def request_process(spec: TenantSpec, key: str):
-        outcome = outcomes[spec.tenant_id]
-        client = clients[spec.tenant_id]
-        start = env.now
-        outcome.requests_issued += 1
-        report.requests += 1
-        try:
-            result = yield from client.get_process(key, env)
-        except RateLimitedError:
-            outcome.throttled += 1
-            return
-        if result.hit:
-            outcome.hits += 1
-            report.hits += 1
-            report.total_bytes += result.size
-            outcome.latencies_s.append(result.latency_s)
-            report.samples.append(RequestSample(
-                client_id=spec.tenant_id, key=key, size=spec.object_size,
-                started_at=start, finished_at=env.now, hit=True,
-                recovery=result.recovery_performed,
-                hosts_touched=result.hosts_touched,
-            ))
-            return
-        outcome.misses += 1
-        report.misses += 1
-        reset = result.data_lost
-        if reset:
-            report.resets += 1
-        # RESET: fetch from the backing store and re-insert (quota permitting).
-        backing_store.put(f"{spec.tenant_id}/{key}", spec.object_size)
-        _size, store_latency = backing_store.get(f"{spec.tenant_id}/{key}")
-        yield store_latency
-        try:
-            yield from client.put_sized_process(key, spec.object_size, env)
-        except QuotaExceededError:
-            outcome.rejected_puts += 1
-        except RateLimitedError:
-            outcome.throttled += 1
-        outcome.latencies_s.append(env.now - start)
-        report.total_bytes += spec.object_size
-        report.samples.append(RequestSample(
-            client_id=spec.tenant_id, key=key, size=spec.object_size,
-            started_at=start, finished_at=env.now, hit=False, reset=reset,
-        ))
-
-    arrivals = [
-        (
-            timestamp,
-            f"cluster_scale.{spec.tenant_id}",
-            lambda s=spec, k=key: request_process(s, k),
-        )
-        for timestamp, spec, key in keyed_schedule
-    ]
-    driver = harness.open_loop(cluster.deployment, backing_store=backing_store)
-    driver.run_schedule(arrivals, report, finalize=False)
-    cluster.run_until(max(duration_s, loop.now))
-    cluster.stop()
-    harness.record("replay", report)
-
-    tenant_report = cluster.tenant_report()
-    chargeback = cluster.chargeback_report()
-    total_cost = cluster.total_cost()
-    for outcome in outcomes.values():
-        outcome.bytes_stored = int(tenant_report[outcome.tenant_id]["bytes_stored"])
-        row = chargeback.get(outcome.tenant_id, {})
-        outcome.billed_gb_seconds = row.get("gb_seconds", 0.0)
-        outcome.billed_cost = row.get("cost", 0.0)
-
-    timeline: list[tuple[float, float]] = []
-    for proxy_id in sorted(cluster.pool_sizes()):
-        series = cluster.metrics.series(f"cluster.pool_size.{proxy_id}")
-        timeline.extend(zip(series.times, series.values))
-    timeline.sort()
-    pool_total_by_time: dict[float, float] = {}
-    for time, size in timeline:
-        pool_total_by_time[time] = pool_total_by_time.get(time, 0.0) + size
-    pool_timeline = sorted(pool_total_by_time.items())
-    initial_pool = config.num_proxies * config.lambdas_per_proxy
-    sizes = [size for _time, size in pool_timeline] or [float(initial_pool)]
-
-    return ClusterScaleResult(
+    spec = ClusterScenarioSpec(
+        tenants=tuple(tenants if tenants is not None else default_tenants()),
         duration_s=duration_s,
-        tenants=outcomes,
-        pool_size_timeline=pool_timeline,
-        initial_pool_size=initial_pool,
-        peak_pool_size=int(max(sizes)),
-        final_pool_size=int(sizes[-1]),
-        total_cost=total_cost,
-        cost_breakdown=cluster.cost_breakdown(),
-        counters=cluster.metrics.counters(),
-        chargeback=chargeback,
-        replay_report=report,
-        fingerprints=harness.fingerprints,
+        autoscaler=autoscaler_config or AutoscalerConfig(interval_s=30.0),
     )
+    return run_cluster_scale(spec, seed=seed, harness=harness)
 
 
 def format_report(result: ClusterScaleResult) -> str:

@@ -13,6 +13,7 @@ sub-components without their streams being correlated.
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Sequence
 
 import numpy as np
@@ -107,6 +108,14 @@ class SeededRNG:
         Ranks are 0-indexed; rank 0 is the most popular.  Implemented via
         inverse-CDF over the normalised Zipf weights, cached per (n, exponent).
         """
+        if n < 1:
+            raise ValueError(f"bounded_zipf requires n >= 1, got {n}")
+        if not math.isfinite(exponent) or exponent <= 0:
+            # A NaN/inf exponent poisons the weights (all-NaN CDF), which
+            # makes searchsorted silently return n — an out-of-range rank.
+            raise ValueError(
+                f"bounded_zipf requires a positive finite exponent, got {exponent}"
+            )
         key = (n, round(exponent, 6))
         cdf = self._zipf_cdf_cache.get(key)
         if cdf is None:
@@ -115,7 +124,9 @@ class SeededRNG:
             cdf = np.cumsum(weights / weights.sum())
             self._zipf_cdf_cache[key] = cdf
         u = self._gen.random()
-        return int(np.searchsorted(cdf, u, side="left"))
+        # The float cumsum can top out a few ulps below 1.0; a u drawn in
+        # that sliver would index one past the last rank.
+        return min(int(np.searchsorted(cdf, u, side="left")), n - 1)
 
     def log_uniform(self, low: float, high: float) -> float:
         """Draw from a log-uniform distribution over [low, high].

@@ -16,7 +16,14 @@ distribution, and 37-46 % of large-object reuses within an hour.
 """
 
 from repro.workload.trace import TraceRecord, Trace
+from repro.workload.arrivals import (
+    ClosedLoopArrivals,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
 from repro.workload.distributions import ObjectSizeDistribution, ZipfPopularity
+from repro.workload.popularity import FlashCrowd, ScanMix, StaticZipf, ZipfChurn
 from repro.workload.docker_registry import DockerRegistryTraceGenerator, RegistryTraceConfig
 from repro.workload.microbenchmark import MicrobenchmarkWorkload
 from repro.workload.replay import (
@@ -37,8 +44,16 @@ from repro.workload.replay import (
 __all__ = [
     "TraceRecord",
     "Trace",
+    "ClosedLoopArrivals",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
     "ObjectSizeDistribution",
     "ZipfPopularity",
+    "StaticZipf",
+    "ZipfChurn",
+    "FlashCrowd",
+    "ScanMix",
     "DockerRegistryTraceGenerator",
     "RegistryTraceConfig",
     "MicrobenchmarkWorkload",

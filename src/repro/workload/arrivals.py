@@ -1,0 +1,179 @@
+"""Arrival processes for the declarative scenario engine.
+
+An arrival process turns one seeded RNG stream into the *offered load* of a
+scenario: either a closed loop (N clients, each back-to-back) or an open
+loop (a sorted list of arrival timestamps the drivers inject at).  Four
+processes cover the scenario library:
+
+* :class:`ClosedLoopArrivals` — N concurrent clients issuing back-to-back
+  requests (the Figure 12 shape); no timestamps, load is self-clocking.
+* :class:`PoissonArrivals` — homogeneous open-loop Poisson at a fixed rate.
+* :class:`MMPPArrivals` — a two-state Markov-modulated Poisson process:
+  the rate switches between a quiet and a bursty state with exponentially
+  distributed dwell times (the classic bursty-traffic model).
+* :class:`DiurnalArrivals` — a non-homogeneous Poisson process whose rate
+  follows :func:`repro.workload.distributions.diurnal_rate_multiplier`
+  (day/night modulation), sampled by thinning.
+
+Every process is a frozen, validated, picklable dataclass — scenario cells
+cross process boundaries under the parallel runner — and draws exclusively
+from the RNG handed to :meth:`times`, so one scenario seed fully determines
+the schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeededRNG
+from repro.workload.distributions import diurnal_rate_multiplier
+
+
+def _check_positive(name: str, value: float) -> None:
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be positive and finite, got {value}")
+
+
+@dataclass(frozen=True)
+class ClosedLoopArrivals:
+    """N concurrent closed-loop clients, ``requests_per_client`` ops each.
+
+    Closed-loop load has no arrival timestamps — each client issues its next
+    request the moment the previous one completes — so :meth:`times` is
+    deliberately unsupported; the scenario executor builds per-client plans
+    instead.
+    """
+
+    clients: int = 4
+    requests_per_client: int = 8
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ConfigurationError("a closed loop needs at least one client")
+        if self.requests_per_client < 1:
+            raise ConfigurationError("each client needs at least one request")
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+    def times(self, rng: SeededRNG) -> list[float]:
+        raise ConfigurationError(
+            "closed-loop arrivals have no timestamps; the executor drives "
+            "clients back-to-back instead"
+        )
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Open-loop Poisson arrivals at ``rate_rps`` for ``duration_s``."""
+
+    rate_rps: float = 2.0
+    duration_s: float = 60.0
+
+    def __post_init__(self):
+        _check_positive("arrival rate", self.rate_rps)
+        _check_positive("arrival duration", self.duration_s)
+
+    def times(self, rng: SeededRNG) -> list[float]:
+        """Exponential inter-arrival gaps until the horizon."""
+        out: list[float] = []
+        now = rng.exponential(1.0 / self.rate_rps)
+        while now < self.duration_s:
+            out.append(now)
+            now += rng.exponential(1.0 / self.rate_rps)
+        return out
+
+
+@dataclass(frozen=True)
+class MMPPArrivals:
+    """Two-state Markov-modulated Poisson process (quiet / burst).
+
+    The process alternates between a quiet state at ``quiet_rate_rps`` and a
+    burst state at ``burst_rate_rps``; dwell times in each state are
+    exponential with the given means.  Starts in the quiet state.
+    """
+
+    quiet_rate_rps: float = 1.0
+    burst_rate_rps: float = 10.0
+    quiet_dwell_s: float = 30.0
+    burst_dwell_s: float = 5.0
+    duration_s: float = 60.0
+
+    def __post_init__(self):
+        _check_positive("quiet rate", self.quiet_rate_rps)
+        _check_positive("burst rate", self.burst_rate_rps)
+        _check_positive("quiet dwell", self.quiet_dwell_s)
+        _check_positive("burst dwell", self.burst_dwell_s)
+        _check_positive("arrival duration", self.duration_s)
+
+    def times(self, rng: SeededRNG) -> list[float]:
+        """Arrivals drawn per state window; windows drawn first, in order."""
+        out: list[float] = []
+        now = 0.0
+        bursting = False
+        while now < self.duration_s:
+            dwell = rng.exponential(self.burst_dwell_s if bursting else self.quiet_dwell_s)
+            window_end = min(now + dwell, self.duration_s)
+            rate = self.burst_rate_rps if bursting else self.quiet_rate_rps
+            at = now + rng.exponential(1.0 / rate)
+            while at < window_end:
+                out.append(at)
+                at += rng.exponential(1.0 / rate)
+            now = window_end
+            bursting = not bursting
+        return out
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Non-homogeneous Poisson arrivals following a day/night cosine.
+
+    The instantaneous rate is ``base_rate_rps`` scaled by
+    :func:`diurnal_rate_multiplier` at the virtual hour of day (the scenario
+    clock starts at ``start_hour``); sampling is by thinning against the
+    peak rate, so the schedule is exact for the modulated intensity.
+    """
+
+    base_rate_rps: float = 2.0
+    duration_s: float = 120.0
+    start_hour: float = 8.0
+    peak_hour: float = 14.0
+    amplitude: float = 0.6
+    #: Virtual seconds per simulated "hour" — scenarios compress the diurnal
+    #: cycle so a short replay still sweeps through day and night.
+    seconds_per_hour: float = 60.0
+
+    def __post_init__(self):
+        _check_positive("base rate", self.base_rate_rps)
+        _check_positive("arrival duration", self.duration_s)
+        _check_positive("seconds per hour", self.seconds_per_hour)
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("amplitude must be in [0, 1)")
+
+    def rate_at(self, now_s: float) -> float:
+        """The modulated instantaneous rate at virtual time ``now_s``."""
+        hour = self.start_hour + now_s / self.seconds_per_hour
+        return self.base_rate_rps * diurnal_rate_multiplier(
+            hour % 24.0, peak_hour=self.peak_hour, amplitude=self.amplitude
+        )
+
+    def times(self, rng: SeededRNG) -> list[float]:
+        """Thinning: draw at the peak rate, keep with probability rate/peak."""
+        peak = self.base_rate_rps * (1.0 + self.amplitude)
+        out: list[float] = []
+        now = rng.exponential(1.0 / peak)
+        while now < self.duration_s:
+            if rng.random() < self.rate_at(now) / peak:
+                out.append(now)
+            now += rng.exponential(1.0 / peak)
+        return out
+
+
+#: Every open-loop arrival process (``times()``-capable).
+OpenLoopArrivalSpec = PoissonArrivals | MMPPArrivals | DiurnalArrivals
+
+#: Every arrival process a scenario may declare.
+ArrivalSpec = ClosedLoopArrivals | OpenLoopArrivalSpec

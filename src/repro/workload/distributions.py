@@ -13,6 +13,7 @@ Two distributions drive the Docker-registry trace generator:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
@@ -48,10 +49,13 @@ class ObjectSizeDistribution:
     def sample(self, rng: SeededRNG) -> int:
         """Draw one object size in bytes."""
         if rng.random() < self.large_fraction:
-            size = rng.log_uniform(self.large_min_bytes, self.large_max_bytes)
+            low, high = self.large_min_bytes, self.large_max_bytes
         else:
-            size = rng.log_uniform(self.small_min_bytes, self.small_max_bytes)
-        return max(1, int(size))
+            low, high = self.small_min_bytes, self.small_max_bytes
+        # int() truncates, and exp(uniform(log low, log high)) can land a few
+        # ulps outside [low, high] — clamp so a draw never escapes its band
+        # (a degenerate band like [10**6, 10**6] used to yield 10**6 - 1).
+        return min(max(int(rng.log_uniform(low, high)), low), high)
 
     def sample_many(self, rng: SeededRNG, count: int) -> list[int]:
         """Draw ``count`` independent object sizes."""
@@ -75,8 +79,11 @@ class ZipfPopularity:
     def __post_init__(self):
         if self.catalogue_size < 1:
             raise ConfigurationError("catalogue size must be >= 1")
-        if self.exponent <= 0:
-            raise ConfigurationError("Zipf exponent must be positive")
+        # ``<= 0`` alone would wave NaN through (every NaN comparison is
+        # False) and a NaN exponent poisons the whole inverse CDF, making
+        # searchsorted return catalogue_size — an out-of-range rank.
+        if not math.isfinite(self.exponent) or self.exponent <= 0:
+            raise ConfigurationError("Zipf exponent must be positive and finite")
 
     def sample_rank(self, rng: SeededRNG) -> int:
         """Draw the rank (0 = most popular) of the object for one request."""
@@ -100,7 +107,7 @@ def diurnal_rate_multiplier(hour_of_day: float, peak_hour: float = 14.0,
     """
     if not 0.0 <= amplitude < 1.0:
         raise ConfigurationError("amplitude must be in [0, 1)")
-    import math
-
+    if not math.isfinite(hour_of_day) or not math.isfinite(peak_hour):
+        raise ConfigurationError("hour_of_day and peak_hour must be finite")
     phase = (hour_of_day - peak_hour) / 24.0 * 2.0 * math.pi
     return 1.0 + amplitude * math.cos(phase)

@@ -1,0 +1,206 @@
+"""Popularity processes: which object each request touches.
+
+A popularity spec is a frozen, picklable description; :meth:`sampler` binds
+it to a catalogue size and a seeded RNG and returns the stateful sampler
+the scenario executor draws from, one request at a time **in arrival
+order** (samplers may carry time-evolving state — a churned rank mapping, a
+scan cursor — that only moves forward).
+
+* :class:`StaticZipf` — the classic fixed Zipf ranking
+  (:class:`~repro.workload.distributions.ZipfPopularity`).
+* :class:`ZipfChurn` — Zipf whose rank→object mapping partially reshuffles
+  every ``churn_interval_s`` (popularity churn: yesterday's hot objects go
+  cold, cold ones become hot).
+* :class:`FlashCrowd` — Zipf plus a window during which a configurable
+  fraction of requests hammers a tiny set of previously-unseen objects
+  (the flash-crowd / thundering-herd shape).
+* :class:`ScanMix` — Zipf interleaved with a sequential one-touch scan over
+  the catalogue (the scan-resistance adversary: a cache that evicts its
+  hot set for scan traffic collapses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeededRNG
+from repro.workload.distributions import ZipfPopularity
+
+
+def _check_exponent(exponent: float) -> None:
+    if not math.isfinite(exponent) or exponent <= 0:
+        raise ConfigurationError(
+            f"Zipf exponent must be positive and finite, got {exponent}"
+        )
+
+
+class _ZipfSampler:
+    """Stateless base sampler: rank straight from the Zipf draw."""
+
+    def __init__(self, spec, catalogue_size: int, rng: SeededRNG):
+        self.spec = spec
+        self.catalogue_size = catalogue_size
+        self.rng = rng
+        self.popularity = ZipfPopularity(catalogue_size, spec.exponent)
+
+    def draw(self, now: float) -> int:
+        return self.popularity.sample_rank(self.rng)
+
+
+@dataclass(frozen=True)
+class StaticZipf:
+    """A fixed Zipf ranking over the catalogue."""
+
+    exponent: float = 0.9
+
+    #: Objects beyond the catalogue this process can touch (none).
+    extra_objects: ClassVar[int] = 0
+    #: Rank draws ignore virtual time.
+    time_dependent: ClassVar[bool] = False
+
+    def __post_init__(self):
+        _check_exponent(self.exponent)
+
+    def sampler(self, catalogue_size: int, rng: SeededRNG) -> _ZipfSampler:
+        return _ZipfSampler(self, catalogue_size, rng)
+
+
+class _ChurnSampler(_ZipfSampler):
+    """Zipf through a rank→object mapping that reshuffles per epoch.
+
+    The churn stream is a dedicated RNG child consumed once per epoch
+    boundary, in epoch order — requests arrive time-sorted, so the mapping
+    evolution is independent of how many requests land in each epoch.
+    """
+
+    def __init__(self, spec, catalogue_size: int, rng: SeededRNG):
+        super().__init__(spec, catalogue_size, rng)
+        self.churn_rng = rng.child("churn")
+        self.mapping = list(range(catalogue_size))
+        self.epoch = 0
+        self.rotate = max(1, round(spec.rotate_fraction * catalogue_size))
+
+    def _advance_to(self, epoch: int) -> None:
+        while self.epoch < epoch:
+            self.epoch += 1
+            if self.catalogue_size < 2:
+                continue
+            slots = self.churn_rng.sample_without_replacement(
+                self.catalogue_size, min(self.rotate, self.catalogue_size)
+            )
+            values = [self.mapping[slot] for slot in slots]
+            self.churn_rng.shuffle(values)
+            for slot, value in zip(slots, values):
+                self.mapping[slot] = value
+
+    def draw(self, now: float) -> int:
+        self._advance_to(int(now // self.spec.churn_interval_s))
+        return self.mapping[self.popularity.sample_rank(self.rng)]
+
+
+@dataclass(frozen=True)
+class ZipfChurn:
+    """Zipf with periodic partial reshuffles of the rank→object mapping."""
+
+    exponent: float = 0.9
+    churn_interval_s: float = 30.0
+    #: Fraction of the catalogue whose ranks are permuted each epoch.
+    rotate_fraction: float = 0.25
+
+    extra_objects: ClassVar[int] = 0
+    #: Churn epochs advance with virtual time, so this process needs
+    #: timestamped (open-loop) arrivals.
+    time_dependent: ClassVar[bool] = True
+
+    def __post_init__(self):
+        _check_exponent(self.exponent)
+        if not math.isfinite(self.churn_interval_s) or self.churn_interval_s <= 0:
+            raise ConfigurationError("churn interval must be positive and finite")
+        if not 0.0 < self.rotate_fraction <= 1.0:
+            raise ConfigurationError("rotate fraction must be in (0, 1]")
+
+    def sampler(self, catalogue_size: int, rng: SeededRNG) -> _ChurnSampler:
+        return _ChurnSampler(self, catalogue_size, rng)
+
+
+class _FlashSampler(_ZipfSampler):
+    def draw(self, now: float) -> int:
+        spec = self.spec
+        in_window = spec.at_s <= now < spec.at_s + spec.duration_s
+        if in_window and self.rng.random() < spec.flash_fraction:
+            # Flash objects live past the catalogue end (previously unseen).
+            return self.catalogue_size + self.rng.integers(0, spec.flash_objects)
+        return self.popularity.sample_rank(self.rng)
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """Zipf plus a flash window hammering a tiny set of new objects."""
+
+    exponent: float = 0.9
+    at_s: float = 20.0
+    duration_s: float = 20.0
+    #: Fraction of in-window requests redirected to the flash set.
+    flash_fraction: float = 0.7
+    #: How many distinct objects the flash set contains.
+    flash_objects: int = 3
+
+    time_dependent: ClassVar[bool] = True
+
+    def __post_init__(self):
+        _check_exponent(self.exponent)
+        if self.at_s < 0:
+            raise ConfigurationError("flash window start must be non-negative")
+        if not math.isfinite(self.duration_s) or self.duration_s <= 0:
+            raise ConfigurationError("flash window duration must be positive")
+        if not 0.0 < self.flash_fraction <= 1.0:
+            raise ConfigurationError("flash fraction must be in (0, 1]")
+        if self.flash_objects < 1:
+            raise ConfigurationError("the flash set needs at least one object")
+
+    @property
+    def extra_objects(self) -> int:
+        return self.flash_objects
+
+    def sampler(self, catalogue_size: int, rng: SeededRNG) -> _FlashSampler:
+        return _FlashSampler(self, catalogue_size, rng)
+
+
+class _ScanSampler(_ZipfSampler):
+    def __init__(self, spec, catalogue_size: int, rng: SeededRNG):
+        super().__init__(spec, catalogue_size, rng)
+        self.cursor = 0
+
+    def draw(self, now: float) -> int:
+        if self.rng.random() < self.spec.scan_fraction:
+            rank = self.cursor
+            self.cursor = (self.cursor + 1) % self.catalogue_size
+            return rank
+        return self.popularity.sample_rank(self.rng)
+
+
+@dataclass(frozen=True)
+class ScanMix:
+    """Zipf interleaved with a sequential one-touch catalogue scan."""
+
+    exponent: float = 0.9
+    #: Fraction of requests issued by the scanning adversary.
+    scan_fraction: float = 0.3
+
+    extra_objects: ClassVar[int] = 0
+    time_dependent: ClassVar[bool] = False
+
+    def __post_init__(self):
+        _check_exponent(self.exponent)
+        if not 0.0 < self.scan_fraction < 1.0:
+            raise ConfigurationError("scan fraction must be in (0, 1)")
+
+    def sampler(self, catalogue_size: int, rng: SeededRNG) -> _ScanSampler:
+        return _ScanSampler(self, catalogue_size, rng)
+
+
+#: Every popularity process a scenario may declare.
+PopularitySpec = StaticZipf | ZipfChurn | FlashCrowd | ScanMix

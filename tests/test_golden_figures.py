@@ -257,6 +257,32 @@ class TestGoldenFigures:
         })
 
 
+    def test_scenarios_smoke(self, request):
+        """Pin the scenario engine end to end: the library's ``smoke`` grid
+        (2x2 cells x 2 replications) with its per-unit replay fingerprints
+        and collector metric digests.  Any drift in the spec expansion, the
+        seed derivation, the cell executor, or a collector flips this."""
+        from repro.scenarios.library import get_grid
+        from repro.scenarios.runner import ScenarioRunner
+
+        result = ScenarioRunner(get_grid("smoke"), seed=2020).run(parallel=1)
+        check_golden(request, "scenarios_smoke", {
+            "fingerprints": result.fingerprints(),
+            "digests": {
+                f"{r.cell_key}#{r.replication}": dict(sorted(r.digests.items()))
+                for r in result.results
+            },
+            "headline": {
+                f"{r.cell_key}#{r.replication}": {
+                    "completed": int(r.metrics["requests"]["completed"]),
+                    "hits": int(r.metrics["requests"]["hits"]),
+                    "seed": r.seed,
+                }
+                for r in result.results
+            },
+        })
+
+
 class TestReadmeFingerprintTable:
     def test_readme_column_matches_committed_golden_files(self):
         """README's 'golden fingerprint' column is the sha256 prefix of each

@@ -1,0 +1,195 @@
+"""Unit tests for the declarative scenario engine: specs, grids, seeding.
+
+The seeding contract is the load-bearing piece: a cell's replication seeds
+derive from its **coordinate key** (sorted ``axis=label`` pairs), never
+from its position in the expansion order or the worker that executes it.
+These tests pin injectivity, stability under axis re-ordering and
+unrelated-value insertion, and independence from the parallelism level.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults.scenario import demo_resilience
+from repro.faults.spec import FaultSchedule, ReclamationStorm
+from repro.scenarios import (
+    Axis,
+    ClusterScenarioSpec,
+    ScenarioGrid,
+    ScenarioRunner,
+    ScenarioSpec,
+    TenantShare,
+)
+from repro.scenarios.collectors import DATA_COLLECTORS, resolve_collectors
+from repro.scenarios.library import SCENARIOS, get_grid
+from repro.workload.arrivals import ClosedLoopArrivals, PoissonArrivals
+from repro.workload.popularity import ScanMix, StaticZipf, ZipfChurn
+
+
+def small_grid(axes=(), **kwargs) -> ScenarioGrid:
+    return ScenarioGrid(
+        name="unit",
+        base=ScenarioSpec(arrival=PoissonArrivals(rate_rps=1.0, duration_s=10.0)),
+        axes=axes,
+        **kwargs,
+    )
+
+
+ARRIVAL_AXIS = Axis("arrival", (
+    ("slow", PoissonArrivals(rate_rps=1.0, duration_s=10.0)),
+    ("fast", PoissonArrivals(rate_rps=4.0, duration_s=10.0)),
+))
+POPULARITY_AXIS = Axis("popularity", (
+    ("zipf", StaticZipf(exponent=0.9)),
+    ("scan", ScanMix(exponent=0.9, scan_fraction=0.3)),
+))
+
+
+class TestSpecValidation:
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(tenants=(TenantShare("a"), TenantShare("a")))
+
+    def test_time_dependent_popularity_needs_open_loop(self):
+        with pytest.raises(ConfigurationError, match="open-loop"):
+            ScenarioSpec(arrival=ClosedLoopArrivals(), popularity=ZipfChurn())
+
+    def test_faults_require_resilience(self):
+        schedule = FaultSchedule((ReclamationStorm(at_s=5.0, fraction=0.5),))
+        with pytest.raises(ConfigurationError, match="resilience"):
+            ScenarioSpec(faults=schedule)
+        # With a resilience profile the same schedule is accepted.
+        ScenarioSpec(faults=schedule, resilience=demo_resilience())
+
+    def test_axis_label_charset_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Axis("arrival", (("a=b", PoissonArrivals()),))
+        with pytest.raises(ConfigurationError):
+            Axis("bad,name", (("x", PoissonArrivals()),))
+
+    def test_grid_rejects_unknown_spec_field(self):
+        with pytest.raises(ConfigurationError, match="unknown spec field"):
+            small_grid(axes=(Axis("nope", (("x", 1),)),))
+
+    def test_grid_rejects_unknown_collector_at_run(self):
+        with pytest.raises(ConfigurationError, match="unknown collectors"):
+            resolve_collectors(("requests", "nonexistent"))
+
+    def test_invalid_cell_fails_at_declaration_time(self):
+        # The axis substitutes a time-dependent popularity under a
+        # closed-loop base arrival: expansion validates every cell eagerly.
+        with pytest.raises(ConfigurationError, match="open-loop"):
+            ScenarioGrid(
+                name="bad",
+                base=ScenarioSpec(arrival=ClosedLoopArrivals()),
+                axes=(Axis("popularity", (("churn", ZipfChurn()),)),),
+            )
+
+    def test_specs_and_cells_are_picklable(self):
+        grid = small_grid(axes=(ARRIVAL_AXIS, POPULARITY_AXIS))
+        for cell in grid.expand():
+            clone = pickle.loads(pickle.dumps(cell))
+            assert clone.key() == cell.key()
+        pickle.loads(pickle.dumps(ClusterScenarioSpec()))
+
+
+class TestGridExpansion:
+    def test_cartesian_product_order_and_count(self):
+        grid = small_grid(axes=(ARRIVAL_AXIS, POPULARITY_AXIS))
+        cells = grid.expand()
+        assert len(cells) == grid.cell_count == 4
+        assert [cell.coords for cell in cells] == [
+            (("arrival", "slow"), ("popularity", "zipf")),
+            (("arrival", "slow"), ("popularity", "scan")),
+            (("arrival", "fast"), ("popularity", "zipf")),
+            (("arrival", "fast"), ("popularity", "scan")),
+        ]
+
+    def test_key_is_sorted_and_index_free(self):
+        grid = small_grid(axes=(POPULARITY_AXIS, ARRIVAL_AXIS))
+        keys = {cell.key() for cell in grid.expand()}
+        assert "arrival=slow,popularity=zipf" in keys
+
+    def test_axis_values_substitute_into_spec(self):
+        grid = small_grid(axes=(ARRIVAL_AXIS,))
+        fast = [c for c in grid.expand() if c.coords[0][1] == "fast"]
+        assert fast[0].spec.arrival.rate_rps == 4.0
+
+
+class TestSeedDerivation:
+    def test_seeds_injective_over_cell_and_replication(self):
+        grid = small_grid(axes=(ARRIVAL_AXIS, POPULARITY_AXIS), replications=3)
+        units = ScenarioRunner(grid, seed=2020).work_units()
+        seeds = [unit.seed for unit in units]
+        assert len(set(seeds)) == len(seeds) == 12
+
+    def test_seeds_stable_under_axis_reordering(self):
+        forward = small_grid(axes=(ARRIVAL_AXIS, POPULARITY_AXIS))
+        backward = small_grid(axes=(POPULARITY_AXIS, ARRIVAL_AXIS))
+        seed_by_key = {
+            (u.cell.key(), u.replication): u.seed
+            for u in ScenarioRunner(forward, seed=7).work_units()
+        }
+        for unit in ScenarioRunner(backward, seed=7).work_units():
+            assert seed_by_key[(unit.cell.key(), unit.replication)] == unit.seed
+
+    def test_seeds_stable_when_unrelated_axis_value_added(self):
+        wider_arrivals = Axis("arrival", ARRIVAL_AXIS.values + (
+            ("extra", PoissonArrivals(rate_rps=9.0, duration_s=10.0)),
+        ))
+        narrow = small_grid(axes=(ARRIVAL_AXIS, POPULARITY_AXIS))
+        wide = small_grid(axes=(wider_arrivals, POPULARITY_AXIS))
+        narrow_seeds = {
+            (u.cell.key(), u.replication): u.seed
+            for u in ScenarioRunner(narrow, seed=3).work_units()
+        }
+        wide_seeds = {
+            (u.cell.key(), u.replication): u.seed
+            for u in ScenarioRunner(wide, seed=3).work_units()
+        }
+        for key, seed in narrow_seeds.items():
+            assert wide_seeds[key] == seed
+
+    def test_seeds_differ_across_base_seed_and_grid_name(self):
+        grid = small_grid(axes=(ARRIVAL_AXIS,))
+        a = [u.seed for u in ScenarioRunner(grid, seed=1).work_units()]
+        b = [u.seed for u in ScenarioRunner(grid, seed=2).work_units()]
+        assert a != b
+
+    def test_replications_get_distinct_seeds(self):
+        grid = small_grid(replications=4)
+        seeds = [u.seed for u in ScenarioRunner(grid, seed=11).work_units()]
+        assert len(set(seeds)) == 4
+
+
+class TestLibrary:
+    def test_registry_grids_are_well_formed(self):
+        for name, grid in SCENARIOS.items():
+            assert grid.name == name
+            assert grid.cell_count == len(grid.expand())
+            resolve_collectors(grid.collectors)
+
+    def test_acceptance_scale_grid_present(self):
+        # The issue's acceptance bar: a grid of >= 24 cells, >= 2 replications.
+        grid = get_grid("tenant_interference")
+        assert grid.cell_count >= 24
+        assert grid.replications >= 2
+
+    def test_cluster_experiments_available_as_scenarios(self):
+        assert isinstance(get_grid("cluster_scale").base, ClusterScenarioSpec)
+        policies = get_grid("autoscale_policies")
+        assert [label for label, _ in policies.axes[0].values] == [
+            "reactive", "predictive", "predictive_trend",
+        ]
+
+    def test_unknown_grid_error_lists_names(self):
+        with pytest.raises(ConfigurationError, match="smoke"):
+            get_grid("does-not-exist")
+
+    def test_collector_registry_has_core_set(self):
+        assert {"requests", "latency", "cost", "throughput",
+                "resilience", "autoscaling"} <= set(DATA_COLLECTORS)

@@ -1,0 +1,187 @@
+"""Property-based tests for the workload statistical building blocks.
+
+Hypothesis sweeps the parameter space the example-based suites only spot
+check: Zipf ranks must stay inside the catalogue for *any* valid
+``(catalogue_size, exponent)`` — including single-item catalogues and
+extreme skews — sizes must stay positive and inside their configured band,
+``sample_many`` must be the same stream as repeated ``sample``, and skew
+must act monotonically on the mass of the hottest object.  The NaN/inf
+validation gaps these tests originally surfaced are pinned explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeededRNG
+from repro.workload.arrivals import DiurnalArrivals, MMPPArrivals, PoissonArrivals
+from repro.workload.distributions import (
+    ObjectSizeDistribution,
+    ZipfPopularity,
+    diurnal_rate_multiplier,
+)
+
+# Exponents differing by less than 1e-6 share a CDF cache slot by design,
+# so generated exponents stay comfortably coarser than that.
+EXPONENTS = st.floats(min_value=0.05, max_value=8.0, allow_nan=False,
+                      allow_infinity=False)
+CATALOGUES = st.integers(min_value=1, max_value=400)
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestZipfPopularity:
+    @given(n=CATALOGUES, exponent=EXPONENTS, seed=SEEDS)
+    @settings(max_examples=200, deadline=None)
+    def test_ranks_stay_in_catalogue(self, n, exponent, seed):
+        pop = ZipfPopularity(n, exponent)
+        ranks = pop.sample_ranks(SeededRNG(seed), 50)
+        assert all(0 <= rank < n for rank in ranks)
+
+    @given(exponent=EXPONENTS, seed=SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_single_item_catalogue_always_rank_zero(self, exponent, seed):
+        pop = ZipfPopularity(1, exponent)
+        assert pop.sample_ranks(SeededRNG(seed), 20) == [0] * 20
+
+    @given(n=st.integers(min_value=2, max_value=200), seed=SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_extreme_skew_concentrates_on_rank_zero(self, n, seed):
+        # exponent far beyond anything physical: every weight except rank 0's
+        # underflows to zero, and the draw must still be in range.
+        pop = ZipfPopularity(n, 500.0)
+        assert pop.sample_ranks(SeededRNG(seed), 30) == [0] * 30
+
+    @given(n=st.integers(min_value=4, max_value=200), seed=SEEDS,
+           lo=st.floats(min_value=0.1, max_value=1.0),
+           delta=st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_skew_is_monotone_in_rank_zero_mass(self, n, seed, lo, delta):
+        """A higher exponent never makes the hottest object colder.
+
+        Compared via the exact CDF mass of rank 0 (1 / H(n, a)), estimated
+        here by sampling with a shared seed; 600 draws with a 0.08 slack
+        keeps the test deterministic-stable while catching a reversed
+        ordering immediately.
+        """
+        draws = 600
+        hot_low = sum(
+            1 for r in ZipfPopularity(n, lo).sample_ranks(SeededRNG(seed), draws)
+            if r == 0
+        )
+        hot_high = sum(
+            1 for r in ZipfPopularity(n, lo + delta).sample_ranks(SeededRNG(seed), draws)
+            if r == 0
+        )
+        assert hot_high >= hot_low - 0.08 * draws
+
+    @pytest.mark.parametrize("exponent", [float("nan"), float("inf"),
+                                          -float("inf"), 0.0, -1.0])
+    def test_rejects_non_positive_or_non_finite_exponent(self, exponent):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(10, exponent)
+
+    @pytest.mark.parametrize("exponent", [float("nan"), float("inf"), 0.0])
+    def test_rng_layer_rejects_bad_exponent_too(self, exponent):
+        with pytest.raises(ValueError):
+            SeededRNG(1).bounded_zipf(10, exponent)
+
+    def test_rng_layer_rejects_empty_catalogue(self):
+        with pytest.raises(ValueError):
+            SeededRNG(1).bounded_zipf(0, 1.0)
+
+
+class TestObjectSizeDistribution:
+    @given(
+        small_min=st.integers(min_value=1, max_value=1000),
+        small_span=st.integers(min_value=0, max_value=10**6),
+        large_min=st.integers(min_value=10**6, max_value=10**8),
+        large_span=st.integers(min_value=0, max_value=10**9),
+        fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=SEEDS,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_sizes_positive_and_in_band(self, small_min, small_span, large_min,
+                                        large_span, fraction, seed):
+        dist = ObjectSizeDistribution(
+            small_min_bytes=small_min,
+            small_max_bytes=small_min + small_span,
+            large_min_bytes=large_min,
+            large_max_bytes=large_min + large_span,
+            large_fraction=fraction,
+        )
+        for size in dist.sample_many(SeededRNG(seed), 40):
+            assert size >= 1
+            assert (small_min <= size <= small_min + small_span
+                    or large_min <= size <= large_min + large_span)
+
+    @given(seed=SEEDS, count=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_sample_many_equals_repeated_sample(self, seed, count):
+        dist = ObjectSizeDistribution()
+        batched = dist.sample_many(SeededRNG(seed), count)
+        rng = SeededRNG(seed)
+        assert batched == [dist.sample(rng) for _ in range(count)]
+
+    def test_rejects_nan_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ObjectSizeDistribution(large_fraction=float("nan"))
+
+
+class TestDiurnalMultiplier:
+    @given(hour=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+           peak=st.floats(min_value=0.0, max_value=24.0, allow_nan=False),
+           amplitude=st.floats(min_value=0.0, max_value=0.99, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_multiplier_stays_in_band_and_peaks_at_peak(self, hour, peak, amplitude):
+        value = diurnal_rate_multiplier(hour, peak_hour=peak, amplitude=amplitude)
+        assert 1.0 - amplitude <= value <= 1.0 + amplitude + 1e-12
+        peak_value = diurnal_rate_multiplier(peak, peak_hour=peak, amplitude=amplitude)
+        assert value <= peak_value + 1e-12
+
+    def test_rejects_non_finite_hours(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_rate_multiplier(float("nan"))
+        with pytest.raises(ConfigurationError):
+            diurnal_rate_multiplier(3.0, peak_hour=float("inf"))
+
+
+class TestArrivalProcesses:
+    @given(rate=st.floats(min_value=0.05, max_value=20.0, allow_nan=False),
+           duration=st.floats(min_value=0.5, max_value=120.0, allow_nan=False),
+           seed=SEEDS)
+    @settings(max_examples=100, deadline=None)
+    def test_poisson_times_sorted_in_window(self, rate, duration, seed):
+        times = PoissonArrivals(rate, duration).times(SeededRNG(seed))
+        assert times == sorted(times)
+        assert all(0.0 <= t < duration for t in times)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_mmpp_times_sorted_in_window(self, seed):
+        spec = MMPPArrivals(quiet_rate_rps=0.5, burst_rate_rps=10.0,
+                            quiet_dwell_s=10.0, burst_dwell_s=3.0,
+                            duration_s=60.0)
+        times = spec.times(SeededRNG(seed))
+        assert times == sorted(times)
+        assert all(0.0 <= t < 60.0 for t in times)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_diurnal_rate_never_exceeds_thinning_peak(self, seed):
+        spec = DiurnalArrivals(base_rate_rps=2.0, duration_s=120.0,
+                               seconds_per_hour=10.0)
+        times = spec.times(SeededRNG(seed))
+        assert times == sorted(times)
+        assert all(0.0 <= t < 120.0 for t in times)
+        peak = spec.base_rate_rps * (1.0 + spec.amplitude)
+        assert all(spec.rate_at(t) <= peak + 1e-12 for t in times)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -2.0])
+    def test_rejects_degenerate_rates(self, bad):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate_rps=bad, duration_s=10.0)
